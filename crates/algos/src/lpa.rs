@@ -1,0 +1,137 @@
+//! Label propagation community detection (Raghavan et al., paper §6).
+//!
+//! Every vertex starts with its own id as label; each superstep it adopts
+//! the label held by the plurality of its in-neighbors (ties broken
+//! toward the smallest label, for determinism) and re-broadcasts. Labels
+//! are **not** commutative — the update needs the full multiset — so LPA
+//! can only concatenate messages (no combiner, no pushM, Eq. 6 Vblock
+//! sizing), which is exactly why the paper includes it.
+
+use hybridgraph_core::{GraphInfo, Update, VertexProgram};
+use hybridgraph_graph::{Edge, VertexId};
+use std::collections::HashMap;
+
+/// The LPA vertex program.
+#[derive(Clone, Debug)]
+pub struct Lpa {
+    /// Total supersteps to run (the paper runs 5).
+    pub supersteps: u64,
+}
+
+impl Lpa {
+    /// LPA for `supersteps` supersteps.
+    pub fn new(supersteps: u64) -> Self {
+        Lpa { supersteps }
+    }
+
+    /// The plurality label with smallest-label tie-breaking.
+    pub fn plurality(msgs: &[u32]) -> u32 {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for &m in msgs {
+            *counts.entry(m).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(label, _)| label)
+            .expect("plurality of empty message set")
+    }
+}
+
+impl VertexProgram for Lpa {
+    type Value = u32;
+    type Message = u32;
+
+    fn name(&self) -> &'static str {
+        "LPA"
+    }
+
+    fn init(&self, v: VertexId, _info: &GraphInfo) -> u32 {
+        v.0
+    }
+
+    fn update(
+        &self,
+        _v: VertexId,
+        _info: &GraphInfo,
+        superstep: u64,
+        current: &u32,
+        msgs: &[u32],
+    ) -> Update<u32> {
+        let value = if superstep == 1 {
+            *current
+        } else {
+            Self::plurality(msgs)
+        };
+        Update::respond(value)
+    }
+
+    fn message(&self, _src: VertexId, value: &u32, _out_degree: u32, _edge: &Edge) -> Option<u32> {
+        Some(*value)
+    }
+
+    fn max_supersteps(&self) -> Option<u64> {
+        Some(self.supersteps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+    use hybridgraph_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn plurality_counts_and_ties() {
+        assert_eq!(Lpa::plurality(&[3, 1, 3, 2]), 3);
+        // tie between 1 and 2 -> smallest wins
+        assert_eq!(Lpa::plurality(&[2, 1, 1, 2]), 1);
+        assert_eq!(Lpa::plurality(&[9]), 9);
+    }
+
+    #[test]
+    fn no_combiner() {
+        assert!(Lpa::new(5).combiner().is_none());
+    }
+
+    #[test]
+    fn two_cliques_converge_to_two_labels() {
+        // Two directed 3-cliques with no cross edges.
+        let mut b = GraphBuilder::new(6);
+        for &(s, d) in &[(0, 1), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2)] {
+            b.add(VertexId(s), VertexId(d));
+        }
+        for &(s, d) in &[(3, 4), (4, 5), (5, 3), (4, 3), (5, 4), (3, 5)] {
+            b.add(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let labels = reference_run(&Lpa::new(8), &g);
+        assert!(labels[0] == labels[1] && labels[1] == labels[2]);
+        assert!(labels[3] == labels[4] && labels[4] == labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn order_insensitive_update() {
+        let p = Lpa::new(5);
+        let info = GraphInfo {
+            num_vertices: 4,
+            num_edges: 0,
+        };
+        let a = p.update(VertexId(0), &info, 2, &0, &[5, 7, 5]);
+        let b = p.update(VertexId(0), &info, 2, &0, &[5, 5, 7]);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn runs_fixed_supersteps_on_cycle() {
+        let g = gen::cycle(5);
+        // On a directed cycle each vertex adopts its predecessor's label:
+        // after k propagation rounds, label(v) = v - k mod 5.
+        let labels = reference_run(&Lpa::new(3), &g);
+        // 3 supersteps = init + 2 propagation rounds.
+        for v in 0..5u32 {
+            assert_eq!(labels[v as usize], (v + 5 - 2) % 5);
+        }
+    }
+}

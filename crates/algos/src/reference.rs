@@ -1,0 +1,104 @@
+//! Sequential reference executor.
+//!
+//! Implements the engine's BSP semantics directly — superstep 1 updates
+//! the initially-active vertices with no messages; superstep `t > 1`
+//! generates messages from every vertex whose responding flag was set at
+//! `t − 1` and updates exactly the message receivers — with no storage,
+//! network, or concurrency. The distributed engine in every mode must
+//! produce byte-identical values to this executor; the cross-mode
+//! equivalence tests assert it.
+
+use hybridgraph_core::program::{GraphInfo, VertexProgram};
+use hybridgraph_graph::{Graph, VertexId};
+use std::collections::BTreeMap;
+
+/// Runs `program` on `graph` sequentially until convergence or the
+/// program's superstep budget; returns the final values.
+pub fn reference_run<P: VertexProgram>(program: &P, graph: &Graph) -> Vec<P::Value> {
+    reference_run_capped(program, graph, 10_000).0
+}
+
+/// Like [`reference_run`], also returning the number of supersteps
+/// executed. `cap` bounds runaway programs.
+pub fn reference_run_capped<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    cap: u64,
+) -> (Vec<P::Value>, u64) {
+    let n = graph.num_vertices();
+    let info = GraphInfo {
+        num_vertices: n as u64,
+        num_edges: graph.num_edges() as u64,
+    };
+    let mut values: Vec<P::Value> = (0..n)
+        .map(|v| program.init(VertexId(v as u32), &info))
+        .collect();
+    let mut respond: Vec<bool> = vec![false; n];
+    let max = program.max_supersteps().unwrap_or(u64::MAX).min(cap);
+
+    let mut superstep = 0u64;
+    while superstep < max {
+        superstep += 1;
+        if superstep == 1 {
+            for v in 0..n {
+                if program.initially_active(VertexId(v as u32), &info) {
+                    let upd = program.update(VertexId(v as u32), &info, 1, &values[v], &[]);
+                    values[v] = upd.value;
+                    respond[v] = upd.respond;
+                }
+            }
+        } else {
+            // pushRes / pullRes from last superstep's responders.
+            let mut inbox: BTreeMap<u32, Vec<P::Message>> = BTreeMap::new();
+            for v in 0..n {
+                if !respond[v] {
+                    continue;
+                }
+                let vid = VertexId(v as u32);
+                let outd = graph.out_degree(vid) as u32;
+                for e in graph.out_edges(vid) {
+                    if let Some(m) = program.message(vid, &values[v], outd, e) {
+                        inbox.entry(e.dst.0).or_default().push(m);
+                    }
+                }
+            }
+            respond.fill(false);
+            if inbox.is_empty() {
+                break;
+            }
+            for (v, msgs) in inbox {
+                let vid = VertexId(v);
+                let upd = program.update(vid, &info, superstep, &values[v as usize], &msgs);
+                values[v as usize] = upd.value;
+                respond[v as usize] = upd.respond;
+            }
+        }
+        if !respond.iter().any(|&r| r) {
+            break;
+        }
+    }
+    (values, superstep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::Sssp;
+    use hybridgraph_graph::gen;
+
+    #[test]
+    fn terminates_on_quiet_program() {
+        let g = gen::chain(5);
+        let (_, steps) = reference_run_capped(&Sssp::new(VertexId(0)), &g, 100);
+        // chain of 5: distances propagate one hop per superstep.
+        assert!(steps <= 6, "steps {steps}");
+    }
+
+    #[test]
+    fn cap_bounds_execution() {
+        let g = gen::cycle(4);
+        let p = crate::pagerank::PageRank::new(u64::MAX);
+        let (_, steps) = reference_run_capped(&p, &g, 7);
+        assert_eq!(steps, 7);
+    }
+}

@@ -1,0 +1,167 @@
+//! Single-source shortest paths (paper §6).
+//!
+//! The source starts at distance 0; every superstep, a vertex whose
+//! distance improved broadcasts `distance + edge weight` to its
+//! out-neighbors. Messages are min-combinable. The active vertex set
+//! swells and then shrinks over supersteps — the paper's Traversal-style
+//! workload, where hybrid's switching pays off.
+
+use hybridgraph_core::{GraphInfo, Update, VertexProgram};
+use hybridgraph_graph::{Edge, VertexId};
+use hybridgraph_net::combine::MinCombiner;
+use hybridgraph_net::Combiner;
+
+/// The SSSP vertex program.
+#[derive(Clone, Debug)]
+pub struct Sssp {
+    /// The source vertex.
+    pub source: VertexId,
+    combiner: MinCombiner,
+}
+
+impl Sssp {
+    /// SSSP from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sssp {
+            source,
+            combiner: MinCombiner,
+        }
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Value = f32;
+    type Message = f32;
+
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn init(&self, _v: VertexId, _info: &GraphInfo) -> f32 {
+        f32::INFINITY
+    }
+
+    fn initially_active(&self, v: VertexId, _info: &GraphInfo) -> bool {
+        v == self.source
+    }
+
+    fn update(
+        &self,
+        v: VertexId,
+        _info: &GraphInfo,
+        superstep: u64,
+        current: &f32,
+        msgs: &[f32],
+    ) -> Update<f32> {
+        if superstep == 1 {
+            debug_assert_eq!(v, self.source);
+            return Update::respond(0.0);
+        }
+        let best = msgs.iter().copied().fold(f32::INFINITY, f32::min);
+        if best < *current {
+            Update::respond(best)
+        } else {
+            Update::halt(*current)
+        }
+    }
+
+    fn message(&self, _src: VertexId, value: &f32, _out_degree: u32, edge: &Edge) -> Option<f32> {
+        Some(value + edge.weight)
+    }
+
+    fn combiner(&self) -> Option<&dyn Combiner<f32>> {
+        Some(&self.combiner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+    use hybridgraph_graph::{gen, Graph, GraphBuilder};
+
+    /// Dijkstra ground truth. Positive f32 bit patterns order like the
+    /// floats themselves, so `to_bits` gives an exact heap key.
+    pub(crate) fn dijkstra(g: &Graph, source: VertexId) -> Vec<f32> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = g.num_vertices();
+        let mut dist = vec![f32::INFINITY; n];
+        dist[source.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0.0f32.to_bits(), source.0)));
+        while let Some(Reverse((bits, v))) = heap.pop() {
+            let d = f32::from_bits(bits);
+            if d > dist[v as usize] {
+                continue;
+            }
+            for e in g.out_edges(VertexId(v)) {
+                let nd = d + e.weight;
+                if nd < dist[e.dst.index()] {
+                    dist[e.dst.index()] = nd;
+                    heap.push(Reverse((nd.to_bits(), e.dst.0)));
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graph() {
+        let g = gen::randomize_weights(&gen::uniform(100, 600, 3), 1.0, 5.0, 4);
+        let got = reference_run(&Sssp::new(VertexId(0)), &g);
+        let want = dijkstra(&g, VertexId(0));
+        for v in 0..100 {
+            if want[v].is_infinite() {
+                assert!(got[v].is_infinite(), "v{v}");
+            } else {
+                assert!((got[v] - want[v]).abs() < 1e-3, "v{v}: {} vs {}", got[v], want[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_distances() {
+        let g = gen::chain(6); // unit weights
+        let got = reference_run(&Sssp::new(VertexId(0)), &g);
+        for (v, d) in got.iter().enumerate() {
+            assert_eq!(*d, v as f32);
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let mut b = GraphBuilder::new(3);
+        b.add(VertexId(0), VertexId(1));
+        let g = b.build();
+        let got = reference_run(&Sssp::new(VertexId(0)), &g);
+        assert_eq!(got[1], 1.0);
+        assert!(got[2].is_infinite());
+    }
+
+    #[test]
+    fn only_source_initially_active() {
+        let p = Sssp::new(VertexId(3));
+        let info = GraphInfo {
+            num_vertices: 5,
+            num_edges: 0,
+        };
+        assert!(p.initially_active(VertexId(3), &info));
+        assert!(!p.initially_active(VertexId(0), &info));
+    }
+
+    #[test]
+    fn halts_without_improvement() {
+        let p = Sssp::new(VertexId(0));
+        let info = GraphInfo {
+            num_vertices: 2,
+            num_edges: 1,
+        };
+        let upd = p.update(VertexId(1), &info, 3, &2.0, &[5.0, 3.0]);
+        assert!(!upd.respond);
+        assert_eq!(upd.value, 2.0);
+        let upd = p.update(VertexId(1), &info, 3, &2.0, &[1.5]);
+        assert!(upd.respond);
+        assert_eq!(upd.value, 1.5);
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end mode benchmarks: one full job per message-handling
+//! strategy on a fixed livej stand-in (wall-clock of the engine itself,
+//! complementing the modeled times the `repro` harness reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybridgraph_algos::{PageRank, Sssp};
+use hybridgraph_core::{run_job, JobConfig, Mode};
+use hybridgraph_graph::{Dataset, VertexId};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_pagerank_modes(c: &mut Criterion) {
+    let g = Dataset::LiveJ.build_scaled(4000);
+    let mut group = c.benchmark_group("pagerank_livej");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for mode in Mode::ALL {
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let cfg = JobConfig::new(mode, 4).with_buffer(125);
+                run_job(Arc::new(PageRank::new(5)), &g, cfg).unwrap().values
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sssp_modes(c: &mut Criterion) {
+    let g = Dataset::LiveJ.build_scaled(4000);
+    let source = g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap();
+    let mut group = c.benchmark_group("sssp_livej");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for mode in [Mode::Push, Mode::PushM, Mode::BPull, Mode::Hybrid] {
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let cfg = JobConfig::new(mode, 4).with_buffer(125);
+                run_job(Arc::new(Sssp::new(source)), &g, cfg).unwrap().values
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let g = Dataset::LiveJ.build_scaled(4000);
+    let mut group = c.benchmark_group("hybrid_workers");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("T{workers}"), |b| {
+            b.iter(|| {
+                let cfg = JobConfig::new(Mode::Hybrid, workers).with_buffer(125);
+                run_job(Arc::new(PageRank::new(5)), &g, cfg).unwrap().values
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vertex_id(c: &mut Criterion) {
+    let ids: Vec<VertexId> = (0..1000).map(VertexId).collect();
+    c.bench_function("partition_worker_of", |b| {
+        let p = hybridgraph_graph::Partition::range(1000, 7);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &v in &ids {
+                acc += p.worker_of(v).index();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pagerank_modes,
+    bench_sssp_modes,
+    bench_worker_scaling,
+    bench_vertex_id
+);
+criterion_main!(benches);

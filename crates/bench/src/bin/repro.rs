@@ -1,0 +1,90 @@
+//! The figure/table reproduction harness.
+//!
+//! ```text
+//! repro [--scale N] <experiment> [<experiment> ...]
+//! repro all
+//! ```
+//!
+//! Experiments: datasets, fig2, fig7, fig8, fig9, fig10, fig11, fig12,
+//! fig13, fig14, fig15, fig16, fig17, fig18, table5, vblocks (figs
+//! 23–25), fig26, theorems.
+//!
+//! `--scale N` generates datasets at 1/N of the paper's sizes
+//! (default 2000). Modeled runtimes are projected back by ×N.
+
+use hybridgraph_bench::experiments as exp;
+use hybridgraph_bench::Scale;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "datasets", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "table5", "vblocks", "fig26", "theorems", "ablation",
+];
+
+fn dispatch(name: &str, scale: Scale) -> bool {
+    let t = Instant::now();
+    match name {
+        "datasets" => exp::datasets::run(scale),
+        "fig2" => exp::fig2::run(scale),
+        "fig7" => exp::overall::fig7(scale),
+        "fig8" => exp::overall::fig8(scale),
+        "fig9" => exp::overall::fig9(scale),
+        "fig10" => exp::overall::fig10(scale),
+        "fig11" => exp::prediction::fig11(scale),
+        "fig12" => exp::prediction::fig12(scale),
+        "fig13" => exp::prediction::fig13(scale),
+        "fig14" => exp::fig14::run(scale),
+        "fig15" => exp::fig15::run(scale),
+        "fig16" => exp::fig16::run(scale),
+        "fig17" => exp::fig17_18::fig17(scale),
+        "fig18" => exp::fig17_18::fig18(scale),
+        "table5" => exp::table5::run(scale),
+        "vblocks" | "fig23" | "fig24" | "fig25" => exp::vblocks::run(scale),
+        "fig26" => exp::fig26::run(scale),
+        "theorems" | "thm1" | "thm2" => exp::theorems::run(scale),
+        "trace" => exp::trace::run(scale),
+        "ablation" => exp::ablation::run(scale),
+        _ => return false,
+    }
+    eprintln!("[{name}: {:.1}s]", t.elapsed().as_secs_f64());
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_scale();
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage("missing --scale value"));
+                scale = Scale(n.max(1));
+            }
+            "all" => targets.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage(""),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage("no experiment given");
+    }
+    println!("# HybridGraph reproduction harness — scale 1/{}\n", scale.0);
+    for t in targets {
+        if !dispatch(&t, scale) {
+            usage(&format!("unknown experiment '{t}'"));
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: repro [--scale N] <experiment> [...] | all");
+    eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,37 @@
+//! Table 4 — the dataset catalog, paper sizes vs generated stand-ins.
+
+use crate::table::Table;
+use crate::Scale;
+use hybridgraph_graph::Dataset;
+
+/// Prints the paper's Table 4 next to the generated stand-ins.
+pub fn run(scale: Scale) {
+    let mut t = Table::new(
+        &format!("Table 4 — datasets (stand-ins at 1/{})", scale.0),
+        &[
+            "graph",
+            "paper |V|",
+            "paper |E|",
+            "paper deg",
+            "gen |V|",
+            "gen |E|",
+            "gen deg",
+            "gen maxdeg",
+        ],
+    );
+    for d in Dataset::ALL {
+        let spec = d.spec();
+        let g = scale.build(d);
+        t.row(vec![
+            d.name().into(),
+            format!("{:.1}M", spec.paper_vertices as f64 / 1e6),
+            format!("{:.0}M", spec.paper_edges as f64 / 1e6),
+            format!("{:.1}", spec.paper_avg_degree()),
+            format!("{}", g.num_vertices()),
+            format!("{}", g.num_edges()),
+            format!("{:.1}", g.avg_degree()),
+            format!("{}", g.max_degree()),
+        ]);
+    }
+    t.print();
+}

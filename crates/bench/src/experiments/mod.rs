@@ -1,0 +1,18 @@
+//! One module per reproduced table/figure. Each entry point takes the
+//! dataset [`Scale`](crate::Scale) and prints the rows/series the paper's
+//! figure plots.
+
+pub mod ablation;
+pub mod datasets;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17_18;
+pub mod fig2;
+pub mod fig26;
+pub mod overall;
+pub mod prediction;
+pub mod table5;
+pub mod theorems;
+pub mod trace;
+pub mod vblocks;

@@ -1,0 +1,69 @@
+//! Diagnostic: the per-superstep switching trace of a hybrid run, next to
+//! pure push and pure b-pull — what Fig. 14 condenses. Useful when
+//! judging whether `Q_t`'s sign tracks the actually-cheaper mode.
+
+use crate::table::{secs, Table};
+use crate::{buffer_for, run_algo, workers_for, Algo, Scale};
+use hybridgraph_core::{JobConfig, Mode};
+use hybridgraph_graph::Dataset;
+
+/// Prints the hybrid trace for `algo` over `d`.
+pub fn trace(algo: Algo, d: Dataset, scale: Scale) {
+    let g = scale.build(d);
+    let mk = |mode| JobConfig::new(mode, workers_for(d)).with_buffer(buffer_for(d, scale));
+    let hybrid = run_algo(algo, &g, mk(Mode::Hybrid));
+    let push = run_algo(algo, &g, mk(Mode::Push));
+    let bpull = run_algo(algo, &g, mk(Mode::BPull));
+    let mut t = Table::new(
+        &format!("switch trace — {} over {}", algo.label(), d.name()),
+        &[
+            "t",
+            "kind",
+            "Q_t",
+            "msgs",
+            "spill B",
+            "hy (s)",
+            "push (s)",
+            "b-pull (s)",
+        ],
+    );
+    let len = hybrid
+        .steps
+        .len()
+        .max(push.steps.len())
+        .max(bpull.steps.len());
+    for i in 0..len {
+        let h = hybrid.steps.get(i);
+        t.row(vec![
+            (i + 1).to_string(),
+            h.map(|s| s.kind.label().to_string()).unwrap_or("-".into()),
+            h.map(|s| format!("{:+.2e}", s.q_metric)).unwrap_or("-".into()),
+            h.map(|s| s.messages_produced.to_string()).unwrap_or("-".into()),
+            h.map(|s| s.sem.msg_spill_bytes.to_string()).unwrap_or("-".into()),
+            h.map(|s| secs(scale.project_secs(s.modeled_secs))).unwrap_or("-".into()),
+            push.steps
+                .get(i)
+                .map(|s| secs(scale.project_secs(s.modeled_secs)))
+                .unwrap_or("-".into()),
+            bpull
+                .steps
+                .get(i)
+                .map(|s| secs(scale.project_secs(s.modeled_secs)))
+                .unwrap_or("-".into()),
+        ]);
+    }
+    t.print();
+    println!(
+        "hybrid switches: {:?}; totals: hybrid {:.0}s push {:.0}s b-pull {:.0}s\n",
+        hybrid.switches,
+        scale.project_secs(hybrid.modeled_total_secs()),
+        scale.project_secs(push.modeled_total_secs()),
+        scale.project_secs(bpull.modeled_total_secs()),
+    );
+}
+
+/// SA and SSSP over twi — the cases Fig. 14 and §6.2 discuss.
+pub fn run(scale: Scale) {
+    trace(Algo::Sa, Dataset::Twi, scale);
+    trace(Algo::Sssp, Dataset::Twi, scale);
+}

@@ -1,0 +1,127 @@
+//! Fixed-width table printing for the figure harness.
+
+/// A simple left-aligned-first-column table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// A table titled `title` with the given column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.to_string(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&format!("{}\n", "-".repeat(total)));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats seconds compactly.
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.1}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Formats a byte count as a power-of-ten quantity (the paper's figures
+/// use 10^10-byte ticks).
+pub fn bytes(b: u64) -> String {
+    if b >= 10_000_000_000 {
+        format!("{:.2}e10", b as f64 / 1e10)
+    } else if b >= 1_000_000 {
+        format!("{:.1}MB", b as f64 / 1e6)
+    } else if b >= 1_000 {
+        format!("{:.1}KB", b as f64 / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Formats a ratio.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "23".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("longer"));
+        let lines: Vec<&str> = r.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(0.1234), "0.123");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(1234.0), "1234");
+        assert_eq!(bytes(500), "500B");
+        assert_eq!(bytes(2_500_000), "2.5MB");
+        assert_eq!(bytes(25_000_000_000), "2.50e10");
+        assert_eq!(ratio(1.234), "1.23");
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixed-size bitset for active/responding flags.
+//!
+//! Workers keep one bit per local vertex for the active-flag and
+//! responding-flag vectors of Pull-Request/Pull-Respond (Algorithms 1–2).
+//! The paper treats this memory as negligible; [`BitSet::memory_bytes`]
+//! reports it anyway so the memory curves are honest.
+
+/// A fixed-length bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A bitset of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Clears all bits.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// True if any bit in `range` is set.
+    pub fn any_in_range(&self, range: std::ops::Range<usize>) -> bool {
+        // Fast path over whole words, precise at the edges.
+        range.clone().any(|i| self.get(i))
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// Swaps contents with `other`.
+    pub fn swap(&mut self, other: &mut BitSet) {
+        std::mem::swap(&mut self.words, &mut other.words);
+        std::mem::swap(&mut self.len, &mut other.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0));
+        assert!(b.get(64));
+        assert!(b.get(129));
+        assert_eq!(b.count(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn ones_iterator() {
+        let mut b = BitSet::new(200);
+        for i in [3usize, 64, 65, 199] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.ones().collect();
+        assert_eq!(got, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn clear_all_and_none() {
+        let mut b = BitSet::new(70);
+        b.set(69);
+        assert!(!b.none());
+        b.clear_all();
+        assert!(b.none());
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn any_in_range() {
+        let mut b = BitSet::new(100);
+        b.set(50);
+        assert!(b.any_in_range(40..60));
+        assert!(!b.any_in_range(0..50));
+        assert!(!b.any_in_range(51..100));
+    }
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.set(1);
+        b.set(2);
+        a.swap(&mut b);
+        assert!(a.get(2) && !a.get(1));
+        assert!(b.get(1) && !b.get(2));
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert!(b.none());
+        assert_eq!(b.ones().count(), 0);
+    }
+}

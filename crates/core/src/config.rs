@@ -1,0 +1,182 @@
+//! Job configuration.
+
+use hybridgraph_storage::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which message-handling strategy a job runs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Mode {
+    /// Giraph-style push: messages spill to disk past the buffer.
+    #[default]
+    Push,
+    /// MOCgraph-style push with message online computing (requires a
+    /// combiner).
+    PushM,
+    /// Per-vertex pulling with an LRU vertex cache (disk-extended GraphLab
+    /// PowerGraph analogue).
+    Pull,
+    /// The paper's block-centric pulling over VE-BLOCK.
+    BPull,
+    /// Adaptive switching between `Push` and `BPull` (the paper's hybrid).
+    Hybrid,
+}
+
+impl Mode {
+    /// All standalone modes in the order the paper's figures list them.
+    pub const ALL: [Mode; 5] = [Mode::Push, Mode::PushM, Mode::Pull, Mode::BPull, Mode::Hybrid];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Push => "push",
+            Mode::PushM => "pushM",
+            Mode::Pull => "pull",
+            Mode::BPull => "b-pull",
+            Mode::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Configuration of one job run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobConfig {
+    /// Message-handling strategy.
+    pub mode: Mode,
+    /// Number of computational nodes (the paper's `T`).
+    pub workers: usize,
+    /// Per-worker message buffer `B_i`, in messages. `usize::MAX` means
+    /// "sufficient memory" (nothing ever spills; vertex caches hold
+    /// everything).
+    pub buffer_messages: usize,
+    /// Sending threshold in bytes (Appendix E; default 4 MB).
+    pub sending_threshold: usize,
+    /// Disk/network throughputs used for modeled time and `Q_t`.
+    pub profile: DeviceProfile,
+    /// Hard superstep cap (safety net on top of the program's own budget).
+    pub max_supersteps: u64,
+    /// Override for Vblocks per worker; `None` applies Eq. 5 / Eq. 6.
+    pub vblocks_per_worker: Option<usize>,
+    /// Pre-pull the next block's messages while updating the current one
+    /// (only effective with a combiner, per §4.3).
+    pub pre_pull: bool,
+    /// Allow combining at the sender (disabled for the Fig. 18 network
+    /// comparison and for `pushM+com` experiments).
+    pub combining: bool,
+    /// LRU vertex-cache capacity for `Pull` mode; `None` uses
+    /// `buffer_messages`.
+    pub lru_capacity: Option<usize>,
+    /// Modeled CPU cost per message handled (microseconds).
+    pub cpu_us_per_message: f64,
+    /// Modeled CPU cost per vertex update (microseconds).
+    pub cpu_us_per_vertex: f64,
+    /// Supersteps between switching-decision evaluations (the paper's
+    /// Δt = 2).
+    pub switch_interval: u64,
+    /// Fix hybrid's first mode instead of applying Theorem 2.
+    pub initial_mode_override: Option<Mode>,
+    /// Minimum |Q_t| relative to the superstep's modeled time before a
+    /// switch is taken (0 = the paper's bare sign rule).
+    pub switch_threshold: f64,
+    /// Combine messages inside each flushed sender batch in push modes —
+    /// the `pushM+com` variant of Appendix E. Only partial buffers can be
+    /// merged, so small sending thresholds cripple the gain (Fig. 26).
+    pub push_sender_combining: bool,
+    /// Back each worker's simulated disk with real files under this
+    /// directory (one subdirectory per worker) instead of memory.
+    /// Accounting is identical; this exercises the physical I/O path.
+    pub disk_root: Option<std::path::PathBuf>,
+}
+
+impl JobConfig {
+    /// A configuration for `workers` nodes with everything else at the
+    /// paper's defaults and ample memory.
+    pub fn new(mode: Mode, workers: usize) -> Self {
+        JobConfig {
+            mode,
+            workers,
+            buffer_messages: usize::MAX,
+            sending_threshold: hybridgraph_net::flow::DEFAULT_SENDING_THRESHOLD,
+            profile: DeviceProfile::local_hdd(),
+            max_supersteps: 10_000,
+            vblocks_per_worker: None,
+            pre_pull: true,
+            combining: true,
+            lru_capacity: None,
+            cpu_us_per_message: 0.5,
+            cpu_us_per_vertex: 0.5,
+            switch_interval: 2,
+            initial_mode_override: None,
+            switch_threshold: 0.1,
+            push_sender_combining: false,
+            disk_root: None,
+        }
+    }
+
+    /// Sets the per-worker message buffer (the limited-memory scenario).
+    pub fn with_buffer(mut self, messages: usize) -> Self {
+        self.buffer_messages = messages;
+        self
+    }
+
+    /// Sets the device profile.
+    pub fn with_profile(mut self, profile: DeviceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the sending threshold in bytes.
+    pub fn with_sending_threshold(mut self, bytes: usize) -> Self {
+        self.sending_threshold = bytes;
+        self
+    }
+
+    /// True if the limited-memory scenario is configured.
+    pub fn memory_limited(&self) -> bool {
+        self.buffer_messages != usize::MAX
+    }
+
+    /// The LRU capacity `Pull` mode uses.
+    pub fn effective_lru_capacity(&self) -> usize {
+        self.lru_capacity.unwrap_or(self.buffer_messages).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = JobConfig::new(Mode::Hybrid, 5);
+        assert_eq!(c.workers, 5);
+        assert_eq!(c.sending_threshold, 4 * 1024 * 1024);
+        assert_eq!(c.switch_interval, 2);
+        assert!(!c.memory_limited());
+        assert!(c.pre_pull);
+        assert!(c.combining);
+    }
+
+    #[test]
+    fn builders() {
+        let c = JobConfig::new(Mode::Push, 3)
+            .with_buffer(500_000)
+            .with_sending_threshold(1024);
+        assert!(c.memory_limited());
+        assert_eq!(c.buffer_messages, 500_000);
+        assert_eq!(c.sending_threshold, 1024);
+        assert_eq!(c.effective_lru_capacity(), 500_000);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mode::BPull.label(), "b-pull");
+        assert_eq!(Mode::ALL.len(), 5);
+    }
+
+    #[test]
+    fn lru_capacity_floor() {
+        let mut c = JobConfig::new(Mode::Pull, 2);
+        c.lru_capacity = Some(0);
+        assert_eq!(c.effective_lru_capacity(), 1);
+    }
+}

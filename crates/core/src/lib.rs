@@ -1,0 +1,38 @@
+//! HybridGraph's engine — the paper's contribution.
+//!
+//! This crate implements the vertex-centric BSP engine of *Hybrid
+//! Pulling/Pushing for I/O-Efficient Distributed and Iterative Graph
+//! Computing* (SIGMOD 2016) on top of the graph/storage/net substrates:
+//!
+//! * [`program`] — the decoupled computing functions of §5.2: one
+//!   [`VertexProgram`] expresses `update()` plus the shared message
+//!   generator used by both `pushRes()` and `pullRes()`.
+//! * [`modes`] — the four message-handling strategies the paper compares:
+//!   `push` (Giraph-style spill-to-disk), `pushm` (MOCgraph-style message
+//!   online computing), `pull` (per-vertex pulling with an LRU vertex
+//!   cache, the disk-extended GraphLab analogue) and `bpull` (the paper's
+//!   block-centric pulling over VE-BLOCK, Algorithms 1–2).
+//! * [`switch`] — the hybrid solution of §5: Theorem 2's initial-mode rule,
+//!   the `Q_t` performance metric (Eq. 11) and the Δt = 2 predictor.
+//! * [`runner`] — the master: one thread per computational node, BSP
+//!   barriers, termination detection, per-superstep metric aggregation and
+//!   mode switching (`runSwitch`, Fig. 6).
+//! * [`metrics`] — per-superstep and per-job measurements: byte counts per
+//!   access class, semantic I/O quantities (`IO(V^t)`, `IO(Ē^t)`,
+//!   `IO(E^t)`, `IO(F^t)`, `IO(V^t_rr)`, `IO(M_disk)`), network traffic,
+//!   memory usage, and modeled time under a device profile.
+
+pub mod bitset;
+pub mod config;
+pub mod metrics;
+pub mod modes;
+pub mod program;
+pub mod runner;
+pub mod switch;
+pub mod worker;
+
+pub use config::{JobConfig, Mode};
+pub use metrics::{JobMetrics, SemanticBytes, StepKind, StepReport, SuperstepMetrics};
+pub use program::{GraphInfo, Update, VertexProgram};
+pub use runner::{run_job, JobResult};
+pub use switch::{b_lower_bound, q_metric, CostInputs, Switcher};

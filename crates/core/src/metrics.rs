@@ -1,0 +1,359 @@
+//! Per-superstep and per-job measurements.
+//!
+//! Everything the paper's figures plot comes through here: byte counts per
+//! I/O class (Fig. 10), the semantic I/O quantities of Eqs. 7–8, network
+//! traffic and message counts (Figs. 17–18), memory usage (Fig. 14(d),
+//! Figs. 23–24), `Q_t` (Fig. 14(a)) and modeled runtime under a device
+//! profile (Figs. 7–9, 15, 25).
+
+use crate::config::Mode;
+use hybridgraph_storage::{DeviceProfile, IoSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// What a worker executed in one superstep.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StepKind {
+    /// Pure push: load + update + pushRes.
+    Push,
+    /// Push without sending — the first half of switching push → b-pull
+    /// (Fig. 6): load + update only; respond flags carry the signal.
+    PushNoSend,
+    /// MOCgraph-style push with online computing.
+    PushM,
+    /// Per-vertex pull (gather) baseline.
+    Pull,
+    /// Pure b-pull: Pull-Request + Pull-Respond + update.
+    BPull,
+    /// b-pull then an immediate pushRes on the new values — the switch
+    /// superstep b-pull → push (Fig. 6).
+    BPullThenPush,
+}
+
+impl StepKind {
+    /// The standalone mode this step belongs to, for reporting.
+    pub fn mode(self) -> Mode {
+        match self {
+            StepKind::Push | StepKind::PushNoSend => Mode::Push,
+            StepKind::PushM => Mode::PushM,
+            StepKind::Pull => Mode::Pull,
+            StepKind::BPull | StepKind::BPullThenPush => Mode::BPull,
+        }
+    }
+
+    /// True for the two fused switching supersteps.
+    pub fn is_switch(self) -> bool {
+        matches!(self, StepKind::PushNoSend | StepKind::BPullThenPush)
+    }
+
+    /// Short figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepKind::Push => "push",
+            StepKind::PushNoSend => "push>b-pull",
+            StepKind::PushM => "pushM",
+            StepKind::Pull => "pull",
+            StepKind::BPull => "b-pull",
+            StepKind::BPullThenPush => "b-pull>push",
+        }
+    }
+}
+
+/// The paper's semantic I/O quantities for one superstep (bytes).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemanticBytes {
+    /// `IO(V^t)` — vertex values read + written while updating.
+    pub value_update_bytes: u64,
+    /// `IO(Ē^t)` — adjacency edge bytes read by push-style compute.
+    pub push_edge_bytes: u64,
+    /// `IO(E^t)` — Eblock edge bytes scanned by Pull-Respond.
+    pub bpull_edge_bytes: u64,
+    /// `IO(F^t)` — fragment auxiliary bytes scanned by Pull-Respond.
+    pub fragment_aux_bytes: u64,
+    /// `IO(V^t_rr)` — random svertex value reads by Pull-Respond (and the
+    /// pull baseline's cache misses).
+    pub svertex_rand_bytes: u64,
+    /// `IO(M_disk)` — message bytes spilled to disk by push (the written
+    /// side; an equal read-back follows at the next superstep).
+    pub msg_spill_bytes: u64,
+}
+
+impl SemanticBytes {
+    /// Component-wise sum.
+    pub fn plus(&self, o: &SemanticBytes) -> SemanticBytes {
+        SemanticBytes {
+            value_update_bytes: self.value_update_bytes + o.value_update_bytes,
+            push_edge_bytes: self.push_edge_bytes + o.push_edge_bytes,
+            bpull_edge_bytes: self.bpull_edge_bytes + o.bpull_edge_bytes,
+            fragment_aux_bytes: self.fragment_aux_bytes + o.fragment_aux_bytes,
+            svertex_rand_bytes: self.svertex_rand_bytes + o.svertex_rand_bytes,
+            msg_spill_bytes: self.msg_spill_bytes + o.msg_spill_bytes,
+        }
+    }
+
+    /// `C_io(push)` per Eq. 7: `IO(V) + IO(Ē) + 2 · IO(M_disk)`.
+    pub fn cio_push(&self) -> u64 {
+        self.value_update_bytes + self.push_edge_bytes + 2 * self.msg_spill_bytes
+    }
+
+    /// `C_io(b-pull)` per Eq. 8: `IO(V) + IO(E) + IO(F) + IO(V_rr)`.
+    pub fn cio_bpull(&self) -> u64 {
+        self.value_update_bytes
+            + self.bpull_edge_bytes
+            + self.fragment_aux_bytes
+            + self.svertex_rand_bytes
+    }
+}
+
+/// One worker's report for one superstep.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Vertices whose `update()` ran.
+    pub updated: u64,
+    /// Vertices whose responding flag is set for the next superstep.
+    pub responders: u64,
+    /// Raw messages generated (before concatenation/combining).
+    pub messages_produced: u64,
+    /// Messages consumed by `update()`.
+    pub messages_consumed: u64,
+    /// Messages waiting in the spill/receive store for the next superstep
+    /// (push modes).
+    pub pending_messages: u64,
+    /// Push modes: raw messages drained (loaded) this superstep.
+    pub delivered_raw: u64,
+    /// Push modes: distinct destinations among drained messages.
+    pub delivered_distinct: u64,
+    /// Semantic I/O quantities observed this superstep.
+    pub sem: SemanticBytes,
+    /// Estimate: adjacency edge bytes push would read next superstep
+    /// (out-edge bytes of current responders).
+    pub next_push_edge_bytes: u64,
+    /// Estimate: Eblock edge bytes b-pull would scan next superstep
+    /// (blocks containing a responder).
+    pub next_bpull_edge_bytes: u64,
+    /// Estimate: fragment auxiliary bytes for the same scan.
+    pub next_bpull_aux_bytes: u64,
+    /// Estimate: random svertex read bytes for the same scan (responding
+    /// fragments × value size).
+    pub next_bpull_vrr_bytes: u64,
+    /// High-water in-memory footprint this superstep (buffers, staged
+    /// values, metadata).
+    pub memory_bytes: u64,
+    /// This worker's I/O delta for the superstep.
+    pub io: IoSnapshot,
+    /// Wall-clock seconds the worker spent in the superstep.
+    pub wall_secs: f64,
+    /// Wall-clock seconds spent blocked exchanging messages (Fig. 17).
+    pub blocking_secs: f64,
+}
+
+/// Master-side aggregation of one superstep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SuperstepMetrics {
+    /// 1-based superstep number.
+    pub superstep: u64,
+    /// What ran.
+    pub kind: StepKind,
+    /// Summed I/O over workers.
+    pub io: IoSnapshot,
+    /// Summed semantic quantities.
+    pub sem: SemanticBytes,
+    /// Remote bytes sent (summed over workers).
+    pub net_out_bytes: u64,
+    /// Loopback bytes (accounted separately; not network).
+    pub net_local_bytes: u64,
+    /// Raw messages emitted on the fabric.
+    pub net_raw_messages: u64,
+    /// Values on the wire after merging.
+    pub net_wire_values: u64,
+    /// Messages merged away (`M_co` observed).
+    pub net_saved_messages: u64,
+    /// Pull/gather requests sent.
+    pub net_requests: u64,
+    /// Vertices updated.
+    pub updated: u64,
+    /// Responders for the next superstep.
+    pub responders: u64,
+    /// Raw messages generated.
+    pub messages_produced: u64,
+    /// Messages pending for the next superstep (push).
+    pub pending_messages: u64,
+    /// `C_io(push)` for this superstep — measured if push ran, estimated
+    /// otherwise (Fig. 12's quantity).
+    pub cio_push_bytes: u64,
+    /// `C_io(b-pull)` — measured if b-pull ran, estimated otherwise
+    /// (Fig. 13's quantity).
+    pub cio_bpull_bytes: u64,
+    /// `M_co` — measured in (b-)pull supersteps, estimated in push ones
+    /// (Fig. 11's quantity).
+    pub mco: u64,
+    /// The switching metric `Q_t` of Eq. 11, evaluated with this
+    /// superstep's quantities (positive favours b-pull).
+    pub q_metric: f64,
+    /// Summed high-water memory across workers.
+    pub memory_bytes: u64,
+    /// Modeled seconds: max over workers of I/O + network + CPU time.
+    pub modeled_secs: f64,
+    /// Modeled I/O seconds (max over workers).
+    pub modeled_io_secs: f64,
+    /// Modeled network seconds (max over workers).
+    pub modeled_net_secs: f64,
+    /// Measured wall seconds of the superstep (slowest worker).
+    pub wall_secs: f64,
+    /// Measured blocking (message-exchange) seconds, slowest worker.
+    pub blocking_secs: f64,
+}
+
+/// Loading-phase measurements (Fig. 16).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Wall seconds to build all stores (slowest worker).
+    pub wall_secs: f64,
+    /// Bytes written while loading, per class, summed over workers.
+    pub io: IoSnapshot,
+    /// Total VE-BLOCK fragments across workers (the paper's `f`).
+    pub fragments: u64,
+    /// Theorem 2's bound `B⊥ = |E|/2 − f` (messages; may be negative).
+    pub b_lower_bound: i64,
+    /// Total Vblocks across workers (the paper's `V`).
+    pub num_vblocks: usize,
+    /// The mode hybrid starts in (after Theorem 2 or override).
+    pub initial_mode: Mode,
+}
+
+/// Everything measured over one job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Loading-phase report.
+    pub load: LoadReport,
+    /// One entry per executed superstep.
+    pub steps: Vec<SuperstepMetrics>,
+    /// `(superstep, from, to)` for every hybrid switch taken.
+    pub switches: Vec<(u64, Mode, Mode)>,
+    /// The device profile the job ran under.
+    pub profile: DeviceProfile,
+}
+
+impl JobMetrics {
+    /// Number of supersteps executed.
+    pub fn supersteps(&self) -> u64 {
+        self.steps.len() as u64
+    }
+
+    /// Total modeled seconds across supersteps.
+    pub fn modeled_total_secs(&self) -> f64 {
+        self.steps.iter().map(|s| s.modeled_secs).sum()
+    }
+
+    /// Total measured wall seconds across supersteps.
+    pub fn wall_total_secs(&self) -> f64 {
+        self.steps.iter().map(|s| s.wall_secs).sum()
+    }
+
+    /// Total I/O bytes over the whole job (Fig. 10's quantity).
+    pub fn total_io_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.io.total_bytes()).sum()
+    }
+
+    /// Total remote network bytes.
+    pub fn total_net_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.net_out_bytes).sum()
+    }
+
+    /// Total raw messages produced.
+    pub fn total_messages(&self) -> u64 {
+        self.steps.iter().map(|s| s.messages_produced).sum()
+    }
+
+    /// Mean modeled seconds per superstep (what Figs. 7–9 report for
+    /// fixed-superstep algorithms).
+    pub fn modeled_secs_per_superstep(&self) -> f64 {
+        if self.steps.is_empty() {
+            0.0
+        } else {
+            self.modeled_total_secs() / self.steps.len() as f64
+        }
+    }
+
+    /// Peak per-superstep memory across the job.
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.memory_bytes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_kind_classification() {
+        assert_eq!(StepKind::Push.mode(), Mode::Push);
+        assert_eq!(StepKind::PushNoSend.mode(), Mode::Push);
+        assert_eq!(StepKind::BPullThenPush.mode(), Mode::BPull);
+        assert!(StepKind::BPullThenPush.is_switch());
+        assert!(!StepKind::BPull.is_switch());
+        assert_eq!(StepKind::PushM.label(), "pushM");
+    }
+
+    #[test]
+    fn semantic_cost_formulas() {
+        let s = SemanticBytes {
+            value_update_bytes: 10,
+            push_edge_bytes: 20,
+            bpull_edge_bytes: 30,
+            fragment_aux_bytes: 4,
+            svertex_rand_bytes: 6,
+            msg_spill_bytes: 50,
+        };
+        assert_eq!(s.cio_push(), 10 + 20 + 100);
+        assert_eq!(s.cio_bpull(), 10 + 30 + 4 + 6);
+        let d = s.plus(&s);
+        assert_eq!(d.msg_spill_bytes, 100);
+        assert_eq!(d.cio_push(), 2 * s.cio_push());
+    }
+
+    #[test]
+    fn job_metrics_totals() {
+        let step = |secs: f64, io_bytes: u64| SuperstepMetrics {
+            superstep: 1,
+            kind: StepKind::Push,
+            io: IoSnapshot {
+                seq_read_bytes: io_bytes,
+                ..Default::default()
+            },
+            sem: SemanticBytes::default(),
+            net_out_bytes: 5,
+            net_local_bytes: 0,
+            net_raw_messages: 2,
+            net_wire_values: 2,
+            net_saved_messages: 0,
+            net_requests: 0,
+            updated: 1,
+            responders: 1,
+            messages_produced: 2,
+            pending_messages: 0,
+            cio_push_bytes: 0,
+            cio_bpull_bytes: 0,
+            mco: 0,
+            q_metric: 0.0,
+            memory_bytes: 7,
+            modeled_secs: secs,
+            modeled_io_secs: secs / 2.0,
+            modeled_net_secs: secs / 2.0,
+            wall_secs: secs,
+            blocking_secs: 0.0,
+        };
+        let m = JobMetrics {
+            load: LoadReport::default(),
+            steps: vec![step(1.0, 100), step(3.0, 200)],
+            switches: vec![],
+            profile: DeviceProfile::local_hdd(),
+        };
+        assert_eq!(m.supersteps(), 2);
+        assert_eq!(m.modeled_total_secs(), 4.0);
+        assert_eq!(m.modeled_secs_per_superstep(), 2.0);
+        assert_eq!(m.total_io_bytes(), 300);
+        assert_eq!(m.total_net_bytes(), 10);
+        assert_eq!(m.total_messages(), 4);
+        assert_eq!(m.peak_memory_bytes(), 7);
+    }
+}

@@ -1,0 +1,104 @@
+//! Superstep executors for the four message-handling strategies.
+//!
+//! All executors obey the same BSP contract: a superstep's packets are
+//! fully drained before the executor returns, so the master's barrier
+//! (waiting for every worker's report before issuing the next superstep)
+//! guarantees isolation between supersteps.
+
+pub mod bpull;
+pub mod pull;
+pub mod push;
+
+use crate::metrics::StepReport;
+use crate::program::VertexProgram;
+use crate::worker::Worker;
+use hybridgraph_graph::{VertexId, WorkerId};
+use hybridgraph_net::packet::Packet;
+use hybridgraph_net::wire::{encode_batch, BatchKind};
+use hybridgraph_storage::Record;
+use std::io;
+use std::time::Instant;
+
+/// Sends a push batch: plain-encoded by default, or combined within the
+/// batch when `push_sender_combining` is on (the `pushM+com` variant of
+/// Appendix E — only the messages that happen to share a partial buffer
+/// can merge, which is why small sending thresholds cripple the gain).
+pub(crate) fn send_plain<P: VertexProgram>(
+    w: &Worker<P>,
+    peer: WorkerId,
+    mut batch: Vec<(VertexId, P::Message)>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let kind = if w.cfg.push_sender_combining && w.program.combiner().is_some() {
+        BatchKind::Combined
+    } else {
+        BatchKind::Plain
+    };
+    let combiner = if kind == BatchKind::Combined {
+        w.program.combiner()
+    } else {
+        None
+    };
+    let (payload, stats) = encode_batch(kind, &mut batch, combiner);
+    w.ep.send(
+        peer,
+        Packet::Messages {
+            kind,
+            payload: payload.into(),
+            stats,
+            for_block: None,
+        },
+    );
+}
+
+/// Superstep 1 for the pull family: no messages exist yet, so every
+/// initially-active vertex runs `update()` with an empty message list and
+/// (possibly) raises its responding flag. No packets are exchanged —
+/// b-pull "starts exchanging messages from the 2nd superstep" (Fig. 17).
+pub(crate) fn run_init_step<P: VertexProgram>(w: &mut Worker<P>) -> io::Result<StepReport> {
+    let t0 = Instant::now();
+    let mut rep = StepReport::default();
+    init_updates(w, &mut rep)?;
+    w.finish_superstep(&mut rep);
+    rep.wall_secs = t0.elapsed().as_secs_f64();
+    Ok(rep)
+}
+
+/// The update half of superstep 1 (shared by b-pull's local-only first
+/// superstep and the pull baseline's first superstep, which additionally
+/// scatters signals before finishing).
+pub(crate) fn init_updates<P: VertexProgram>(
+    w: &mut Worker<P>,
+    rep: &mut StepReport,
+) -> io::Result<()> {
+    let program = std::sync::Arc::clone(&w.program);
+    let info = w.info;
+    for b in w.layout.blocks_of_worker(w.id).collect::<Vec<_>>() {
+        let br = w.layout.block_range(b);
+        let actives: Vec<u32> = br
+            .clone()
+            .filter(|&v| program.initially_active(VertexId(v), &info))
+            .collect();
+        if actives.is_empty() {
+            continue;
+        }
+        let mut vals = w.values.read_range(br.clone())?;
+        let block_bytes = vals.len() as u64 * P::Value::BYTES as u64;
+        rep.sem.value_update_bytes += block_bytes;
+        for v in actives {
+            let idx = (v - br.start) as usize;
+            let upd = program.update(VertexId(v), &info, 1, &vals[idx], &[]);
+            rep.updated += 1;
+            if upd.respond {
+                let local = (v - w.range.start) as usize;
+                w.respond_next.set(local);
+            }
+            vals[idx] = upd.value;
+        }
+        w.values.write_range(br.clone(), &vals)?;
+        rep.sem.value_update_bytes += block_bytes;
+    }
+    Ok(())
+}

@@ -1,0 +1,216 @@
+//! Push-based supersteps: Giraph-style `push` and MOCgraph-style `pushM`.
+//!
+//! One superstep is `load()` (drain the messages received last superstep,
+//! reading back any spilled to disk), `update()` per active vertex (block
+//! by block, with the vertex's adjacency run read for every computed
+//! vertex — the paper's `IO(Ē^t)` follows the *active* set), `pushRes()`
+//! for responders (plain-encoded batches flushed at the sending
+//! threshold), then an exchange phase that drains incoming batches into
+//! the receive buffer, spilling past `B_i`.
+//!
+//! `pushM` differs only at the receiver: messages for hot (memory-
+//! resident, high-in-degree) vertices are combined online into an
+//! accumulator and never touch disk; cold messages spill as in push.
+//!
+//! With `send = false` this executor is the push half of the
+//! push → b-pull switch superstep (Fig. 6): `load()` + `update()` only,
+//! leaving the responding flags for `pullRes()` to pick up next superstep.
+
+use super::send_plain;
+use crate::metrics::StepReport;
+use crate::program::VertexProgram;
+use crate::worker::Worker;
+use hybridgraph_graph::{VertexId, WorkerId};
+use hybridgraph_net::flow::ThresholdBuffer;
+use hybridgraph_net::packet::Packet;
+use hybridgraph_net::wire::{decode_batch, BatchKind};
+use hybridgraph_storage::{AccessClass, Record};
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs one push-family superstep.
+///
+/// * `send` — run `pushRes()` (false for the push → b-pull switch step).
+/// * `online` — MOCgraph message online computing (requires a combiner).
+pub fn run_push_step<P: VertexProgram>(
+    w: &mut Worker<P>,
+    superstep: u64,
+    send: bool,
+    online: bool,
+) -> io::Result<StepReport> {
+    let t0 = Instant::now();
+    w.begin_superstep(superstep);
+    let mut rep = StepReport::default();
+    let mut blocking = 0.0;
+    let program = Arc::clone(&w.program);
+    let info = w.info;
+    let workers = w.cfg.workers;
+
+    // load(): messages received in the previous superstep.
+    let work: Vec<(u32, Vec<P::Message>)> = if superstep == 1 {
+        w.range
+            .clone()
+            .filter(|&v| program.initially_active(VertexId(v), &info))
+            .map(|v| (v, Vec::new()))
+            .collect()
+    } else {
+        drain_inbox(w, &mut rep)?
+    };
+
+    // update() + pushRes(), block by block.
+    let mut tbuf: ThresholdBuffer<P::Message> =
+        ThresholdBuffer::new(workers, w.cfg.sending_threshold);
+    let mut cur: Option<(std::ops::Range<u32>, Vec<P::Value>)> = None;
+    for (v, msgs) in &work {
+        let v = VertexId(*v);
+        let br = w.layout.block_range(w.layout.block_of(v));
+        if cur.as_ref().map(|(r, _)| r.clone()) != Some(br.clone()) {
+            if let Some((r, vals)) = cur.take() {
+                rep.sem.value_update_bytes += vals.len() as u64 * P::Value::BYTES as u64;
+                w.values.write_range(r, &vals)?;
+            }
+            let vals = w.values.read_range(br.clone())?;
+            rep.sem.value_update_bytes += vals.len() as u64 * P::Value::BYTES as u64;
+            cur = Some((br.clone(), vals));
+        }
+        let (_, vals) = cur.as_mut().unwrap();
+        let idx = (v.0 - br.start) as usize;
+        let upd = program.update(v, &info, superstep, &vals[idx], msgs);
+        rep.updated += 1;
+        rep.messages_consumed += msgs.len() as u64;
+        let local = w.local(v);
+        if upd.respond {
+            w.respond_next.set(local);
+        }
+        if send {
+            // The vertex object is loaded with its edges for every
+            // computed vertex (Giraph), whether or not it responds.
+            let adj = w.adjacency.as_ref().expect("push needs adjacency store");
+            let edges = adj.edges_of(v, AccessClass::SeqRead)?;
+            rep.sem.push_edge_bytes += edges.len() as u64 * 8;
+            if upd.respond {
+                let outd = w.out_degrees[local];
+                for e in &edges {
+                    if let Some(m) = program.message(v, &upd.value, outd, e) {
+                        rep.messages_produced += 1;
+                        let peer = w.partition.worker_of(e.dst);
+                        if let Some(batch) = tbuf.push(peer, e.dst, m) {
+                            send_plain(w, peer, batch);
+                        }
+                    }
+                }
+            }
+        }
+        vals[idx] = upd.value;
+        let mem = tbuf.memory_bytes() + (br.len() * P::Value::BYTES) as u64;
+        w.note_memory(mem + w.standing_memory_bytes());
+    }
+    if let Some((r, vals)) = cur.take() {
+        rep.sem.value_update_bytes += vals.len() as u64 * P::Value::BYTES as u64;
+        w.values.write_range(r, &vals)?;
+    }
+
+    // Exchange phase.
+    if send {
+        for (peer, batch) in tbuf.flush_all() {
+            send_plain(w, peer, batch);
+        }
+        for p in 0..workers {
+            w.ep.send(WorkerId::from(p), Packet::DoneSending);
+        }
+        let mut done = 0usize;
+        let spill_before = w
+            .spill
+            .as_ref()
+            .map(|s| s.spilled_bytes())
+            .unwrap_or_default();
+        while done < workers {
+            let env = w.recv_timed(&mut blocking);
+            match env.packet {
+                Packet::Messages { kind, payload, .. } => {
+                    debug_assert_ne!(kind, BatchKind::Concatenated, "push never concatenates");
+                    for (dst, m) in decode_batch::<P::Message>(kind, &payload) {
+                        sink_message(w, dst, m, online)?;
+                    }
+                }
+                Packet::DoneSending => done += 1,
+                other => unreachable!("unexpected packet in push step: {other:?}"),
+            }
+        }
+        let spill_after = w
+            .spill
+            .as_ref()
+            .map(|s| s.spilled_bytes())
+            .unwrap_or_default();
+        rep.sem.msg_spill_bytes += spill_after - spill_before;
+    }
+
+    w.finish_superstep(&mut rep);
+    rep.wall_secs = t0.elapsed().as_secs_f64();
+    rep.blocking_secs = blocking;
+    Ok(rep)
+}
+
+/// Routes one received message into the receive store: online-combined
+/// for hot vertices in pushM, spilled-past-`B_i` otherwise.
+pub(crate) fn sink_message<P: VertexProgram>(
+    w: &mut Worker<P>,
+    dst: VertexId,
+    m: P::Message,
+    online: bool,
+) -> io::Result<()> {
+    debug_assert!(w.is_local(dst), "message routed to wrong worker");
+    if online {
+        let local = w.local(dst);
+        let program = Arc::clone(&w.program);
+        let combiner = program
+            .combiner()
+            .expect("pushM requires a combiner (message online computing)");
+        let hot = w.hotset.as_mut().expect("pushM requires the hot set");
+        if hot.hot.get(local) {
+            let slot = &mut hot.acc[local];
+            *slot = Some(match slot.take() {
+                Some(acc) => combiner.combine(&acc, &m),
+                None => m,
+            });
+            return Ok(());
+        }
+    }
+    w.spill
+        .as_mut()
+        .expect("push needs a spill buffer")
+        .push(dst, m)?;
+    Ok(())
+}
+
+/// `load()`: drains last superstep's messages (hot accumulators + spill
+/// buffer) into destination-sorted groups.
+pub(crate) fn drain_inbox<P: VertexProgram>(
+    w: &mut Worker<P>,
+    rep: &mut StepReport,
+) -> io::Result<Vec<(u32, Vec<P::Message>)>> {
+    let mut pairs: Vec<(VertexId, P::Message)> = Vec::new();
+    let base = w.range.start;
+    if let Some(hot) = w.hotset.as_mut() {
+        for (i, slot) in hot.acc.iter_mut().enumerate() {
+            if let Some(m) = slot.take() {
+                pairs.push((VertexId(base + i as u32), m));
+            }
+        }
+    }
+    if let Some(spill) = w.spill.as_mut() {
+        pairs.extend(spill.drain()?.into_sorted());
+    }
+    pairs.sort_by_key(|(d, _)| *d);
+    rep.delivered_raw = pairs.len() as u64;
+    let mut groups: Vec<(u32, Vec<P::Message>)> = Vec::new();
+    for (d, m) in pairs {
+        match groups.last_mut() {
+            Some((last, msgs)) if *last == d.0 => msgs.push(m),
+            _ => groups.push((d.0, vec![m])),
+        }
+    }
+    rep.delivered_distinct = groups.len() as u64;
+    Ok(groups)
+}

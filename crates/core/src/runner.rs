@@ -1,0 +1,479 @@
+//! The master: job orchestration (paper Fig. 1 and Algorithm 3).
+//!
+//! [`run_job`] spawns one OS thread per computational node, loads the
+//! graph into each worker's stores, then drives supersteps: the master
+//! broadcasts a step command, every worker executes it against the shared
+//! network fabric, and the master's collection of all reports is the BSP
+//! barrier. Between supersteps the master aggregates metrics, evaluates
+//! the hybrid switching condition (`evaluate(...)` in Algorithm 3) and
+//! checks termination (no responders and no pending messages, or the
+//! superstep budget).
+
+use crate::config::{JobConfig, Mode};
+use crate::metrics::{JobMetrics, LoadReport, StepKind, StepReport, SuperstepMetrics};
+use crate::modes::bpull::run_bpull_step;
+use crate::modes::pull::run_pull_step;
+use crate::modes::push::run_push_step;
+use crate::program::VertexProgram;
+use crate::switch::{self, b_lower_bound, q_metric, CostInputs, Switcher};
+use crate::worker::{Worker, WorkerLoadReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hybridgraph_graph::{partition::vblock_counts, BlockLayout, Graph, Partition, WorkerId};
+use hybridgraph_net::fabric::{Fabric, NetSnapshot};
+use hybridgraph_storage::vfs::MemVfs;
+use hybridgraph_storage::{IoSnapshot, Record};
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The outcome of a job: final vertex values plus everything measured.
+pub struct JobResult<P: VertexProgram> {
+    /// Final value per vertex, indexed by vertex id.
+    pub values: Vec<P::Value>,
+    /// Per-superstep and loading metrics.
+    pub metrics: JobMetrics,
+}
+
+enum Cmd {
+    Step { kind: StepKind, superstep: u64 },
+    Collect,
+    Exit,
+}
+
+enum WorkerMsg<V> {
+    Loaded(usize, Box<WorkerLoadReport>),
+    Step(usize, Box<StepReport>),
+    Values(usize, u32, Vec<V>),
+    Failed(usize, String),
+}
+
+/// Runs `program` over `graph` under `cfg` and returns the final values
+/// and metrics.
+///
+/// # Panics
+/// Panics if the configuration is inconsistent (e.g. `PushM` without a
+/// combiner) or a worker fails.
+pub fn run_job<P: VertexProgram>(
+    program: Arc<P>,
+    graph: &Graph,
+    cfg: JobConfig,
+) -> io::Result<JobResult<P>> {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(
+        cfg.mode != Mode::PushM || program.combiner().is_some(),
+        "pushM (message online computing) requires a combiner"
+    );
+    let n = graph.num_vertices();
+    assert!(n > 0, "graph must have vertices");
+    let t = cfg.workers;
+    let combinable = program.combiner().is_some() && cfg.combining;
+    let msg_bytes = 4 + P::Message::BYTES as u64;
+
+    let partition = Arc::new(Partition::range(n, t));
+    let counts = match cfg.vblocks_per_worker {
+        Some(k) => vec![k.max(1); t],
+        None if cfg.memory_limited() => {
+            vblock_counts(graph, &partition, cfg.buffer_messages, combinable)
+        }
+        None => vec![1; t],
+    };
+    let layout = Arc::new(BlockLayout::new(&partition, &counts));
+    let reverse = matches!(cfg.mode, Mode::Pull).then(|| graph.reverse());
+
+    let (endpoints, net_stats) = Fabric::mesh(t);
+    let (rep_tx, rep_rx) = unbounded::<WorkerMsg<P::Value>>();
+
+    std::thread::scope(|scope| -> io::Result<JobResult<P>> {
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(t);
+        for (i, ep) in endpoints.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+            cmd_txs.push(cmd_tx);
+            let program = Arc::clone(&program);
+            let partition = Arc::clone(&partition);
+            let layout = Arc::clone(&layout);
+            let cfg = cfg.clone();
+            let rep_tx = rep_tx.clone();
+            let graph_ref = &*graph;
+            let reverse_ref = reverse.as_ref();
+            scope.spawn(move || {
+                worker_main::<P>(
+                    i,
+                    program,
+                    graph_ref,
+                    reverse_ref,
+                    partition,
+                    layout,
+                    cfg,
+                    ep,
+                    cmd_rx,
+                    rep_tx,
+                )
+            });
+        }
+        drop(rep_tx);
+
+        // ---- Load phase -------------------------------------------------
+        let mut load_reports: Vec<WorkerLoadReport> = vec![WorkerLoadReport::default(); t];
+        for _ in 0..t {
+            match rep_rx.recv().expect("workers hung up during load") {
+                WorkerMsg::Loaded(i, r) => load_reports[i] = *r,
+                WorkerMsg::Failed(i, e) => panic!("worker {i} failed to load: {e}"),
+                _ => unreachable!(),
+            }
+        }
+        let fragments: u64 = load_reports.iter().map(|r| r.fragments).sum();
+        let b_total: u64 = if cfg.memory_limited() {
+            (cfg.buffer_messages as u64).saturating_mul(t as u64)
+        } else {
+            u64::MAX / 2
+        };
+        // Theorem 2 decides hybrid's initial mode from the message-buffer
+        // capacity. With sufficient memory no message ever spills and the
+        // sign of Q_t is dominated by b-pull's communication gain (§6.1:
+        // "hybrid thereby runs b-pull"), so b-pull starts.
+        let theorem2_mode = if cfg.memory_limited() {
+            switch::initial_mode(b_total, graph.num_edges() as u64, fragments)
+        } else {
+            Mode::BPull
+        };
+        let initial = match cfg.mode {
+            Mode::Hybrid => cfg.initial_mode_override.unwrap_or(theorem2_mode),
+            m => m,
+        };
+        let load = LoadReport {
+            wall_secs: load_reports
+                .iter()
+                .map(|r| r.wall_secs)
+                .fold(0.0, f64::max),
+            io: load_reports
+                .iter()
+                .fold(IoSnapshot::default(), |acc, r| acc.plus(&r.io)),
+            fragments,
+            b_lower_bound: b_lower_bound(graph.num_edges() as u64, fragments),
+            num_vblocks: layout.num_blocks(),
+            initial_mode: initial,
+        };
+
+        // ---- Superstep loop ---------------------------------------------
+        let mut cur = initial;
+        let mut switcher = Switcher::new(
+            if matches!(initial, Mode::Push | Mode::BPull) {
+                initial
+            } else {
+                Mode::Push
+            },
+            cfg.switch_interval,
+            cfg.switch_threshold,
+        );
+        let mut pending_kind: Option<StepKind> = None;
+        let mut steps: Vec<SuperstepMetrics> = Vec::new();
+        let mut switches: Vec<(u64, Mode, Mode)> = Vec::new();
+        let mut net_base = net_stats.snapshot();
+        let max_steps = program
+            .max_supersteps()
+            .unwrap_or(u64::MAX)
+            .min(cfg.max_supersteps);
+
+        let mut superstep = 0u64;
+        while superstep < max_steps {
+            superstep += 1;
+            let kind = match cfg.mode {
+                Mode::Push => StepKind::Push,
+                Mode::PushM => StepKind::PushM,
+                Mode::Pull => StepKind::Pull,
+                Mode::BPull => StepKind::BPull,
+                Mode::Hybrid => pending_kind.take().unwrap_or(match cur {
+                    Mode::Push => StepKind::Push,
+                    Mode::BPull => StepKind::BPull,
+                    _ => unreachable!("hybrid only alternates push and b-pull"),
+                }),
+            };
+            let t_step = Instant::now();
+            for tx in &cmd_txs {
+                tx.send(Cmd::Step { kind, superstep }).expect("worker gone");
+            }
+            let mut reports: Vec<StepReport> = vec![StepReport::default(); t];
+            for _ in 0..t {
+                match rep_rx.recv().expect("workers hung up mid-superstep") {
+                    WorkerMsg::Step(i, r) => reports[i] = *r,
+                    WorkerMsg::Failed(i, e) => panic!("worker {i} failed: {e}"),
+                    _ => unreachable!(),
+                }
+            }
+            let wall = t_step.elapsed().as_secs_f64();
+            let net_now = net_stats.snapshot();
+            let net_delta = net_now.delta(&net_base);
+            net_base = net_now;
+
+            let (metrics, q_inputs) = aggregate(
+                superstep,
+                kind,
+                &reports,
+                &net_delta,
+                &cfg,
+                &mut switcher,
+                b_total,
+                msg_bytes,
+                combinable,
+                wall,
+            );
+            let pending = metrics.pending_messages;
+            let responders = metrics.responders;
+            let step_secs = metrics.modeled_secs;
+            steps.push(metrics);
+
+            if pending == 0 && responders == 0 {
+                break;
+            }
+            if cfg.mode == Mode::Hybrid && superstep + 1 < max_steps {
+                if let Some(new_mode) =
+                    switcher.decide(superstep, &cfg.profile, &q_inputs, step_secs)
+                {
+                    let from = cur;
+                    pending_kind = Some(match new_mode {
+                        Mode::Push => StepKind::BPullThenPush,
+                        Mode::BPull => StepKind::PushNoSend,
+                        _ => unreachable!(),
+                    });
+                    cur = new_mode;
+                    switches.push((superstep + 1, from, new_mode));
+                }
+            }
+        }
+
+        // ---- Collect ----------------------------------------------------
+        for tx in &cmd_txs {
+            tx.send(Cmd::Collect).expect("worker gone");
+        }
+        let mut values: Vec<Option<Vec<P::Value>>> = vec![None; t];
+        let mut bases: Vec<u32> = vec![0; t];
+        for _ in 0..t {
+            match rep_rx.recv().expect("workers hung up during collect") {
+                WorkerMsg::Values(i, base, vals) => {
+                    bases[i] = base;
+                    values[i] = Some(vals);
+                }
+                WorkerMsg::Failed(i, e) => panic!("worker {i} failed during collect: {e}"),
+                _ => unreachable!(),
+            }
+        }
+        for tx in &cmd_txs {
+            tx.send(Cmd::Exit).ok();
+        }
+        let mut all = Vec::with_capacity(n);
+        let mut pairs: Vec<(u32, Vec<P::Value>)> = bases
+            .into_iter()
+            .zip(values.into_iter().map(|v| v.unwrap()))
+            .collect();
+        pairs.sort_by_key(|(b, _)| *b);
+        for (_, vals) in pairs {
+            all.extend(vals);
+        }
+        debug_assert_eq!(all.len(), n);
+
+        Ok(JobResult {
+            values: all,
+            metrics: JobMetrics {
+                load,
+                steps,
+                switches,
+                profile: cfg.profile,
+            },
+        })
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_main<P: VertexProgram>(
+    index: usize,
+    program: Arc<P>,
+    graph: &Graph,
+    reverse: Option<&Graph>,
+    partition: Arc<Partition>,
+    layout: Arc<BlockLayout>,
+    cfg: JobConfig,
+    ep: hybridgraph_net::fabric::Endpoint,
+    cmd_rx: Receiver<Cmd>,
+    rep_tx: Sender<WorkerMsg<P::Value>>,
+) {
+    let id = WorkerId::from(index);
+    let vfs: Arc<dyn hybridgraph_storage::vfs::Vfs> = match &cfg.disk_root {
+        Some(root) => match hybridgraph_storage::vfs::DirVfs::new(root.join(format!("w{index}"))) {
+            Ok(v) => Arc::new(v),
+            Err(e) => {
+                rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
+                return;
+            }
+        },
+        None => Arc::new(MemVfs::new()),
+    };
+    let (mut worker, load) = match Worker::load(
+        id, program, graph, reverse, partition, layout, cfg, ep, vfs,
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
+            return;
+        }
+    };
+    rep_tx
+        .send(WorkerMsg::Loaded(index, Box::new(load)))
+        .expect("master gone");
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            Cmd::Step { kind, superstep } => {
+                let res = match kind {
+                    StepKind::Push => run_push_step(&mut worker, superstep, true, false),
+                    StepKind::PushNoSend => run_push_step(&mut worker, superstep, false, false),
+                    StepKind::PushM => run_push_step(&mut worker, superstep, true, true),
+                    StepKind::Pull => run_pull_step(&mut worker, superstep),
+                    StepKind::BPull => run_bpull_step(&mut worker, superstep, false),
+                    StepKind::BPullThenPush => run_bpull_step(&mut worker, superstep, true),
+                };
+                match res {
+                    Ok(rep) => rep_tx
+                        .send(WorkerMsg::Step(index, Box::new(rep)))
+                        .expect("master gone"),
+                    Err(e) => {
+                        rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
+                        return;
+                    }
+                }
+            }
+            Cmd::Collect => match worker.collect_values() {
+                Ok(vals) => rep_tx
+                    .send(WorkerMsg::Values(index, worker.range.start, vals))
+                    .expect("master gone"),
+                Err(e) => {
+                    rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
+                    return;
+                }
+            },
+            Cmd::Exit => return,
+        }
+    }
+}
+
+/// Builds the master-side superstep metrics from worker reports.
+#[allow(clippy::too_many_arguments)]
+fn aggregate(
+    superstep: u64,
+    kind: StepKind,
+    reports: &[StepReport],
+    net: &NetSnapshot,
+    cfg: &JobConfig,
+    switcher: &mut Switcher,
+    b_total: u64,
+    msg_bytes: u64,
+    combinable: bool,
+    wall: f64,
+) -> (SuperstepMetrics, CostInputs) {
+    let sem = reports
+        .iter()
+        .fold(crate::metrics::SemanticBytes::default(), |acc, r| {
+            acc.plus(&r.sem)
+        });
+    let io = reports
+        .iter()
+        .fold(IoSnapshot::default(), |acc, r| acc.plus(&r.io));
+    let sum = |f: fn(&StepReport) -> u64| reports.iter().map(f).sum::<u64>();
+    let produced = sum(|r| r.messages_produced);
+    let delivered_raw = sum(|r| r.delivered_raw);
+    let delivered_distinct = sum(|r| r.delivered_distinct);
+
+    // Modeled time: max over workers of io + net + cpu.
+    let mut modeled = 0.0f64;
+    let mut modeled_io = 0.0f64;
+    let mut modeled_net = 0.0f64;
+    for (i, r) in reports.iter().enumerate() {
+        let io_secs = r.io.modeled_secs(&cfg.profile);
+        let net_secs = cfg
+            .profile
+            .net_secs(net.out_bytes[i] + net.in_bytes[i]);
+        let cpu_secs = (cfg.cpu_us_per_message
+            * (r.messages_produced + r.messages_consumed) as f64
+            + cfg.cpu_us_per_vertex * r.updated as f64)
+            * 1e-6;
+        modeled = modeled.max(io_secs + net_secs + cpu_secs);
+        modeled_io = modeled_io.max(io_secs);
+        modeled_net = modeled_net.max(net_secs);
+    }
+
+    // Push-side quantities: actual when push ran, estimated otherwise.
+    let push_ran = matches!(kind, StepKind::Push | StepKind::PushM);
+    let pull_ran = matches!(kind, StepKind::BPull | StepKind::BPullThenPush);
+    let mdisk_est = msg_bytes * produced.saturating_sub(b_total);
+    let (io_e_push, io_mdisk) = if push_ran {
+        (sem.push_edge_bytes, sem.msg_spill_bytes)
+    } else {
+        (sum(|r| r.next_push_edge_bytes), mdisk_est)
+    };
+    let (io_e_bpull, io_f, io_vrr) = if pull_ran {
+        (
+            sem.bpull_edge_bytes,
+            sem.fragment_aux_bytes,
+            sem.svertex_rand_bytes,
+        )
+    } else {
+        (
+            sum(|r| r.next_bpull_edge_bytes),
+            sum(|r| r.next_bpull_aux_bytes),
+            sum(|r| r.next_bpull_vrr_bytes),
+        )
+    };
+
+    // M_co: observed in (b-)pull supersteps, estimated in push ones.
+    let mco = if pull_ran {
+        let saved = net.total_saved_messages();
+        switcher.observe_rco(saved, net.total_raw_messages());
+        saved
+    } else {
+        let distinct_est = if delivered_raw > 0 {
+            ((delivered_distinct as f64 / delivered_raw as f64) * produced as f64) as u64
+        } else {
+            produced // unknown: assume no sharing -> M_co estimate 0
+        };
+        switcher.estimate_mco(produced, distinct_est.min(produced))
+    };
+
+    let cio_push_bytes = sem.value_update_bytes + io_e_push + 2 * io_mdisk;
+    let cio_bpull_bytes = sem.value_update_bytes + io_e_bpull + io_f + io_vrr;
+    let inputs = CostInputs {
+        mco,
+        bytes_per_saved: if combinable { msg_bytes } else { 4 },
+        io_mdisk,
+        io_vrr,
+        io_e_push,
+        io_e_bpull,
+        io_f,
+    };
+    let q = q_metric(&cfg.profile, &inputs);
+
+    let metrics = SuperstepMetrics {
+        superstep,
+        kind,
+        io,
+        sem,
+        net_out_bytes: net.total_remote_bytes(),
+        net_local_bytes: net.local_bytes.iter().sum(),
+        net_raw_messages: net.total_raw_messages(),
+        net_wire_values: net.wire_values_out.iter().sum(),
+        net_saved_messages: net.total_saved_messages(),
+        net_requests: net.total_requests(),
+        updated: sum(|r| r.updated),
+        responders: sum(|r| r.responders),
+        messages_produced: produced,
+        pending_messages: sum(|r| r.pending_messages),
+        cio_push_bytes,
+        cio_bpull_bytes,
+        mco,
+        q_metric: q,
+        memory_bytes: sum(|r| r.memory_bytes),
+        modeled_secs: modeled,
+        modeled_io_secs: modeled_io,
+        modeled_net_secs: modeled_net,
+        wall_secs: wall,
+        blocking_secs: reports.iter().map(|r| r.blocking_secs).fold(0.0, f64::max),
+    };
+    (metrics, inputs)
+}

@@ -1,0 +1,306 @@
+//! The hybrid switching machinery (paper §5).
+//!
+//! Three pieces:
+//!
+//! * [`b_lower_bound`] — Theorem 2's `B⊥ = |E|/2 − f`: if the cluster-wide
+//!   message buffer `B` is at most `B⊥`, push's I/O bytes can never beat
+//!   b-pull's on a broadcast-all workload, so hybrid starts in b-pull.
+//! * [`q_metric`] — Eq. 11's `Q_t`: the modeled per-superstep time
+//!   difference `push − b-pull` built from `M_co`, `IO(M_disk)`,
+//!   `IO(V_rr)` and the sequential-read difference, each divided by its
+//!   device throughput. Positive favours b-pull.
+//! * [`Switcher`] — the Δt = 2 decision loop of §5.3: evaluates the
+//!   predicted `Q_{t+2}` from the quantities collected at superstep `t`
+//!   (Shang & Yu-style "current metrics predict the remaining
+//!   supersteps") and requests a switch when the sign flips.
+
+use crate::config::Mode;
+use hybridgraph_storage::DeviceProfile;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Inputs to the `Q_t` metric, all in bytes/counts of one superstep.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct CostInputs {
+    /// Messages concatenation/combining would merge away (`M_co`).
+    pub mco: u64,
+    /// `Byte_m`: bytes saved per merged message — the id size (4) when
+    /// concatenating, the whole message when combining.
+    pub bytes_per_saved: u64,
+    /// `IO(M_disk)`: message bytes push spills.
+    pub io_mdisk: u64,
+    /// `IO(V^t_rr)`: b-pull's random svertex reads.
+    pub io_vrr: u64,
+    /// `IO(Ē^t)`: adjacency edge bytes push reads.
+    pub io_e_push: u64,
+    /// `IO(E^t)`: Eblock edge bytes b-pull scans.
+    pub io_e_bpull: u64,
+    /// `IO(F^t)`: fragment auxiliary bytes b-pull scans.
+    pub io_f: u64,
+}
+
+/// Eq. 11 — the modeled time difference `push − b-pull` for one superstep
+/// (seconds). Positive means b-pull is the profitable mode.
+///
+/// ```text
+/// Q_t =  M_co·Byte_m / s_net            (push's extra network volume)
+///      + IO(M_disk) / s_rw              (push's random message writes)
+///      − IO(V_rr)   / s_rr              (b-pull's random svertex reads)
+///      + (IO(Ē) + IO(M_disk) − IO(E) − IO(F)) / s_sr
+///                                        (sequential-read difference)
+/// ```
+pub fn q_metric(profile: &DeviceProfile, c: &CostInputs) -> f64 {
+    let net = (c.mco as f64 * c.bytes_per_saved as f64) / (profile.snet * MB);
+    let rw = c.io_mdisk as f64 / (profile.srw * MB);
+    let rr = c.io_vrr as f64 / (profile.srr * MB);
+    let sr = (c.io_e_push as f64 + c.io_mdisk as f64 - c.io_e_bpull as f64 - c.io_f as f64)
+        / (profile.ssr * MB);
+    net + rw - rr + sr
+}
+
+/// Theorem 2 — `B⊥ = |E|/2 − f` in messages. If the cluster-wide message
+/// buffer `B ≤ B⊥`, then `C_io(push) ≥ C_io(b-pull)` on a workload where
+/// every vertex broadcasts, so b-pull is the safe initial mode.
+pub fn b_lower_bound(num_edges: u64, fragments: u64) -> i64 {
+    num_edges as i64 / 2 - fragments as i64
+}
+
+/// Theorem 2's initial-mode rule.
+pub fn initial_mode(total_buffer: u64, num_edges: u64, fragments: u64) -> Mode {
+    if (total_buffer as i128) <= b_lower_bound(num_edges, fragments) as i128 {
+        Mode::BPull
+    } else {
+        Mode::Push
+    }
+}
+
+/// The Δt-interval switching decision loop.
+#[derive(Clone, Debug)]
+pub struct Switcher {
+    interval: u64,
+    current: Mode,
+    last_decision: u64,
+    /// Minimum |Q| as a fraction of the superstep's modeled time before a
+    /// switch is taken. The paper switches on the bare sign of `Q_t`; the
+    /// threshold guards against paying the fused switch superstep for a
+    /// predicted gain of microseconds when `Q_t` hovers around zero
+    /// (visible on SA's bursty tail). Zero restores the paper's rule.
+    threshold: f64,
+    /// Last observed concatenating/combining ratio `R_co` (from a b-pull
+    /// superstep), used to estimate `M_co` while running push.
+    rco: Option<f64>,
+    history: Vec<(u64, f64)>,
+}
+
+impl Switcher {
+    /// A switcher starting in `initial` with decision interval `interval`
+    /// (the paper sets 2) and the relative gain `threshold`.
+    pub fn new(initial: Mode, interval: u64, threshold: f64) -> Self {
+        assert!(matches!(initial, Mode::Push | Mode::BPull));
+        Switcher {
+            interval: interval.max(1),
+            current: initial,
+            last_decision: 0,
+            threshold: threshold.max(0.0),
+            rco: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The mode currently selected.
+    pub fn current(&self) -> Mode {
+        self.current
+    }
+
+    /// The last observed `R_co`, if any b-pull superstep has run.
+    pub fn rco(&self) -> Option<f64> {
+        self.rco
+    }
+
+    /// Records the merge ratio observed in a b-pull superstep:
+    /// `saved / raw` messages.
+    pub fn observe_rco(&mut self, saved: u64, raw: u64) {
+        if raw > 0 {
+            self.rco = Some(saved as f64 / raw as f64);
+        }
+    }
+
+    /// Estimates `M_co` for a push superstep that produced `raw` messages
+    /// to `distinct` destinations: prefers the last b-pull-observed ratio,
+    /// falling back to the structural bound `raw − distinct`.
+    pub fn estimate_mco(&self, raw: u64, distinct: u64) -> u64 {
+        match self.rco {
+            Some(r) => (raw as f64 * r) as u64,
+            None => raw.saturating_sub(distinct),
+        }
+    }
+
+    /// `Q_t` values recorded so far, as `(superstep, q)`.
+    pub fn history(&self) -> &[(u64, f64)] {
+        &self.history
+    }
+
+    /// Feeds the quantities of superstep `t`; returns `Some(new_mode)` if
+    /// the engine should switch for superstep `t + 1`.
+    ///
+    /// Decisions are taken at most every `interval` supersteps, never
+    /// before superstep 2 (superstep 1 exchanges no messages), and only
+    /// when the predicted per-superstep gain |Q| clears the threshold
+    /// relative to the superstep's modeled time `step_secs`.
+    pub fn decide(
+        &mut self,
+        t: u64,
+        profile: &DeviceProfile,
+        inputs: &CostInputs,
+        step_secs: f64,
+    ) -> Option<Mode> {
+        let q = q_metric(profile, inputs);
+        self.history.push((t, q));
+        if t < 2 || t - self.last_decision < self.interval {
+            return None;
+        }
+        let want = if q >= 0.0 { Mode::BPull } else { Mode::Push };
+        if want != self.current && q.abs() >= self.threshold * step_secs.max(0.0) {
+            self.last_decision = t;
+            self.current = want;
+            Some(want)
+        } else {
+            self.last_decision = t;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdd() -> DeviceProfile {
+        DeviceProfile::local_hdd()
+    }
+
+    #[test]
+    fn q_positive_when_push_spills_heavily() {
+        // Lots of spilled messages, tiny b-pull overheads.
+        let c = CostInputs {
+            mco: 1_000_000,
+            bytes_per_saved: 12,
+            io_mdisk: 100 * 1024 * 1024,
+            io_vrr: 1024 * 1024,
+            io_e_push: 50 * 1024 * 1024,
+            io_e_bpull: 50 * 1024 * 1024,
+            io_f: 1024 * 1024,
+        };
+        assert!(q_metric(&hdd(), &c) > 0.0);
+    }
+
+    #[test]
+    fn q_negative_when_no_spill_and_costly_scans() {
+        // Nothing spills; b-pull pays fragment + random-read overheads.
+        let c = CostInputs {
+            mco: 10,
+            bytes_per_saved: 12,
+            io_mdisk: 0,
+            io_vrr: 50 * 1024 * 1024,
+            io_e_push: 1024 * 1024,
+            io_e_bpull: 20 * 1024 * 1024,
+            io_f: 10 * 1024 * 1024,
+        };
+        assert!(q_metric(&hdd(), &c) < 0.0);
+    }
+
+    #[test]
+    fn q_sign_is_hardware_insensitive_when_io_dominates() {
+        // The paper observes switching points do not move between HDD and
+        // SSD: the sign is dominated by Cio(push) − Cio(b-pull).
+        let c = CostInputs {
+            mco: 1000,
+            bytes_per_saved: 12,
+            io_mdisk: 64 * 1024 * 1024,
+            io_vrr: 8 * 1024 * 1024,
+            io_e_push: 32 * 1024 * 1024,
+            io_e_bpull: 40 * 1024 * 1024,
+            io_f: 2 * 1024 * 1024,
+        };
+        let hdd_q = q_metric(&hdd(), &c);
+        let ssd_q = q_metric(&DeviceProfile::amazon_ssd(), &c);
+        assert_eq!(hdd_q.signum(), ssd_q.signum());
+        // but the magnitude (expected gain) shrinks on SSD
+        assert!(hdd_q.abs() > ssd_q.abs());
+    }
+
+    #[test]
+    fn theorem2_bound() {
+        assert_eq!(b_lower_bound(1000, 100), 400);
+        assert_eq!(b_lower_bound(100, 100), -50);
+        assert_eq!(initial_mode(300, 1000, 100), Mode::BPull);
+        assert_eq!(initial_mode(500, 1000, 100), Mode::Push);
+        // Negative bound: push always starts.
+        assert_eq!(initial_mode(0, 100, 100), Mode::Push);
+    }
+
+    #[test]
+    fn switcher_respects_interval() {
+        let mut s = Switcher::new(Mode::BPull, 2, 0.0);
+        let push_favoring = CostInputs {
+            io_vrr: 100 * 1024 * 1024,
+            ..Default::default()
+        };
+        // t = 1: too early.
+        assert_eq!(s.decide(1, &hdd(), &push_favoring, 0.0), None);
+        // t = 2: interval satisfied, sign negative -> switch to push.
+        assert_eq!(s.decide(2, &hdd(), &push_favoring, 0.0), Some(Mode::Push));
+        // t = 3: within interval of last decision, no re-evaluation.
+        let bpull_favoring = CostInputs {
+            io_mdisk: 100 * 1024 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(s.decide(3, &hdd(), &bpull_favoring, 0.0), None);
+        // t = 4: switches back.
+        assert_eq!(s.decide(4, &hdd(), &bpull_favoring, 0.0), Some(Mode::BPull));
+        assert_eq!(s.current(), Mode::BPull);
+        assert_eq!(s.history().len(), 4);
+    }
+
+    #[test]
+    fn switcher_stays_put_on_same_sign() {
+        let mut s = Switcher::new(Mode::BPull, 2, 0.0);
+        let c = CostInputs {
+            io_mdisk: 1024 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(s.decide(2, &hdd(), &c, 0.0), None);
+        assert_eq!(s.decide(4, &hdd(), &c, 0.0), None);
+        assert_eq!(s.current(), Mode::BPull);
+    }
+
+    #[test]
+    fn threshold_suppresses_marginal_switches() {
+        let mut s = Switcher::new(Mode::BPull, 2, 0.5);
+        // A push-favouring Q of tiny magnitude vs a long superstep.
+        let c = CostInputs {
+            io_vrr: 1024, // |Q| ~ 1e-6 s
+            ..Default::default()
+        };
+        assert_eq!(s.decide(2, &hdd(), &c, 10.0), None, "gain below threshold");
+        // Same sign but now the gain dominates the superstep time.
+        let big = CostInputs {
+            io_vrr: 1024 * 1024 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(s.decide(4, &hdd(), &big, 10.0), Some(Mode::Push));
+    }
+
+    #[test]
+    fn mco_estimation() {
+        let mut s = Switcher::new(Mode::Push, 2, 0.0);
+        // No observation yet: structural bound.
+        assert_eq!(s.estimate_mco(100, 30), 70);
+        s.observe_rco(80, 100);
+        assert_eq!(s.rco(), Some(0.8));
+        assert_eq!(s.estimate_mco(50, 30), 40);
+        // Zero raw leaves ratio unchanged.
+        s.observe_rco(0, 0);
+        assert_eq!(s.rco(), Some(0.8));
+    }
+}

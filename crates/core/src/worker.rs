@@ -1,0 +1,610 @@
+//! Per-computational-node state.
+//!
+//! A [`Worker`] owns one node's share of the graph: the vertex-value
+//! segment, the adjacency store (push-side layout), the VE-BLOCK store
+//! (b-pull layout; hybrid keeps both — the paper "stores edges twice"),
+//! the gather store (pull baseline), the message spill buffer, the
+//! active/responding flag vectors, and the endpoint into the network
+//! fabric. The mode executors in [`crate::modes`] drive it superstep by
+//! superstep.
+
+use crate::bitset::BitSet;
+use crate::config::{JobConfig, Mode};
+use crate::metrics::StepReport;
+use crate::program::{GraphInfo, VertexProgram};
+use hybridgraph_graph::{BlockLayout, Graph, Partition, VertexId, WorkerId};
+use hybridgraph_net::fabric::{Endpoint, Envelope};
+use hybridgraph_net::wire::BatchKind;
+use hybridgraph_storage::adjacency::AdjacencyStore;
+use hybridgraph_storage::gather::GatherStore;
+use hybridgraph_storage::lru::LruCache;
+use hybridgraph_storage::msg_store::SpillBuffer;
+use hybridgraph_storage::value_store::ValueStore;
+use hybridgraph_storage::veblock::VeBlockStore;
+use hybridgraph_storage::vfs::Vfs;
+use hybridgraph_storage::{IoSnapshot, Record};
+use std::collections::HashMap;
+use std::io;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Loading-phase measurements of one worker (Fig. 16 inputs).
+#[derive(Clone, Debug, Default)]
+pub struct WorkerLoadReport {
+    /// Total loading wall seconds.
+    pub wall_secs: f64,
+    /// Wall seconds building the adjacency store.
+    pub adj_secs: f64,
+    /// Wall seconds building the VE-BLOCK store.
+    pub veblock_secs: f64,
+    /// I/O performed during loading.
+    pub io: IoSnapshot,
+    /// VE-BLOCK fragments on this worker.
+    pub fragments: u64,
+    /// Vblocks on this worker.
+    pub vblocks: usize,
+}
+
+/// Online message accumulation — b-pull's per-block receive buffer `BR_i`
+/// and the pull baseline's per-superstep inbox.
+///
+/// With a combiner, arriving messages merge immediately (memory bounded by
+/// distinct destinations); without one they are listed (memory bounded by
+/// in-degree mass — exactly the Eq. 5 vs Eq. 6 distinction).
+pub enum MsgAccumulator<M> {
+    /// Combined per destination.
+    Combined(HashMap<u32, M>),
+    /// Concatenate-only: raw list.
+    List(Vec<(u32, M)>),
+}
+
+impl<M: Record> MsgAccumulator<M> {
+    /// An empty accumulator; combining iff `combined`.
+    pub fn new(combined: bool) -> Self {
+        if combined {
+            MsgAccumulator::Combined(HashMap::new())
+        } else {
+            MsgAccumulator::List(Vec::new())
+        }
+    }
+
+    /// Accepts a batch of `(dst, msg)` pairs.
+    pub fn accept(
+        &mut self,
+        pairs: Vec<(VertexId, M)>,
+        combiner: Option<&dyn hybridgraph_net::Combiner<M>>,
+    ) {
+        match self {
+            MsgAccumulator::Combined(map) => {
+                let c = combiner.expect("combined accumulator requires combiner");
+                for (dst, m) in pairs {
+                    map.entry(dst.0)
+                        .and_modify(|acc| *acc = c.combine(acc, &m))
+                        .or_insert(m);
+                }
+            }
+            MsgAccumulator::List(list) => {
+                list.extend(pairs.into_iter().map(|(d, m)| (d.0, m)));
+            }
+        }
+    }
+
+    /// Total messages held.
+    pub fn len(&self) -> usize {
+        match self {
+            MsgAccumulator::Combined(m) => m.len(),
+            MsgAccumulator::List(l) => l.len(),
+        }
+    }
+
+    /// True if no messages are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-memory footprint.
+    pub fn memory_bytes(&self) -> u64 {
+        self.len() as u64 * (4 + M::BYTES as u64)
+    }
+
+    /// Drains into per-destination groups, sorted by destination.
+    pub fn into_groups(self) -> Vec<(u32, Vec<M>)> {
+        match self {
+            MsgAccumulator::Combined(map) => {
+                let mut v: Vec<(u32, Vec<M>)> =
+                    map.into_iter().map(|(d, m)| (d, vec![m])).collect();
+                v.sort_by_key(|(d, _)| *d);
+                v
+            }
+            MsgAccumulator::List(mut list) => {
+                list.sort_by_key(|(d, _)| *d);
+                let mut out: Vec<(u32, Vec<M>)> = Vec::new();
+                for (d, m) in list {
+                    match out.last_mut() {
+                        Some((last, msgs)) if *last == d => msgs.push(m),
+                        _ => out.push((d, vec![m])),
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// MOCgraph-style online-computing state: hot vertices accumulate their
+/// combined message in memory; cold vertices' messages spill.
+pub struct HotSet<M> {
+    /// Local-index bit per vertex: in the hot (memory-resident) set?
+    pub hot: BitSet,
+    /// `acc[local]` — the online-combined message, if any arrived.
+    pub acc: Vec<Option<M>>,
+}
+
+impl<M: Record> HotSet<M> {
+    /// Marks the `capacity` highest-in-degree local vertices hot
+    /// (the paper's hot-aware placement for MOCgraph).
+    pub fn new(local_in_degrees: &[u32], capacity: usize) -> Self {
+        let n = local_in_degrees.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(local_in_degrees[i as usize]));
+        let mut hot = BitSet::new(n);
+        for &i in order.iter().take(capacity) {
+            hot.set(i as usize);
+        }
+        HotSet {
+            hot,
+            acc: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// In-memory footprint of live accumulators.
+    pub fn memory_bytes(&self) -> u64 {
+        self.acc.iter().flatten().count() as u64 * (4 + M::BYTES as u64)
+    }
+}
+
+/// One computational node's full state.
+pub struct Worker<P: VertexProgram> {
+    /// This worker's id.
+    pub id: WorkerId,
+    /// The algorithm.
+    pub program: Arc<P>,
+    /// Global graph facts.
+    pub info: GraphInfo,
+    /// The cluster-wide partition.
+    pub partition: Arc<Partition>,
+    /// The cluster-wide Vblock layout.
+    pub layout: Arc<BlockLayout>,
+    /// Job configuration.
+    pub cfg: JobConfig,
+    /// Network attachment.
+    pub ep: Endpoint,
+    /// This worker's simulated disk.
+    pub vfs: Arc<dyn Vfs>,
+    /// Local vertex range.
+    pub range: Range<u32>,
+
+    /// Vertex values (Vblock-aligned fixed-width records).
+    pub values: ValueStore<P::Value>,
+    /// Push-side adjacency store (Push/PushM/Hybrid).
+    pub adjacency: Option<AdjacencyStore>,
+    /// b-pull's VE-BLOCK store (BPull/Hybrid).
+    pub veblock: Option<VeBlockStore>,
+    /// Pull baseline's destination-grouped edges.
+    pub gather: Option<GatherStore>,
+
+    /// Out-degree per local vertex (in-memory metadata, like Hama's edge
+    /// offsets).
+    pub out_degrees: Vec<u32>,
+    /// Pull mode: bitmask over workers hosting in-edges of each local
+    /// vertex (simulator-side shortcut for the mirror lists a real
+    /// deployment exchanges during loading).
+    pub mirror_peers: Vec<u64>,
+
+    /// Responding flags set in the previous superstep (read by serving).
+    pub respond: BitSet,
+    /// Responding flags being set in the current superstep.
+    pub respond_next: BitSet,
+    /// Per-local-block `res` indicator derived from `respond` (`X_j.res`).
+    pub block_res: Vec<bool>,
+    /// Pull baseline: vertices signaled (by a responding in-neighbor's
+    /// scatter) to gather this superstep.
+    pub signaled: BitSet,
+    /// Pull baseline: signals accumulating for the next superstep.
+    pub signaled_next: BitSet,
+
+    /// Push-family incoming message store.
+    pub spill: Option<SpillBuffer<P::Message>>,
+    /// MOCgraph online-computing state.
+    pub hotset: Option<HotSet<P::Message>>,
+    /// Pull baseline's LRU vertex-value cache.
+    pub lru: Option<LruCache<u32, P::Value>>,
+
+    /// Value updates staged during a (b-)pull superstep, flushed once no
+    /// peer can read this worker's values anymore.
+    pub staged: Vec<(u32, P::Value)>,
+
+    /// Current superstep (set by the runner before each step).
+    pub superstep: u64,
+    /// Baseline I/O snapshot at superstep start.
+    pub io_baseline: IoSnapshot,
+    /// High-water memory within the current superstep.
+    pub mem_peak: u64,
+}
+
+impl<P: VertexProgram> Worker<P> {
+    /// Builds a worker's stores from the global `graph` (the loading
+    /// phase measured in Fig. 16).
+    #[allow(clippy::too_many_arguments)]
+    pub fn load(
+        id: WorkerId,
+        program: Arc<P>,
+        graph: &Graph,
+        reverse: Option<&Graph>,
+        partition: Arc<Partition>,
+        layout: Arc<BlockLayout>,
+        cfg: JobConfig,
+        ep: Endpoint,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<(Self, WorkerLoadReport)> {
+        let t0 = Instant::now();
+        let range = partition.worker_range(id);
+        let n_local = range.len();
+        let info = GraphInfo {
+            num_vertices: graph.num_vertices() as u64,
+            num_edges: graph.num_edges() as u64,
+        };
+
+        // Initial values.
+        let init: Vec<P::Value> = range
+            .clone()
+            .map(|v| program.init(VertexId(v), &info))
+            .collect();
+        let values = ValueStore::create(vfs.as_ref(), "values", range.start, &init)?;
+
+        // pull's scatter phase reads out-edges to signal destinations.
+        let needs_adj = matches!(
+            cfg.mode,
+            Mode::Push | Mode::PushM | Mode::Hybrid | Mode::Pull
+        );
+        let needs_ve = matches!(cfg.mode, Mode::BPull | Mode::Hybrid);
+        let needs_gather = matches!(cfg.mode, Mode::Pull);
+
+        let mut report = WorkerLoadReport::default();
+
+        let adjacency = if needs_adj {
+            let t = Instant::now();
+            let s = AdjacencyStore::build(vfs.as_ref(), "adj", graph, range.clone())?;
+            report.adj_secs = t.elapsed().as_secs_f64();
+            Some(s)
+        } else {
+            None
+        };
+
+        let veblock = if needs_ve {
+            let t = Instant::now();
+            let s = VeBlockStore::build(vfs.as_ref(), graph, &layout, id)?;
+            report.veblock_secs = t.elapsed().as_secs_f64();
+            report.fragments = s.total_fragments();
+            report.vblocks = s.local_blocks();
+            Some(s)
+        } else {
+            report.vblocks = layout.worker_block_count(id);
+            None
+        };
+
+        let gather = if needs_gather {
+            Some(GatherStore::build(
+                vfs.as_ref(),
+                "gather",
+                graph,
+                range.clone(),
+            )?)
+        } else {
+            None
+        };
+
+        let out_degrees: Vec<u32> = range
+            .clone()
+            .map(|v| graph.out_degree(VertexId(v)) as u32)
+            .collect();
+
+        let mirror_peers = if needs_gather {
+            let rev = reverse.expect("pull mode requires the reverse graph");
+            range
+                .clone()
+                .map(|v| {
+                    let mut mask = 0u64;
+                    for e in rev.out_edges(VertexId(v)) {
+                        mask |= 1 << partition.worker_of(e.dst).index();
+                    }
+                    mask
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let spill = if matches!(cfg.mode, Mode::Push | Mode::PushM | Mode::Hybrid) {
+            Some(SpillBuffer::new(
+                vfs.as_ref(),
+                "spill",
+                cfg.buffer_messages,
+            )?)
+        } else {
+            None
+        };
+
+        let hotset = if matches!(cfg.mode, Mode::PushM) {
+            let ind = graph.in_degrees();
+            let local_ind: Vec<u32> = range.clone().map(|v| ind[v as usize]).collect();
+            Some(HotSet::new(
+                &local_ind,
+                cfg.buffer_messages.min(n_local),
+            ))
+        } else {
+            None
+        };
+
+        let lru = if needs_gather {
+            Some(LruCache::new(cfg.effective_lru_capacity().min(1 << 28)))
+        } else {
+            None
+        };
+
+        report.wall_secs = t0.elapsed().as_secs_f64();
+        report.io = vfs.stats().snapshot();
+
+        let worker = Worker {
+            id,
+            program,
+            info,
+            partition,
+            layout,
+            cfg,
+            ep,
+            vfs,
+            range,
+            values,
+            adjacency,
+            veblock,
+            gather,
+            out_degrees,
+            mirror_peers,
+            respond: BitSet::new(n_local),
+            respond_next: BitSet::new(n_local),
+            block_res: Vec::new(),
+            signaled: BitSet::new(n_local),
+            signaled_next: BitSet::new(n_local),
+            spill,
+            hotset,
+            lru,
+            staged: Vec::new(),
+            superstep: 0,
+            io_baseline: IoSnapshot::default(),
+            mem_peak: 0,
+        };
+        Ok((worker, report))
+    }
+
+    /// Local index of a local vertex.
+    #[inline]
+    pub fn local(&self, v: VertexId) -> usize {
+        debug_assert!(self.range.contains(&v.0), "{v} not local to {}", self.id);
+        (v.0 - self.range.start) as usize
+    }
+
+    /// True if `v` lives on this worker.
+    #[inline]
+    pub fn is_local(&self, v: VertexId) -> bool {
+        self.range.contains(&v.0)
+    }
+
+    /// Which batch encoding (b-)pull responses use, given the program and
+    /// configuration.
+    pub fn batch_kind(&self) -> BatchKind {
+        if self.cfg.combining && self.program.combiner().is_some() {
+            BatchKind::Combined
+        } else {
+            BatchKind::Concatenated
+        }
+    }
+
+    /// True if messages can be combined under this configuration.
+    pub fn combinable(&self) -> bool {
+        self.cfg.combining && self.program.combiner().is_some()
+    }
+
+    /// Starts a superstep: snapshots I/O, recomputes the per-block `res`
+    /// flags from the previous superstep's responders, resets watermarks.
+    pub fn begin_superstep(&mut self, superstep: u64) {
+        self.superstep = superstep;
+        self.io_baseline = self.vfs.stats().snapshot();
+        self.mem_peak = 0;
+        self.block_res = self
+            .layout
+            .blocks_of_worker(self.id)
+            .map(|b| {
+                let r = self.layout.block_range(b);
+                self.respond
+                    .any_in_range(self.rel(r.start)..self.rel(r.end))
+            })
+            .collect();
+    }
+
+    #[inline]
+    fn rel(&self, v: u32) -> usize {
+        (v - self.range.start) as usize
+    }
+
+    /// Notes a momentary memory usage for the high-water mark.
+    #[inline]
+    pub fn note_memory(&mut self, bytes: u64) {
+        self.mem_peak = self.mem_peak.max(bytes);
+    }
+
+    /// Baseline memory that exists all superstep: flag vectors, metadata,
+    /// spill buffer contents, hot accumulators, staged updates.
+    pub fn standing_memory_bytes(&self) -> u64 {
+        let mut m = self.respond.memory_bytes() + self.respond_next.memory_bytes();
+        if let Some(ve) = &self.veblock {
+            m += ve.metadata_memory_bytes();
+        }
+        if let Some(g) = &self.gather {
+            m += g.index_memory_bytes();
+        }
+        if let Some(s) = &self.spill {
+            m += s.memory_bytes();
+        }
+        if let Some(h) = &self.hotset {
+            m += h.memory_bytes() + h.hot.memory_bytes();
+        }
+        if let Some(l) = &self.lru {
+            m += l.len() as u64 * (4 + P::Value::BYTES as u64 + 16);
+        }
+        m += self.staged.len() as u64 * (4 + P::Value::BYTES as u64);
+        m
+    }
+
+    /// Finishes a superstep: swaps responding flags, fills the common
+    /// fields of the report (estimates, I/O delta, memory).
+    pub fn finish_superstep(&mut self, report: &mut StepReport) {
+        report.responders = self.respond_next.count() as u64;
+
+        // Next-superstep estimates for the hybrid predictor.
+        let mut edge_bytes = 0u64;
+        for i in self.respond_next.ones() {
+            edge_bytes += self.out_degrees[i] as u64 * 8;
+        }
+        report.next_push_edge_bytes = edge_bytes;
+        if let Some(ve) = &self.veblock {
+            let mut scan_edge = 0u64;
+            let mut scan_aux = 0u64;
+            for b in self.layout.blocks_of_worker(self.id) {
+                let r = self.layout.block_range(b);
+                if self
+                    .respond_next
+                    .any_in_range(self.rel(r.start)..self.rel(r.end))
+                {
+                    let (e, a) = ve.block_scan_bytes(b);
+                    scan_edge += e;
+                    scan_aux += a;
+                }
+            }
+            let mut vrr = 0u64;
+            for i in self.respond_next.ones() {
+                vrr += ve.fragments_of(VertexId(self.range.start + i as u32)) as u64
+                    * P::Value::BYTES as u64;
+            }
+            report.next_bpull_edge_bytes = scan_edge;
+            report.next_bpull_aux_bytes = scan_aux;
+            report.next_bpull_vrr_bytes = vrr;
+        }
+
+        self.respond.clear_all();
+        self.respond.swap(&mut self.respond_next);
+        self.respond_next = BitSet::new(self.range.len());
+
+        self.note_memory(self.standing_memory_bytes());
+        report.memory_bytes = self.mem_peak;
+        report.io = self.vfs.stats().snapshot().delta(&self.io_baseline);
+        if let Some(s) = &self.spill {
+            report.pending_messages = s.total();
+        }
+        if let Some(h) = &self.hotset {
+            report.pending_messages += h.acc.iter().flatten().count() as u64;
+        }
+    }
+
+    /// A blocking receive that accrues the wait into `blocking_secs`.
+    pub fn recv_timed(&self, blocking_secs: &mut f64) -> Envelope {
+        let t = Instant::now();
+        let env = self.ep.recv();
+        *blocking_secs += t.elapsed().as_secs_f64();
+        env
+    }
+
+    /// Flushes staged value updates (contiguous runs become sequential
+    /// writes) after all peers finished reading this superstep.
+    pub fn flush_staged(&mut self) -> io::Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.sort_by_key(|(v, _)| *v);
+        let mut i = 0;
+        while i < staged.len() {
+            let start = staged[i].0;
+            let mut end = i + 1;
+            while end < staged.len() && staged[end].0 == staged[end - 1].0 + 1 {
+                end += 1;
+            }
+            let run: Vec<P::Value> = staged[i..end].iter().map(|(_, v)| v.clone()).collect();
+            self.values
+                .write_range(start..start + run.len() as u32, &run)?;
+            i = end;
+        }
+        Ok(())
+    }
+
+    /// Reads back all local values (used when collecting results).
+    pub fn collect_values(&mut self) -> io::Result<Vec<P::Value>> {
+        // Flush any dirty cached values first (pull mode).
+        if let Some(lru) = &mut self.lru {
+            for (k, v, dirty) in lru.drain() {
+                if dirty {
+                    self.values.write_one(VertexId(k), &v)?;
+                }
+            }
+        }
+        self.values.read_range(self.range.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridgraph_net::combine::SumCombiner;
+
+    #[test]
+    fn accumulator_combined() {
+        let mut a: MsgAccumulator<f64> = MsgAccumulator::new(true);
+        a.accept(
+            vec![(VertexId(1), 1.0), (VertexId(2), 2.0), (VertexId(1), 3.0)],
+            Some(&SumCombiner),
+        );
+        assert_eq!(a.len(), 2);
+        let groups = a.into_groups();
+        assert_eq!(groups, vec![(1, vec![4.0]), (2, vec![2.0])]);
+    }
+
+    #[test]
+    fn accumulator_list() {
+        let mut a: MsgAccumulator<u32> = MsgAccumulator::new(false);
+        a.accept(vec![(VertexId(2), 7), (VertexId(1), 5)], None);
+        a.accept(vec![(VertexId(2), 8)], None);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.memory_bytes(), 3 * 8);
+        let groups = a.into_groups();
+        assert_eq!(groups, vec![(1, vec![5]), (2, vec![7, 8])]);
+    }
+
+    #[test]
+    fn hotset_prefers_high_in_degree() {
+        let ind = vec![1u32, 50, 3, 40, 2];
+        let h: HotSet<f64> = HotSet::new(&ind, 2);
+        assert!(h.hot.get(1));
+        assert!(h.hot.get(3));
+        assert!(!h.hot.get(0));
+        assert_eq!(h.hot.count(), 2);
+        assert_eq!(h.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn hotset_capacity_above_population() {
+        let ind = vec![1u32, 2];
+        let h: HotSet<f64> = HotSet::new(&ind, 10);
+        assert_eq!(h.hot.count(), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! Directed, weighted edges.
+
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A directed edge to `dst` with a `weight`.
+///
+/// The source vertex is implicit: edges are stored in per-source adjacency
+/// runs (CSR rows, or VE-BLOCK fragments). Weights are used by SSSP; other
+/// algorithms in the paper ignore them.
+#[derive(Copy, Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Edge {
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (SSSP distance contribution; `1.0` for unweighted use).
+    pub weight: f32,
+}
+
+impl Edge {
+    /// An unweighted edge (weight `1.0`).
+    #[inline]
+    pub fn to(dst: VertexId) -> Self {
+        Edge { dst, weight: 1.0 }
+    }
+
+    /// A weighted edge.
+    #[inline]
+    pub fn weighted(dst: VertexId, weight: f32) -> Self {
+        Edge { dst, weight }
+    }
+
+    /// On-disk footprint of one edge: 4-byte destination id + 4-byte weight.
+    ///
+    /// Used by the storage layer when accounting I/O bytes (the paper's
+    /// `Se`, the average size of one edge, in the proof of Theorem 2).
+    pub const DISK_BYTES: u64 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = Edge::to(VertexId(3));
+        assert_eq!(e.dst, VertexId(3));
+        assert_eq!(e.weight, 1.0);
+        let w = Edge::weighted(VertexId(4), 2.5);
+        assert_eq!(w.dst, VertexId(4));
+        assert_eq!(w.weight, 2.5);
+    }
+
+    #[test]
+    fn disk_bytes_matches_layout() {
+        // dst (u32) + weight (f32)
+        assert_eq!(Edge::DISK_BYTES, 8);
+        assert_eq!(std::mem::size_of::<Edge>(), 8);
+    }
+}

@@ -1,0 +1,396 @@
+//! The worker-to-worker channel mesh and its traffic accounting.
+//!
+//! [`Fabric::mesh`] builds one [`Endpoint`] per worker; each endpoint can
+//! send to any worker (including itself — loopback traffic is accounted
+//! separately because it never crosses the NIC) and receives from all
+//! peers over a single inbox. Delivery is reliable and FIFO per
+//! sender-receiver pair, like the TCP transport of the original system.
+
+use crate::packet::Packet;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hybridgraph_graph::WorkerId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One worker's per-direction traffic counters.
+#[derive(Debug, Default)]
+struct PerWorker {
+    out_bytes: AtomicU64,
+    in_bytes: AtomicU64,
+    local_bytes: AtomicU64,
+    raw_msgs_out: AtomicU64,
+    wire_values_out: AtomicU64,
+    saved_msgs_out: AtomicU64,
+    requests_out: AtomicU64,
+    packets_out: AtomicU64,
+}
+
+/// Cluster-wide network counters, indexed by worker.
+#[derive(Debug)]
+pub struct NetStats {
+    workers: Vec<PerWorker>,
+}
+
+impl NetStats {
+    fn new(n: usize) -> Self {
+        NetStats {
+            workers: (0..n).map(|_| PerWorker::default()).collect(),
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn record(&self, from: WorkerId, to: WorkerId, packet: &Packet) {
+        let bytes = packet.wire_bytes();
+        let src = &self.workers[from.index()];
+        if from == to {
+            src.local_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            src.out_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.workers[to.index()]
+                .in_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+        }
+        src.packets_out.fetch_add(1, Ordering::Relaxed);
+        match packet {
+            Packet::Messages { stats, .. } => {
+                src.raw_msgs_out.fetch_add(stats.raw_messages, Ordering::Relaxed);
+                src.wire_values_out
+                    .fetch_add(stats.wire_values, Ordering::Relaxed);
+                src.saved_msgs_out
+                    .fetch_add(stats.saved_messages, Ordering::Relaxed);
+            }
+            Packet::PullRequest { .. } => {
+                src.requests_out.fetch_add(1, Ordering::Relaxed);
+            }
+            Packet::GatherRequests { ids } => {
+                // One request per vertex id carried.
+                src.requests_out
+                    .fetch_add(ids.len() as u64 / 4, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            out_bytes: self.collect(|w| &w.out_bytes),
+            in_bytes: self.collect(|w| &w.in_bytes),
+            local_bytes: self.collect(|w| &w.local_bytes),
+            raw_msgs_out: self.collect(|w| &w.raw_msgs_out),
+            wire_values_out: self.collect(|w| &w.wire_values_out),
+            saved_msgs_out: self.collect(|w| &w.saved_msgs_out),
+            requests_out: self.collect(|w| &w.requests_out),
+            packets_out: self.collect(|w| &w.packets_out),
+        }
+    }
+
+    fn collect(&self, f: impl Fn(&PerWorker) -> &AtomicU64) -> Vec<u64> {
+        self.workers
+            .iter()
+            .map(|w| f(w).load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// An immutable copy of [`NetStats`]; supports totals and deltas.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Bytes each worker sent to remote peers.
+    pub out_bytes: Vec<u64>,
+    /// Bytes each worker received from remote peers.
+    pub in_bytes: Vec<u64>,
+    /// Loopback bytes (self-sends; never cross the NIC).
+    pub local_bytes: Vec<u64>,
+    /// Raw (pre-merge) messages each worker emitted.
+    pub raw_msgs_out: Vec<u64>,
+    /// Values actually on the wire per worker.
+    pub wire_values_out: Vec<u64>,
+    /// Messages merged away by concatenation/combining per worker (`M_co`).
+    pub saved_msgs_out: Vec<u64>,
+    /// Pull requests sent per worker.
+    pub requests_out: Vec<u64>,
+    /// Packets sent per worker.
+    pub packets_out: Vec<u64>,
+}
+
+impl NetSnapshot {
+    /// Total remote bytes (each transfer counted once, at the sender).
+    pub fn total_remote_bytes(&self) -> u64 {
+        self.out_bytes.iter().sum()
+    }
+
+    /// Total raw messages emitted.
+    pub fn total_raw_messages(&self) -> u64 {
+        self.raw_msgs_out.iter().sum()
+    }
+
+    /// Total merged-away messages (`M_co`).
+    pub fn total_saved_messages(&self) -> u64 {
+        self.saved_msgs_out.iter().sum()
+    }
+
+    /// Total pull requests.
+    pub fn total_requests(&self) -> u64 {
+        self.requests_out.iter().sum()
+    }
+
+    /// Element-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+            a.iter().zip(b).map(|(x, y)| x - y).collect()
+        }
+        NetSnapshot {
+            out_bytes: sub(&self.out_bytes, &earlier.out_bytes),
+            in_bytes: sub(&self.in_bytes, &earlier.in_bytes),
+            local_bytes: sub(&self.local_bytes, &earlier.local_bytes),
+            raw_msgs_out: sub(&self.raw_msgs_out, &earlier.raw_msgs_out),
+            wire_values_out: sub(&self.wire_values_out, &earlier.wire_values_out),
+            saved_msgs_out: sub(&self.saved_msgs_out, &earlier.saved_msgs_out),
+            requests_out: sub(&self.requests_out, &earlier.requests_out),
+            packets_out: sub(&self.packets_out, &earlier.packets_out),
+        }
+    }
+}
+
+/// An addressed packet as received: who sent it and what it is.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The sending worker.
+    pub from: WorkerId,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// One worker's attachment to the fabric.
+pub struct Endpoint {
+    me: WorkerId,
+    txs: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    stats: Arc<NetStats>,
+}
+
+impl Endpoint {
+    /// This endpoint's worker id.
+    pub fn id(&self) -> WorkerId {
+        self.me
+    }
+
+    /// Number of workers in the mesh.
+    pub fn num_workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Sends `packet` to `to`, accounting its bytes.
+    ///
+    /// # Panics
+    /// Panics if the destination endpoint has been dropped (a worker died
+    /// outside the normal shutdown path).
+    pub fn send(&self, to: WorkerId, packet: Packet) {
+        self.stats.record(self.me, to, &packet);
+        self.txs[to.index()]
+            .send(Envelope {
+                from: self.me,
+                packet,
+            })
+            .expect("destination worker hung up");
+    }
+
+    /// Broadcasts `packet` to every worker including self.
+    pub fn broadcast(&self, packet: Packet) {
+        for w in 0..self.txs.len() {
+            self.send(WorkerId::from(w), packet.clone());
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Envelope {
+        self.rx.recv().expect("fabric closed")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(e) => Some(e),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => panic!("fabric closed"),
+        }
+    }
+
+    /// The shared traffic counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+}
+
+/// Builder for the channel mesh.
+pub struct Fabric;
+
+impl Fabric {
+    /// Creates a fully-connected mesh of `n` endpoints sharing one
+    /// [`NetStats`].
+    pub fn mesh(n: usize) -> (Vec<Endpoint>, Arc<NetStats>) {
+        assert!(n >= 1, "mesh needs at least one worker");
+        let stats = Arc::new(NetStats::new(n));
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let endpoints = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| Endpoint {
+                me: WorkerId::from(i),
+                txs: txs.clone(),
+                rx,
+                stats: Arc::clone(&stats),
+            })
+            .collect();
+        (endpoints, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{BatchKind, WireStats};
+    use bytes::Bytes;
+    use hybridgraph_graph::BlockId;
+
+    fn msg_packet(payload_len: usize, raw: u64, saved: u64) -> Packet {
+        Packet::Messages {
+            kind: BatchKind::Plain,
+            payload: Bytes::from(vec![0u8; payload_len]),
+            stats: WireStats {
+                raw_messages: raw,
+                wire_values: raw - saved,
+                wire_bytes: payload_len as u64,
+                saved_messages: saved,
+            },
+            for_block: None,
+        }
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let (eps, _) = Fabric::mesh(2);
+        eps[0].send(WorkerId(1), Packet::PullRequest { block: BlockId(5) });
+        let env = eps[1].recv();
+        assert_eq!(env.from, WorkerId(0));
+        assert!(matches!(env.packet, Packet::PullRequest { block } if block == BlockId(5)));
+    }
+
+    #[test]
+    fn loopback_counts_separately() {
+        let (eps, stats) = Fabric::mesh(2);
+        eps[0].send(WorkerId(0), msg_packet(92, 10, 0));
+        eps[0].send(WorkerId(1), msg_packet(92, 10, 2));
+        let s = stats.snapshot();
+        assert_eq!(s.local_bytes[0], 100);
+        assert_eq!(s.out_bytes[0], 100);
+        assert_eq!(s.in_bytes[1], 100);
+        assert_eq!(s.in_bytes[0], 0);
+        assert_eq!(s.raw_msgs_out[0], 20);
+        assert_eq!(s.saved_msgs_out[0], 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let (eps, stats) = Fabric::mesh(3);
+        eps[1].broadcast(Packet::DoneSending);
+        for ep in &eps {
+            let env = ep.recv();
+            assert_eq!(env.from, WorkerId(1));
+            assert!(matches!(env.packet, Packet::DoneSending));
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.packets_out[1], 3);
+        // 2 remote sends x 8 header bytes
+        assert_eq!(s.out_bytes[1], 16);
+        assert_eq!(s.local_bytes[1], 8);
+    }
+
+    #[test]
+    fn request_counter() {
+        let (eps, stats) = Fabric::mesh(2);
+        for _ in 0..3 {
+            eps[0].send(WorkerId(1), Packet::PullRequest { block: BlockId(0) });
+        }
+        assert_eq!(stats.snapshot().total_requests(), 3);
+        assert_eq!(stats.snapshot().requests_out[0], 3);
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let (eps, _) = Fabric::mesh(2);
+        assert!(eps[1].try_recv().is_none());
+        assert!(eps[1].recv_timeout(Duration::from_millis(5)).is_none());
+        eps[0].send(WorkerId(1), Packet::DoneSending);
+        assert!(eps[1].try_recv().is_some());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let (eps, stats) = Fabric::mesh(2);
+        eps[0].send(WorkerId(1), msg_packet(10, 1, 0));
+        let a = stats.snapshot();
+        eps[0].send(WorkerId(1), msg_packet(20, 2, 1));
+        let d = stats.snapshot().delta(&a);
+        assert_eq!(d.out_bytes[0], 28);
+        assert_eq!(d.raw_msgs_out[0], 2);
+        assert_eq!(d.saved_msgs_out[0], 1);
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let (eps, _) = Fabric::mesh(2);
+        for i in 0..10u32 {
+            eps[0].send(WorkerId(1), Packet::PullRequest { block: BlockId(i) });
+        }
+        for i in 0..10u32 {
+            match eps[1].recv().packet {
+                Packet::PullRequest { block } => assert_eq!(block, BlockId(i)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_exchange() {
+        let (mut eps, stats) = Fabric::mesh(4);
+        let mut handles = Vec::new();
+        for ep in eps.drain(..) {
+            handles.push(std::thread::spawn(move || {
+                // Everyone sends one message to everyone else, then
+                // receives n-1 messages.
+                for w in 0..ep.num_workers() {
+                    if w != ep.id().index() {
+                        ep.send(WorkerId::from(w), msg_packet(4, 1, 0));
+                    }
+                }
+                for _ in 0..ep.num_workers() - 1 {
+                    ep.recv();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.total_remote_bytes(), 12 * (8 + 4));
+        assert_eq!(s.total_raw_messages(), 12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Wire packets exchanged between workers.
+//!
+//! Four packet kinds cover both message-handling strategies:
+//!
+//! * [`Packet::PullRequest`] — b-pull's block-granular request: its entire
+//!   payload is one Vblock identifier, which is the point of block-centric
+//!   pulling ("the cost of pull requests is minimized to a Vblock
+//!   identifier", §4.1).
+//! * [`Packet::Messages`] — a batch of messages encoded by
+//!   [`crate::wire::encode_batch`]; carries its [`WireStats`] so receivers
+//!   account savings without re-parsing.
+//! * [`Packet::EndOfResponses`] — b-pull: the sender has produced all
+//!   messages for the requested block.
+//! * [`Packet::DoneSending`] — push: the sender has flushed every message
+//!   of the superstep (the barrier waits for one per peer).
+
+use crate::wire::{BatchKind, WireStats};
+use bytes::Bytes;
+use hybridgraph_graph::BlockId;
+
+/// Fixed header bytes per packet (tag + ids), charged on every packet.
+pub const PACKET_HEADER_BYTES: u64 = 8;
+
+/// One unit of network traffic.
+#[derive(Clone, Debug)]
+pub enum Packet {
+    /// Request messages for all vertices of `block` (b-pull).
+    PullRequest {
+        /// The requested Vblock.
+        block: BlockId,
+    },
+    /// A batch of messages.
+    Messages {
+        /// How `payload` is encoded.
+        kind: BatchKind,
+        /// Encoded batch (see [`crate::wire`]).
+        payload: Bytes,
+        /// Encoding statistics (raw/wire counts, saved messages).
+        stats: WireStats,
+        /// For b-pull responses: which block the batch answers.
+        for_block: Option<BlockId>,
+    },
+    /// All responses for `block` from this worker have been sent (b-pull).
+    EndOfResponses {
+        /// The answered Vblock.
+        block: BlockId,
+    },
+    /// This worker has sent every message of the superstep (push).
+    DoneSending,
+    /// This worker has finished pulling and updating all its blocks or
+    /// vertices for the superstep (b-pull / pull); it keeps serving
+    /// requests until every peer has said the same.
+    SuperstepDone,
+    /// Per-vertex gather requests of the pull baseline: the encoded ids of
+    /// destination vertices whose in-edges the receiver hosts.
+    GatherRequests {
+        /// Little-endian `u32` vertex ids, 4 bytes each.
+        ids: Bytes,
+    },
+    /// The pull baseline's sender has issued all gather requests of the
+    /// superstep to this peer.
+    DoneRequesting,
+    /// All gather responses from this worker for the superstep have been
+    /// sent to the peer this packet addresses.
+    EndOfGather,
+    /// Scatter signals of the pull baseline: encoded ids of destination
+    /// vertices that must gather next superstep because an in-neighbor's
+    /// value changed (PowerGraph's scatter-phase activation).
+    Signals {
+        /// Little-endian `u32` vertex ids, 4 bytes each.
+        ids: Bytes,
+    },
+}
+
+impl Packet {
+    /// Bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Packet::Messages { payload, .. } => PACKET_HEADER_BYTES + payload.len() as u64,
+            Packet::GatherRequests { ids } | Packet::Signals { ids } => {
+                PACKET_HEADER_BYTES + ids.len() as u64
+            }
+            _ => PACKET_HEADER_BYTES,
+        }
+    }
+
+    /// True for control packets (everything but message batches).
+    pub fn is_control(&self) -> bool {
+        !matches!(self, Packet::Messages { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_packets_cost_header_only() {
+        assert_eq!(
+            Packet::PullRequest { block: BlockId(3) }.wire_bytes(),
+            PACKET_HEADER_BYTES
+        );
+        assert_eq!(Packet::DoneSending.wire_bytes(), PACKET_HEADER_BYTES);
+        assert!(Packet::DoneSending.is_control());
+    }
+
+    #[test]
+    fn message_packets_add_payload() {
+        let p = Packet::Messages {
+            kind: BatchKind::Plain,
+            payload: Bytes::from(vec![0u8; 100]),
+            stats: WireStats::default(),
+            for_block: None,
+        };
+        assert_eq!(p.wire_bytes(), PACKET_HEADER_BYTES + 100);
+        assert!(!p.is_control());
+    }
+}

@@ -1,0 +1,195 @@
+//! Push-side on-disk adjacency layout.
+//!
+//! Giraph-style systems keep the graph as an adjacency list on disk and
+//! read each vertex's out-edges when it computes (paper §3, §5.2 — edges
+//! are "organized in an adjacency list, like Giraph, and used in push").
+//! Per-vertex edge offsets are kept in memory (as Hama does), so a
+//! superstep that computes only a subset of vertices reads only those
+//! vertices' edge bytes — this is the paper's `IO(Ē^t)` term, which shrinks
+//! with the active set for traversal algorithms.
+
+use crate::record::Record;
+use crate::stats::AccessClass;
+use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_graph::{Edge, Graph, VertexId};
+use std::io;
+use std::ops::Range;
+
+impl Record for Edge {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[..4].copy_from_slice(&self.dst.0.to_le_bytes());
+        out[4..].copy_from_slice(&self.weight.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_from(inp: &[u8]) -> Self {
+        Edge {
+            dst: VertexId(u32::from_le_bytes(inp[..4].try_into().unwrap())),
+            weight: f32::from_le_bytes(inp[4..8].try_into().unwrap()),
+        }
+    }
+}
+
+/// On-disk adjacency lists for one worker's contiguous vertex range.
+pub struct AdjacencyStore {
+    file: VfsFile,
+    base: u32,
+    /// `offsets[i]..offsets[i + 1]` is the byte extent of vertex
+    /// `base + i`'s edge run; length `count + 1`.
+    offsets: Vec<u64>,
+}
+
+impl AdjacencyStore {
+    /// Builds the store for the vertices in `range`, writing their edge
+    /// runs sequentially (this is the `adj` loading path of Fig. 16).
+    pub fn build(
+        vfs: &dyn Vfs,
+        name: &str,
+        graph: &Graph,
+        range: Range<u32>,
+    ) -> io::Result<AdjacencyStore> {
+        let file = vfs.create(name)?;
+        let mut offsets = Vec::with_capacity(range.len() + 1);
+        offsets.push(0u64);
+        let mut buf = Vec::new();
+        for v in range.clone() {
+            let edges = graph.out_edges(VertexId(v));
+            buf.clear();
+            for e in edges {
+                e.append_to(&mut buf);
+            }
+            if !buf.is_empty() {
+                file.append(AccessClass::SeqWrite, &buf)?;
+            }
+            offsets.push(offsets.last().unwrap() + buf.len() as u64);
+        }
+        Ok(AdjacencyStore {
+            file,
+            base: range.start,
+            offsets,
+        })
+    }
+
+    /// First vertex id owned.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the store holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn local(&self, v: VertexId) -> usize {
+        debug_assert!(
+            v.0 >= self.base && ((v.0 - self.base) as usize) < self.len(),
+            "vertex {v} outside store range"
+        );
+        (v.0 - self.base) as usize
+    }
+
+    /// Out-degree of `v` (from the in-memory offset index; no I/O).
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let i = self.local(v);
+        ((self.offsets[i + 1] - self.offsets[i]) / Edge::BYTES as u64) as usize
+    }
+
+    /// Edge bytes of `v` (no I/O).
+    pub fn edge_bytes_of(&self, v: VertexId) -> u64 {
+        let i = self.local(v);
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Total edge bytes in the store.
+    pub fn total_edge_bytes(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Reads the out-edges of `v`.
+    ///
+    /// `class` is chosen by the caller: `SeqRead` when visiting vertices in
+    /// id order (the push scan), `RandRead` for out-of-order access.
+    pub fn edges_of(&self, v: VertexId, class: AccessClass) -> io::Result<Vec<Edge>> {
+        let i = self.local(v);
+        let (start, end) = (self.offsets[i], self.offsets[i + 1]);
+        if start == end {
+            return Ok(Vec::new());
+        }
+        let bytes = self
+            .file
+            .read_vec(class, start, (end - start) as usize)?;
+        Ok(crate::record::decode_slice(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use hybridgraph_graph::gen;
+
+    #[test]
+    fn edge_record_roundtrip() {
+        let mut buf = [0u8; 8];
+        let e = Edge::weighted(VertexId(9), 2.5);
+        e.write_to(&mut buf);
+        assert_eq!(Edge::read_from(&buf), e);
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let g = gen::uniform(40, 200, 3);
+        let vfs = MemVfs::new();
+        let s = AdjacencyStore::build(&vfs, "adj", &g, 10..30).unwrap();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.base(), 10);
+        for v in 10..30u32 {
+            let v = VertexId(v);
+            assert_eq!(s.out_degree(v), g.out_degree(v));
+            assert_eq!(s.edges_of(v, AccessClass::SeqRead).unwrap(), g.out_edges(v));
+        }
+    }
+
+    #[test]
+    fn total_bytes_matches_degrees() {
+        let g = gen::uniform(20, 100, 1);
+        let vfs = MemVfs::new();
+        let s = AdjacencyStore::build(&vfs, "adj", &g, 0..20).unwrap();
+        let expect: u64 = (0..20u32)
+            .map(|v| g.out_degree(VertexId(v)) as u64 * 8)
+            .sum();
+        assert_eq!(s.total_edge_bytes(), expect);
+        assert_eq!(vfs.stats().snapshot().seq_write_bytes, expect);
+    }
+
+    #[test]
+    fn selective_read_accounts_only_touched_bytes() {
+        let g = gen::uniform(20, 100, 2);
+        let vfs = MemVfs::new();
+        let s = AdjacencyStore::build(&vfs, "adj", &g, 0..20).unwrap();
+        let before = vfs.stats().snapshot();
+        s.edges_of(VertexId(5), AccessClass::SeqRead).unwrap();
+        let d = vfs.stats().snapshot().delta(&before);
+        assert_eq!(d.seq_read_bytes, s.edge_bytes_of(VertexId(5)));
+    }
+
+    #[test]
+    fn zero_degree_vertices_are_free() {
+        let g = gen::star(10); // only vertex 0 has out-edges
+        let vfs = MemVfs::new();
+        let s = AdjacencyStore::build(&vfs, "adj", &g, 0..10).unwrap();
+        let before = vfs.stats().snapshot();
+        assert!(s.edges_of(VertexId(5), AccessClass::SeqRead).unwrap().is_empty());
+        assert_eq!(vfs.stats().snapshot(), before);
+        assert_eq!(s.out_degree(VertexId(0)), 9);
+    }
+}

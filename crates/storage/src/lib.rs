@@ -1,0 +1,38 @@
+//! Simulated-disk substrate for HybridGraph.
+//!
+//! The paper's evaluation runs on two clusters whose disks differ only in
+//! the four throughput numbers of Table 3 (random-read, random-write and
+//! sequential-read MB/s, plus network MB/s). Its entire analysis — Eqs. 7,
+//! 8 and the switching metric `Q_t` of Eq. 11 — is expressed in *bytes per
+//! access class* divided by those throughputs.
+//!
+//! This crate therefore reproduces the disk as an accounting substrate:
+//!
+//! * [`profile`] — device throughput profiles (Table 3 presets),
+//! * [`stats`] — atomic byte/op counters per access class and the modeled
+//!   elapsed-time computation,
+//! * [`vfs`] — a minimal virtual file system (in-memory and real-directory
+//!   backends) through which every store routes its bytes,
+//! * [`record`] — fixed-size value/message serialization,
+//! * [`value_store`] — the per-worker vertex-value segment,
+//! * [`adjacency`] — the push-side adjacency-list layout,
+//! * [`veblock`] — the paper's VE-BLOCK layout (Vblocks, Eblocks,
+//!   fragments, per-block metadata `X_j`),
+//! * [`msg_store`] — the push receiver-side message buffer with spill,
+//! * [`lru`] — the LRU vertex cache used by the per-vertex pull baseline.
+
+pub mod adjacency;
+pub mod gather;
+pub mod lru;
+pub mod msg_store;
+pub mod profile;
+pub mod record;
+pub mod stats;
+pub mod value_store;
+pub mod veblock;
+pub mod vfs;
+
+pub use profile::DeviceProfile;
+pub use record::Record;
+pub use stats::{AccessClass, IoSnapshot, IoStats};
+pub use vfs::{DirVfs, MemVfs, Vfs, VfsFile};

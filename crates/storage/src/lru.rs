@@ -1,0 +1,298 @@
+//! LRU vertex-value cache.
+//!
+//! The paper extends GraphLab PowerGraph to disk residency by caching at
+//! most `B_i` vertices in memory under LRU replacement (§6 and Appendix F).
+//! The per-vertex `pull` baseline in this reproduction uses the same
+//! scheme: a hit is free, a miss costs one random value read, and evicting
+//! a dirty entry costs one random value write.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Entry index inside the slab; `NONE` marks list ends.
+const NONE: usize = usize::MAX;
+
+/// A fixed-capacity LRU map with dirty tracking.
+pub struct LruCache<K: Eq + Hash + Copy, V> {
+    map: HashMap<K, usize>,
+    /// Slot payloads; `None` for free slots.
+    entries: Vec<Option<(K, V, bool)>>,
+    /// `(prev, next)` recency links per slot.
+    links: Vec<(usize, usize)>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            links: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache hits observed by [`Self::get`] / [`Self::get_mut`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed by [`Self::get`] / [`Self::get_mut`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = self.links[idx];
+        if prev != NONE {
+            self.links[prev].1 = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.links[next].0 = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.links[idx] = (NONE, self.head);
+        if self.head != NONE {
+            self.links[self.head].0 = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                self.entries[idx].as_ref().map(|(_, v, _)| v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup; marks the entry dirty and promotes it.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                let entry = self.entries[idx].as_mut().unwrap();
+                entry.2 = true;
+                Some(&mut entry.1)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True if `key` is cached (does not touch recency or counters).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key → value`, evicting the LRU entry if full.
+    ///
+    /// Returns the evicted `(key, value, dirty)` if an eviction happened —
+    /// a dirty eviction is the caller's signal to write the value back.
+    pub fn insert(&mut self, key: K, value: V, dirty: bool) -> Option<(K, V, bool)> {
+        if let Some(&idx) = self.map.get(&key) {
+            // Replace in place; dirtiness is sticky.
+            self.detach(idx);
+            self.attach_front(idx);
+            let entry = self.entries[idx].as_mut().unwrap();
+            entry.1 = value;
+            entry.2 = entry.2 || dirty;
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let idx = self.tail;
+            debug_assert_ne!(idx, NONE);
+            self.detach(idx);
+            let (old_key, old_value, old_dirty) = self.entries[idx].take().unwrap();
+            self.map.remove(&old_key);
+            self.free.push(idx);
+            Some((old_key, old_value, old_dirty))
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.entries[idx] = Some((key, value, dirty));
+                idx
+            }
+            None => {
+                self.entries.push(Some((key, value, dirty)));
+                self.links.push((NONE, NONE));
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Drains every entry, returning `(key, value, dirty)` triples in
+    /// most-recently-used-first order (used to flush dirty values).
+    pub fn drain(&mut self) -> Vec<(K, V, bool)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.head;
+        while idx != NONE {
+            let next = self.links[idx].1;
+            out.push(self.entries[idx].take().unwrap());
+            idx = next;
+        }
+        self.map.clear();
+        self.entries.clear();
+        self.links.clear();
+        self.free.clear();
+        self.head = NONE;
+        self.tail = NONE;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c: LruCache<u32, f64> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, 1.0, false);
+        assert_eq!(c.get(&1), Some(&1.0));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10, false);
+        c.insert(2, 20, false);
+        c.get(&1); // 2 becomes LRU
+        let evicted = c.insert(3, 30, false).unwrap();
+        assert_eq!(evicted, (2, 20, false));
+        assert!(c.contains(&1));
+        assert!(c.contains(&3));
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10, false);
+        *c.get_mut(&1).unwrap() = 11;
+        let (k, v, dirty) = c.insert(2, 20, false).unwrap();
+        assert_eq!((k, v), (1, 11));
+        assert!(dirty);
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10, false);
+        assert!(c.insert(1, 11, true).is_none());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn dirtiness_is_sticky_on_replace() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10, true);
+        c.insert(1, 11, false);
+        let (_, _, dirty) = c.insert(2, 20, false).unwrap();
+        assert!(dirty, "earlier dirty flag must survive replacement");
+    }
+
+    #[test]
+    fn drain_returns_everything_mru_first() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10, false);
+        c.insert(2, 20, true);
+        c.insert(3, 30, false);
+        let all = c.drain();
+        assert_eq!(all, vec![(3, 30, false), (2, 20, true), (1, 10, false)]);
+        assert!(c.is_empty());
+        // Cache is reusable after drain.
+        c.insert(4, 40, false);
+        assert_eq!(c.get(&4), Some(&40));
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(16);
+        for i in 0..1000u32 {
+            c.insert(i % 64, i, i % 3 == 0);
+            if i % 5 == 0 {
+                c.get(&(i % 16));
+            }
+            assert!(c.len() <= 16);
+        }
+        assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        c.insert(1, "a".into(), false);
+        c.insert(2, "b".into(), false);
+        c.insert(3, "c".into(), false); // evicts 1, frees a slot
+        c.insert(4, "d".into(), false); // evicts 2, reuses slot
+        assert_eq!(c.get(&3), Some(&"c".to_string()));
+        assert_eq!(c.get(&4), Some(&"d".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: LruCache<u32, u32> = LruCache::new(0);
+    }
+}

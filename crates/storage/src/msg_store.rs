@@ -1,0 +1,272 @@
+//! Push receiver-side message store with bounded buffer and spill.
+//!
+//! In push-based systems, messages received in superstep `t` are consumed
+//! in superstep `t+1`, so they must be carried across the barrier. Giraph
+//! keeps up to `B_i` of them in memory and spills the rest to local disk.
+//! Because messages arrive for scattered destination vertices, spill
+//! writes have no locality — the paper accounts them as random writes
+//! (`IO(M_disk)/s_rw` in Eq. 11) and the read-back as a sequential scan
+//! (the `IO(M_disk)/s_sr` term), which is exactly how [`SpillBuffer`]
+//! classifies its traffic.
+
+use crate::record::Record;
+use crate::stats::AccessClass;
+use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_graph::VertexId;
+use std::io;
+use std::marker::PhantomData;
+
+/// A bounded in-memory message buffer that spills overflow to disk.
+pub struct SpillBuffer<M: Record> {
+    mem: Vec<(VertexId, M)>,
+    capacity: usize,
+    spill: VfsFile,
+    spilled: u64,
+    total: u64,
+    _marker: PhantomData<M>,
+}
+
+impl<M: Record> SpillBuffer<M> {
+    /// Creates a buffer holding at most `capacity` messages in memory;
+    /// overflow goes to the spill file `name` in `vfs`.
+    pub fn new(vfs: &dyn Vfs, name: &str, capacity: usize) -> io::Result<SpillBuffer<M>> {
+        Ok(SpillBuffer {
+            mem: Vec::new(),
+            capacity,
+            spill: vfs.create(name)?,
+            spilled: 0,
+            total: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Bytes of one spilled message on disk: destination id + payload
+    /// (the paper's `S_m`).
+    pub fn message_bytes() -> u64 {
+        4 + M::BYTES as u64
+    }
+
+    /// Accepts one message for `dst`.
+    pub fn push(&mut self, dst: VertexId, msg: M) -> io::Result<()> {
+        self.total += 1;
+        if self.mem.len() < self.capacity {
+            self.mem.push((dst, msg));
+        } else {
+            let mut buf = Vec::with_capacity(Self::message_bytes() as usize);
+            dst.append_to(&mut buf);
+            msg.append_to(&mut buf);
+            self.spill.append(AccessClass::RandWrite, &buf)?;
+            self.spilled += 1;
+        }
+        Ok(())
+    }
+
+    /// Total messages received since the last [`Self::drain`].
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Messages currently on disk.
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Spilled bytes currently on disk.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled * Self::message_bytes()
+    }
+
+    /// Messages currently buffered in memory.
+    pub fn in_memory(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// In-memory footprint in bytes (for the memory-usage curves).
+    pub fn memory_bytes(&self) -> u64 {
+        self.mem.len() as u64 * Self::message_bytes()
+    }
+
+    /// Ends the receive phase: reads back any spilled messages (sequential
+    /// scan), merges with the in-memory buffer, sorts by destination (the
+    /// sort-merge Giraph performs before the next superstep) and resets the
+    /// buffer for the next receive phase.
+    pub fn drain(&mut self) -> io::Result<DeliveredMessages<M>> {
+        let mut all = std::mem::take(&mut self.mem);
+        if self.spilled > 0 {
+            let bytes = self.spill.read_all(AccessClass::SeqRead)?;
+            let width = Self::message_bytes() as usize;
+            for chunk in bytes.chunks_exact(width) {
+                let dst = VertexId::read_from(&chunk[..4]);
+                let msg = M::read_from(&chunk[4..]);
+                all.push((dst, msg));
+            }
+            self.spill.truncate()?;
+        }
+        self.spilled = 0;
+        self.total = 0;
+        all.sort_by_key(|(dst, _)| *dst);
+        Ok(DeliveredMessages { sorted: all })
+    }
+}
+
+/// Messages of one superstep, grouped by destination vertex.
+pub struct DeliveredMessages<M> {
+    sorted: Vec<(VertexId, M)>,
+}
+
+impl<M> DeliveredMessages<M> {
+    /// An empty delivery.
+    pub fn empty() -> Self {
+        DeliveredMessages { sorted: Vec::new() }
+    }
+
+    /// Total number of messages.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no messages were delivered.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The messages addressed to `v`.
+    pub fn for_vertex(&self, v: VertexId) -> &[(VertexId, M)] {
+        let start = self.sorted.partition_point(|(d, _)| *d < v);
+        let end = self.sorted.partition_point(|(d, _)| *d <= v);
+        &self.sorted[start..end]
+    }
+
+    /// Iterates over `(dst, msg)` pairs in destination order.
+    pub fn iter(&self) -> impl Iterator<Item = &(VertexId, M)> {
+        self.sorted.iter()
+    }
+
+    /// Consumes the delivery, returning the destination-sorted pairs.
+    pub fn into_sorted(self) -> Vec<(VertexId, M)> {
+        self.sorted
+    }
+
+    /// Builds a delivery from arbitrary `(dst, msg)` pairs.
+    pub fn from_pairs(mut pairs: Vec<(VertexId, M)>) -> Self
+    where
+        M: Clone,
+    {
+        pairs.sort_by_key(|(d, _)| *d);
+        DeliveredMessages { sorted: pairs }
+    }
+
+    /// The distinct destinations, in order.
+    pub fn destinations(&self) -> impl Iterator<Item = VertexId> + '_ {
+        let mut last: Option<VertexId> = None;
+        self.sorted.iter().filter_map(move |(d, _)| {
+            if last == Some(*d) {
+                None
+            } else {
+                last = Some(*d);
+                Some(*d)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    #[test]
+    fn within_capacity_no_spill() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<f64> = SpillBuffer::new(&vfs, "spill", 10).unwrap();
+        for i in 0..5 {
+            b.push(VertexId(i), i as f64).unwrap();
+        }
+        assert_eq!(b.spilled(), 0);
+        assert_eq!(b.in_memory(), 5);
+        assert_eq!(vfs.stats().snapshot().rand_write_bytes, 0);
+        let d = b.drain().unwrap();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn overflow_spills_random_writes() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<f64> = SpillBuffer::new(&vfs, "spill", 3).unwrap();
+        for i in 0..10 {
+            b.push(VertexId(i % 4), i as f64).unwrap();
+        }
+        assert_eq!(b.spilled(), 7);
+        assert_eq!(b.total(), 10);
+        let msg_bytes = SpillBuffer::<f64>::message_bytes();
+        assert_eq!(vfs.stats().snapshot().rand_write_bytes, 7 * msg_bytes);
+        assert_eq!(b.spilled_bytes(), 7 * msg_bytes);
+
+        let before = vfs.stats().snapshot();
+        let d = b.drain().unwrap();
+        assert_eq!(d.len(), 10);
+        // Read-back is sequential.
+        let delta = vfs.stats().snapshot().delta(&before);
+        assert_eq!(delta.seq_read_bytes, 7 * msg_bytes);
+    }
+
+    #[test]
+    fn drain_groups_by_destination() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<u32> = SpillBuffer::new(&vfs, "spill", 2).unwrap();
+        b.push(VertexId(5), 50).unwrap();
+        b.push(VertexId(1), 10).unwrap();
+        b.push(VertexId(5), 51).unwrap();
+        b.push(VertexId(3), 30).unwrap();
+        let d = b.drain().unwrap();
+        let five: Vec<u32> = d.for_vertex(VertexId(5)).iter().map(|(_, m)| *m).collect();
+        assert_eq!(five, vec![50, 51]);
+        assert_eq!(d.for_vertex(VertexId(1)).len(), 1);
+        assert_eq!(d.for_vertex(VertexId(2)).len(), 0);
+        let dsts: Vec<u32> = d.destinations().map(|v| v.0).collect();
+        assert_eq!(dsts, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn drain_resets_for_next_superstep() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<u32> = SpillBuffer::new(&vfs, "spill", 1).unwrap();
+        b.push(VertexId(0), 1).unwrap();
+        b.push(VertexId(1), 2).unwrap();
+        b.drain().unwrap();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.spilled(), 0);
+        assert_eq!(b.in_memory(), 0);
+        b.push(VertexId(2), 3).unwrap();
+        let d = b.drain().unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.for_vertex(VertexId(2))[0].1, 3);
+    }
+
+    #[test]
+    fn zero_capacity_spills_everything() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<u32> = SpillBuffer::new(&vfs, "spill", 0).unwrap();
+        for i in 0..4 {
+            b.push(VertexId(i), i).unwrap();
+        }
+        assert_eq!(b.spilled(), 4);
+        assert_eq!(b.drain().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_buffer() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<f64> = SpillBuffer::new(&vfs, "spill", 8).unwrap();
+        b.push(VertexId(0), 0.0).unwrap();
+        b.push(VertexId(1), 1.0).unwrap();
+        assert_eq!(b.memory_bytes(), 2 * 12);
+    }
+
+    #[test]
+    fn empty_delivery() {
+        let d: DeliveredMessages<u32> = DeliveredMessages::empty();
+        assert!(d.is_empty());
+        assert_eq!(d.for_vertex(VertexId(0)).len(), 0);
+    }
+}

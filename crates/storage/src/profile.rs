@@ -1,0 +1,141 @@
+//! Device throughput profiles (paper Table 3).
+//!
+//! The paper benchmarks its two clusters with `fio` (mixed 50/50
+//! random/sequential read-write pattern) and `iperf`, and plugs the
+//! resulting MB/s numbers directly into the switching metric `Q_t`
+//! (Eq. 11). The same numbers drive this reproduction's modeled time.
+
+use serde::{Deserialize, Serialize};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Throughputs of one cluster's disk and network, in MB/s.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Random-read throughput (`s_rr`).
+    pub srr: f64,
+    /// Random-write throughput (`s_rw`).
+    pub srw: f64,
+    /// Sequential-read throughput (`s_sr`).
+    pub ssr: f64,
+    /// Sequential-write throughput. Table 3 does not list it separately;
+    /// the presets reuse the sequential-read number.
+    pub ssw: f64,
+    /// Network throughput (`s_net`).
+    pub snet: f64,
+}
+
+impl DeviceProfile {
+    /// The paper's local cluster: 7,200 RPM HDDs, Gigabit Ethernet.
+    /// `s_rr/s_rw/s_sr = 1.177/1.182/2.358 MB/s`, `s_net = 112 MB/s`.
+    pub fn local_hdd() -> Self {
+        DeviceProfile {
+            srr: 1.177,
+            srw: 1.182,
+            ssr: 2.358,
+            ssw: 2.358,
+            snet: 112.0,
+        }
+    }
+
+    /// The paper's amazon cluster: SSDs.
+    /// `s_rr/s_rw/s_sr = 18.177/18.194/18.270 MB/s`, `s_net = 116 MB/s`.
+    pub fn amazon_ssd() -> Self {
+        DeviceProfile {
+            srr: 18.177,
+            srw: 18.194,
+            ssr: 18.270,
+            ssw: 18.270,
+            snet: 116.0,
+        }
+    }
+
+    /// An idealized all-in-memory profile (effectively no I/O cost); used
+    /// by the "sufficient memory" experiments where runtime is dominated
+    /// by network and compute.
+    pub fn memory() -> Self {
+        DeviceProfile {
+            srr: 4096.0,
+            srw: 4096.0,
+            ssr: 8192.0,
+            ssw: 8192.0,
+            snet: 112.0,
+        }
+    }
+
+    /// Seconds to randomly read `bytes` bytes.
+    #[inline]
+    pub fn rand_read_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.srr * MB)
+    }
+
+    /// Seconds to randomly write `bytes` bytes.
+    #[inline]
+    pub fn rand_write_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.srw * MB)
+    }
+
+    /// Seconds to sequentially read `bytes` bytes.
+    #[inline]
+    pub fn seq_read_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.ssr * MB)
+    }
+
+    /// Seconds to sequentially write `bytes` bytes.
+    #[inline]
+    pub fn seq_write_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.ssw * MB)
+    }
+
+    /// Seconds to transfer `bytes` bytes over the network.
+    #[inline]
+    pub fn net_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.snet * MB)
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        DeviceProfile::local_hdd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table3() {
+        let hdd = DeviceProfile::local_hdd();
+        assert_eq!(hdd.srr, 1.177);
+        assert_eq!(hdd.srw, 1.182);
+        assert_eq!(hdd.ssr, 2.358);
+        assert_eq!(hdd.snet, 112.0);
+        let ssd = DeviceProfile::amazon_ssd();
+        assert_eq!(ssd.srr, 18.177);
+        assert_eq!(ssd.snet, 116.0);
+    }
+
+    #[test]
+    fn ssd_faster_random_io_than_hdd() {
+        let hdd = DeviceProfile::local_hdd();
+        let ssd = DeviceProfile::amazon_ssd();
+        let b = 100 * 1024 * 1024;
+        assert!(ssd.rand_read_secs(b) < hdd.rand_read_secs(b));
+        assert!(ssd.rand_write_secs(b) < hdd.rand_write_secs(b));
+    }
+
+    #[test]
+    fn time_scales_linearly() {
+        let p = DeviceProfile::local_hdd();
+        let one = p.seq_read_secs(1024 * 1024);
+        let ten = p.seq_read_secs(10 * 1024 * 1024);
+        assert!((ten / one - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdd_random_much_slower_than_sequential() {
+        let p = DeviceProfile::local_hdd();
+        assert!(p.rand_read_secs(1 << 20) > 1.9 * p.seq_read_secs(1 << 20));
+    }
+}

@@ -1,0 +1,189 @@
+//! Disk-resident vertex-value segment.
+//!
+//! The paper assumes graph data (vertices and edges) reside on disk (§3).
+//! Vertex values are stored as fixed-width records in vertex-id order, so a
+//! Vblock's values form one contiguous run: block reads/writes are
+//! sequential, while the svertex lookups Pull-Respond performs while
+//! scanning fragments are random reads (the paper's `IO(V^t_rr)` term).
+
+use crate::record::{decode_slice, encode_slice, Record};
+use crate::stats::AccessClass;
+use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_graph::VertexId;
+use std::io;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Fixed-width vertex values for one worker's contiguous vertex range.
+pub struct ValueStore<V: Record> {
+    file: VfsFile,
+    /// First vertex id owned by this store.
+    base: u32,
+    /// Number of vertices in the store.
+    count: usize,
+    _marker: PhantomData<V>,
+}
+
+impl<V: Record> ValueStore<V> {
+    /// Creates the store for vertices `base..base + values.len()` and
+    /// writes the initial values sequentially.
+    pub fn create(
+        vfs: &dyn Vfs,
+        name: &str,
+        base: u32,
+        values: &[V],
+    ) -> io::Result<ValueStore<V>> {
+        let file = vfs.create(name)?;
+        file.append(AccessClass::SeqWrite, &encode_slice(values))?;
+        Ok(ValueStore {
+            file,
+            base,
+            count: values.len(),
+            _marker: PhantomData,
+        })
+    }
+
+    /// First vertex id owned.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if the store holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bytes per value record (`S_v`).
+    pub fn value_bytes(&self) -> u64 {
+        V::BYTES as u64
+    }
+
+    /// Bytes a whole-store pass touches.
+    pub fn total_bytes(&self) -> u64 {
+        self.count as u64 * V::BYTES as u64
+    }
+
+    #[inline]
+    fn offset_of(&self, v: VertexId) -> u64 {
+        debug_assert!(
+            v.0 >= self.base && ((v.0 - self.base) as usize) < self.count,
+            "vertex {v} outside store range"
+        );
+        (v.0 - self.base) as u64 * V::BYTES as u64
+    }
+
+    /// Sequentially reads values of the contiguous vertex range.
+    pub fn read_range(&self, range: Range<u32>) -> io::Result<Vec<V>> {
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
+        let off = self.offset_of(VertexId(range.start));
+        let len = range.len() * V::BYTES;
+        let bytes = self.file.read_vec(AccessClass::SeqRead, off, len)?;
+        Ok(decode_slice(&bytes))
+    }
+
+    /// Sequentially writes values of the contiguous vertex range.
+    pub fn write_range(&self, range: Range<u32>, values: &[V]) -> io::Result<()> {
+        assert_eq!(range.len(), values.len(), "range/value length mismatch");
+        if range.is_empty() {
+            return Ok(());
+        }
+        let off = self.offset_of(VertexId(range.start));
+        self.file
+            .write_at(AccessClass::SeqWrite, off, &encode_slice(values))
+    }
+
+    /// Randomly reads one value (Pull-Respond's svertex lookup).
+    pub fn read_one(&self, v: VertexId) -> io::Result<V> {
+        let bytes = self
+            .file
+            .read_vec(AccessClass::RandRead, self.offset_of(v), V::BYTES)?;
+        Ok(V::read_from(&bytes))
+    }
+
+    /// Randomly writes one value.
+    pub fn write_one(&self, v: VertexId, value: &V) -> io::Result<()> {
+        let mut buf = vec![0u8; V::BYTES];
+        value.write_to(&mut buf);
+        self.file
+            .write_at(AccessClass::RandWrite, self.offset_of(v), &buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    fn store(vfs: &MemVfs) -> ValueStore<f64> {
+        let vals: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        ValueStore::create(vfs, "vals", 100, &vals).unwrap()
+    }
+
+    #[test]
+    fn create_and_point_reads() {
+        let vfs = MemVfs::new();
+        let s = store(&vfs);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.base(), 100);
+        assert_eq!(s.read_one(VertexId(100)).unwrap(), 0.0);
+        assert_eq!(s.read_one(VertexId(109)).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn range_roundtrip() {
+        let vfs = MemVfs::new();
+        let s = store(&vfs);
+        assert_eq!(s.read_range(102..105).unwrap(), vec![2.0, 3.0, 4.0]);
+        s.write_range(102..104, &[20.0, 30.0]).unwrap();
+        assert_eq!(s.read_range(101..105).unwrap(), vec![1.0, 20.0, 30.0, 4.0]);
+    }
+
+    #[test]
+    fn point_write() {
+        let vfs = MemVfs::new();
+        let s = store(&vfs);
+        s.write_one(VertexId(105), &55.5).unwrap();
+        assert_eq!(s.read_one(VertexId(105)).unwrap(), 55.5);
+    }
+
+    #[test]
+    fn accounting_classes() {
+        let vfs = MemVfs::new();
+        let s = store(&vfs);
+        let before = vfs.stats().snapshot();
+        s.read_range(100..110).unwrap();
+        s.read_one(VertexId(100)).unwrap();
+        s.write_one(VertexId(100), &1.0).unwrap();
+        let d = vfs.stats().snapshot().delta(&before);
+        assert_eq!(d.seq_read_bytes, 80);
+        assert_eq!(d.rand_read_bytes, 8);
+        assert_eq!(d.rand_write_bytes, 8);
+        // Creation wrote the initial values sequentially.
+        assert_eq!(before.seq_write_bytes, 80);
+    }
+
+    #[test]
+    fn empty_range_is_free() {
+        let vfs = MemVfs::new();
+        let s = store(&vfs);
+        let before = vfs.stats().snapshot();
+        assert!(s.read_range(105..105).unwrap().is_empty());
+        s.write_range(105..105, &[]).unwrap();
+        assert_eq!(vfs.stats().snapshot(), before);
+    }
+
+    #[test]
+    fn total_bytes() {
+        let vfs = MemVfs::new();
+        let s = store(&vfs);
+        assert_eq!(s.total_bytes(), 80);
+        assert_eq!(s.value_bytes(), 8);
+    }
+}

@@ -1,0 +1,509 @@
+//! The VE-BLOCK on-disk graph layout (paper §4.1).
+//!
+//! VE-BLOCK separates a worker's graph into:
+//!
+//! * **Vblocks** — fixed-size ranges of vertices (values live in the
+//!   [`ValueStore`](crate::value_store::ValueStore), block-aligned),
+//! * **Eblocks** `g_{j,i}` — for each local source block `b_j` and each
+//!   *global* destination block `b_i`, the edges from `b_j` into `b_i`,
+//!   clustered per source vertex into **fragments**
+//!   `(svertex id, edge count, edges…)`,
+//! * **metadata `X_j`** — per source block: vertex count, total in/out
+//!   degree, a bitmap over destination blocks (bit `i` set iff `g_{j,i}` is
+//!   non-empty) and the dynamic responding indicator `res` maintained by
+//!   the engine.
+//!
+//! Answering a pull request for block `b_i` reads each non-empty `g_{j,i}`
+//! sequentially (edge bytes + per-fragment auxiliary bytes — the paper's
+//! `IO(E^t)` and `IO(F^t)`) plus one random svertex-value read per
+//! responding fragment (`IO(V^t_rr)`).
+
+use crate::record::Record;
+use crate::stats::AccessClass;
+use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_graph::{BlockId, BlockLayout, Edge, Graph, VertexId, WorkerId};
+use std::io;
+
+/// Byte cost of one fragment's auxiliary data: svertex id + edge count.
+pub const FRAGMENT_AUX_BYTES: u64 = 8;
+
+/// Static per-Vblock metadata (the paper's `X_j`, minus the dynamic `res`
+/// flag, which the engine owns because it changes every superstep).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Number of vertices in the block (`#`).
+    pub vertex_count: u32,
+    /// Total in-degree of the block's vertices (`ind`).
+    pub in_degree: u64,
+    /// Total out-degree of the block's vertices (`outd`).
+    pub out_degree: u64,
+    /// Bit `i` set iff there are edges from this block to global block `i`.
+    bitmap: Vec<u64>,
+}
+
+impl BlockMeta {
+    fn new(vertex_count: u32, num_blocks: usize) -> Self {
+        BlockMeta {
+            vertex_count,
+            in_degree: 0,
+            out_degree: 0,
+            bitmap: vec![0; num_blocks.div_ceil(64)],
+        }
+    }
+
+    fn set_bit(&mut self, i: BlockId) {
+        self.bitmap[i.index() / 64] |= 1 << (i.index() % 64);
+    }
+
+    /// True if the block has at least one edge into global block `i`.
+    pub fn has_edges_to(&self, i: BlockId) -> bool {
+        (self.bitmap[i.index() / 64] >> (i.index() % 64)) & 1 == 1
+    }
+
+    /// In-memory footprint of this metadata entry in bytes (counted toward
+    /// the memory-usage curves of Fig. 14(d) and Fig. 23).
+    pub fn memory_bytes(&self) -> u64 {
+        4 + 8 + 8 + self.bitmap.len() as u64 * 8 + 1 // fields + res flag
+    }
+}
+
+/// Index entry for one Eblock `g_{j,i}` inside its block file.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EblockInfo {
+    /// Byte offset of the Eblock inside the local block's edge file.
+    pub offset: u64,
+    /// Total Eblock bytes (edges + fragment auxiliary data).
+    pub bytes: u64,
+    /// Auxiliary bytes: `fragments * FRAGMENT_AUX_BYTES`.
+    pub aux_bytes: u64,
+    /// Edge payload bytes.
+    pub edge_bytes: u64,
+    /// Number of fragments.
+    pub fragments: u32,
+}
+
+/// One decoded fragment: a source vertex and its clustered edges into the
+/// requested destination block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fragment {
+    /// The source vertex.
+    pub src: VertexId,
+    /// Its edges into the destination block.
+    pub edges: Vec<Edge>,
+}
+
+/// The VE-BLOCK store for one worker's local blocks.
+pub struct VeBlockStore {
+    /// One edge file per local block, holding its `V` Eblocks back to back.
+    files: Vec<VfsFile>,
+    /// `index[j_local][i_global]` — extent of `g_{j,i}`.
+    index: Vec<Vec<EblockInfo>>,
+    /// `meta[j_local]` — `X_j`.
+    meta: Vec<BlockMeta>,
+    /// Global id of local block 0 (a worker's blocks are contiguous).
+    first_block: u32,
+    /// First vertex id covered by the local blocks.
+    base_vertex: u32,
+    /// `fragment_counts[v - base_vertex]` — how many fragments vertex `v`
+    /// appears in (its out-edges span that many Eblocks). Used to estimate
+    /// `IO(V^t_rr)` for the hybrid predictor without running b-pull.
+    fragment_counts: Vec<u32>,
+    total_fragments: u64,
+    total_edge_bytes: u64,
+}
+
+impl VeBlockStore {
+    /// Builds the VE-BLOCK layout for `worker`'s blocks of `layout` over
+    /// `graph`. Edge and auxiliary bytes are written sequentially (this is
+    /// the `VE-BLOCK` loading path measured in Fig. 16).
+    pub fn build(
+        vfs: &dyn Vfs,
+        graph: &Graph,
+        layout: &BlockLayout,
+        worker: WorkerId,
+    ) -> io::Result<VeBlockStore> {
+        let num_blocks = layout.num_blocks();
+        let local_blocks: Vec<BlockId> = layout.blocks_of_worker(worker).collect();
+        let first_block = local_blocks.first().map_or(0, |b| b.0);
+        let base_vertex = local_blocks
+            .first()
+            .map_or(0, |&b| layout.block_range(b).start);
+        let local_vertices = local_blocks
+            .iter()
+            .map(|&b| layout.block_range(b).len())
+            .sum::<usize>();
+        let in_degrees = graph.in_degrees();
+
+        let mut files = Vec::with_capacity(local_blocks.len());
+        let mut index = Vec::with_capacity(local_blocks.len());
+        let mut meta = Vec::with_capacity(local_blocks.len());
+        let mut fragment_counts = vec![0u32; local_vertices];
+        let mut total_fragments = 0u64;
+        let mut total_edge_bytes = 0u64;
+
+        for &bj in &local_blocks {
+            let range = layout.block_range(bj);
+            let mut m = BlockMeta::new(range.len() as u32, num_blocks);
+            // Accumulate per-destination-block fragment buffers.
+            let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); num_blocks];
+            let mut frag_counts = vec![0u32; num_blocks];
+            for v in range.clone() {
+                let v = VertexId(v);
+                m.in_degree += in_degrees[v.index()] as u64;
+                let row = graph.out_edges(v);
+                m.out_degree += row.len() as u64;
+                // CSR rows are sorted by destination, so destination blocks
+                // appear in ascending runs: one pass emits each fragment,
+                // with one block lookup per run (not per edge).
+                let mut k = 0;
+                while k < row.len() {
+                    let bi = layout.block_of(row[k].dst);
+                    let block_end = layout.block_range(bi).end;
+                    let mut end = k + 1;
+                    while end < row.len() && row[end].dst.0 < block_end {
+                        end += 1;
+                    }
+                    let buf = &mut bufs[bi.index()];
+                    v.0.append_to_vec(buf);
+                    ((end - k) as u32).append_to_vec(buf);
+                    for e in &row[k..end] {
+                        e.append_to(buf);
+                    }
+                    frag_counts[bi.index()] += 1;
+                    fragment_counts[(v.0 - base_vertex) as usize] += 1;
+                    m.set_bit(bi);
+                    k = end;
+                }
+            }
+            // Concatenate the Eblocks into this block's file.
+            let file = vfs.create(&format!("eblk_{}", bj.0))?;
+            let mut block_index = Vec::with_capacity(num_blocks);
+            let mut offset = 0u64;
+            for (i, buf) in bufs.iter().enumerate() {
+                let aux = frag_counts[i] as u64 * FRAGMENT_AUX_BYTES;
+                let info = EblockInfo {
+                    offset,
+                    bytes: buf.len() as u64,
+                    aux_bytes: aux,
+                    edge_bytes: buf.len() as u64 - aux,
+                    fragments: frag_counts[i],
+                };
+                if !buf.is_empty() {
+                    file.append(AccessClass::SeqWrite, buf)?;
+                }
+                offset += buf.len() as u64;
+                total_fragments += frag_counts[i] as u64;
+                total_edge_bytes += info.edge_bytes;
+                block_index.push(info);
+            }
+            files.push(file);
+            index.push(block_index);
+            meta.push(m);
+        }
+
+        Ok(VeBlockStore {
+            files,
+            index,
+            meta,
+            first_block,
+            base_vertex,
+            fragment_counts,
+            total_fragments,
+            total_edge_bytes,
+        })
+    }
+
+    /// How many fragments local vertex `v` appears in (no I/O).
+    pub fn fragments_of(&self, v: VertexId) -> u32 {
+        let i = (v.0 - self.base_vertex) as usize;
+        debug_assert!(i < self.fragment_counts.len(), "vertex {v} not local");
+        self.fragment_counts[i]
+    }
+
+    /// Total Eblock bytes a pull request touching local block `j` scans:
+    /// `(edge bytes, auxiliary bytes)` summed over all destinations.
+    pub fn block_scan_bytes(&self, j: BlockId) -> (u64, u64) {
+        let per = &self.index[self.local_of(j)];
+        let edge = per.iter().map(|i| i.edge_bytes).sum();
+        let aux = per.iter().map(|i| i.aux_bytes).sum();
+        (edge, aux)
+    }
+
+    /// Number of local blocks.
+    pub fn local_blocks(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Global id of the first local block.
+    pub fn first_block(&self) -> BlockId {
+        BlockId(self.first_block)
+    }
+
+    #[inline]
+    fn local_of(&self, b: BlockId) -> usize {
+        let j = (b.0 - self.first_block) as usize;
+        debug_assert!(j < self.meta.len(), "block {b} is not local");
+        j
+    }
+
+    /// Metadata `X_j` of local block `b`.
+    pub fn meta(&self, b: BlockId) -> &BlockMeta {
+        &self.meta[self.local_of(b)]
+    }
+
+    /// Extent info of Eblock `g_{j,i}`.
+    pub fn eblock_info(&self, j: BlockId, i: BlockId) -> &EblockInfo {
+        &self.index[self.local_of(j)][i.index()]
+    }
+
+    /// Total fragments across the store (the paper's `f`, used by
+    /// Theorem 2's bound `B⊥ = |E|/2 − f`).
+    pub fn total_fragments(&self) -> u64 {
+        self.total_fragments
+    }
+
+    /// Total edge payload bytes in the store.
+    pub fn total_edge_bytes(&self) -> u64 {
+        self.total_edge_bytes
+    }
+
+    /// In-memory footprint of the `X_j` metadata (what the paper's memory
+    /// curves count: `#`, `ind`, `outd`, bitmap, `res` — Fig. 23's
+    /// "metadata in VE-BLOCK").
+    pub fn metadata_memory_bytes(&self) -> u64 {
+        self.meta.iter().map(|m| m.memory_bytes()).sum()
+    }
+
+    /// In-memory footprint of the Eblock extent index (an implementation
+    /// detail of this store, reported separately).
+    pub fn index_memory_bytes(&self) -> u64 {
+        self.index.iter().map(|per| per.len() as u64 * 36).sum()
+    }
+
+    /// Sequentially reads and decodes Eblock `g_{j,i}`.
+    ///
+    /// Returns the fragments in svertex order. Accounts the whole Eblock
+    /// extent (edges + auxiliary data) as a sequential read; the caller is
+    /// responsible for the random svertex value reads.
+    pub fn scan_eblock(&self, j: BlockId, i: BlockId) -> io::Result<Vec<Fragment>> {
+        let jl = self.local_of(j);
+        let info = self.index[jl][i.index()];
+        if info.bytes == 0 {
+            return Ok(Vec::new());
+        }
+        let bytes =
+            self.files[jl].read_vec(AccessClass::SeqRead, info.offset, info.bytes as usize)?;
+        let mut fragments = Vec::with_capacity(info.fragments as usize);
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let src = VertexId(u32::read_from(&bytes[at..at + 4]));
+            let count = u32::read_from(&bytes[at + 4..at + 8]) as usize;
+            at += 8;
+            let mut edges = Vec::with_capacity(count);
+            for _ in 0..count {
+                edges.push(Edge::read_from(&bytes[at..at + 8]));
+                at += 8;
+            }
+            fragments.push(Fragment { src, edges });
+        }
+        debug_assert_eq!(fragments.len(), info.fragments as usize);
+        Ok(fragments)
+    }
+}
+
+/// Little helper so `u32` values can append themselves like [`Record`]s.
+trait AppendTo {
+    fn append_to_vec(&self, out: &mut Vec<u8>);
+}
+
+impl AppendTo for u32 {
+    #[inline]
+    fn append_to_vec(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use hybridgraph_graph::{gen, Partition};
+
+    fn layout(n: usize, workers: usize, per_worker: usize) -> (Partition, BlockLayout) {
+        let p = Partition::range(n, workers);
+        let l = BlockLayout::uniform(&p, per_worker);
+        (p, l)
+    }
+
+    #[test]
+    fn fragments_cover_all_edges() {
+        let g = gen::uniform(60, 400, 7);
+        let (_, l) = layout(60, 3, 2);
+        let vfs = MemVfs::new();
+        let mut total_edges = 0usize;
+        for w in 0..3 {
+            let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(w)).unwrap();
+            for j in l.blocks_of_worker(WorkerId(w)) {
+                for i in l.block_ids() {
+                    for frag in s.scan_eblock(j, i).unwrap() {
+                        // Fragment src belongs to block j, dsts to block i.
+                        assert_eq!(l.block_of(frag.src), j);
+                        for e in &frag.edges {
+                            assert_eq!(l.block_of(e.dst), i);
+                        }
+                        total_edges += frag.edges.len();
+                    }
+                }
+            }
+        }
+        assert_eq!(total_edges, g.num_edges());
+    }
+
+    #[test]
+    fn metadata_matches_graph() {
+        let g = gen::uniform(40, 200, 1);
+        let (_, l) = layout(40, 2, 2);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(0)).unwrap();
+        let ind = g.in_degrees();
+        for j in l.blocks_of_worker(WorkerId(0)) {
+            let m = s.meta(j);
+            let r = l.block_range(j);
+            assert_eq!(m.vertex_count, r.len() as u32);
+            let want_out: u64 = r.clone().map(|v| g.out_degree(VertexId(v)) as u64).sum();
+            let want_in: u64 = r.clone().map(|v| ind[v as usize] as u64).sum();
+            assert_eq!(m.out_degree, want_out);
+            assert_eq!(m.in_degree, want_in);
+        }
+    }
+
+    #[test]
+    fn bitmap_matches_eblock_contents() {
+        let g = gen::uniform(50, 300, 9);
+        let (_, l) = layout(50, 2, 3);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(1)).unwrap();
+        for j in l.blocks_of_worker(WorkerId(1)) {
+            for i in l.block_ids() {
+                let has = s.eblock_info(j, i).fragments > 0;
+                assert_eq!(s.meta(j).has_edges_to(i), has, "g_{{{j},{i}}}");
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_clustering_groups_per_source() {
+        // star: all edges come from vertex 0 -> exactly one fragment per
+        // non-empty destination block.
+        let g = gen::star(32);
+        let (_, l) = layout(32, 1, 4);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(0)).unwrap();
+        let b0 = BlockId(0);
+        for i in l.block_ids() {
+            let info = s.eblock_info(b0, i);
+            if info.fragments > 0 {
+                assert_eq!(info.fragments, 1, "one fragment per dst block");
+            }
+        }
+        assert_eq!(s.total_fragments(), 4); // vertex 0 reaches all 4 blocks
+    }
+
+    #[test]
+    fn aux_and_edge_bytes_split() {
+        let g = gen::uniform(30, 120, 4);
+        let (_, l) = layout(30, 1, 3);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(0)).unwrap();
+        let mut edge_bytes = 0;
+        let mut aux_bytes = 0;
+        for j in l.block_ids() {
+            for i in l.block_ids() {
+                let info = s.eblock_info(j, i);
+                assert_eq!(info.bytes, info.edge_bytes + info.aux_bytes);
+                assert_eq!(info.aux_bytes, info.fragments as u64 * FRAGMENT_AUX_BYTES);
+                edge_bytes += info.edge_bytes;
+                aux_bytes += info.aux_bytes;
+            }
+        }
+        assert_eq!(edge_bytes, g.num_edges() as u64 * 8);
+        assert_eq!(aux_bytes, s.total_fragments() * FRAGMENT_AUX_BYTES);
+        assert_eq!(s.total_edge_bytes(), edge_bytes);
+    }
+
+    #[test]
+    fn scan_accounts_sequential_read() {
+        let g = gen::uniform(30, 120, 4);
+        let (_, l) = layout(30, 1, 2);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(0)).unwrap();
+        let before = vfs.stats().snapshot();
+        let info = *s.eblock_info(BlockId(0), BlockId(1));
+        s.scan_eblock(BlockId(0), BlockId(1)).unwrap();
+        let d = vfs.stats().snapshot().delta(&before);
+        assert_eq!(d.seq_read_bytes, info.bytes);
+        assert_eq!(d.rand_read_bytes, 0);
+    }
+
+    #[test]
+    fn theorem1_fragments_grow_with_block_count() {
+        // Theorem 1: E[#fragments] is proportional to (monotone in) V.
+        let g = gen::rmat(256, 4096, gen::RmatParams::default(), 5);
+        let mut prev = 0u64;
+        for per_worker in [1usize, 2, 4, 8, 16] {
+            let (_, l) = layout(256, 2, per_worker);
+            let vfs = MemVfs::new();
+            let mut frags = 0;
+            for w in 0..2 {
+                frags += VeBlockStore::build(&vfs, &g, &l, WorkerId(w))
+                    .unwrap()
+                    .total_fragments();
+            }
+            assert!(frags >= prev, "fragments must grow with V: {frags} < {prev}");
+            prev = frags;
+        }
+        // And it is bounded by |E|.
+        assert!(prev <= g.num_edges() as u64);
+    }
+
+    #[test]
+    fn per_vertex_fragment_counts() {
+        let g = gen::uniform(40, 200, 6);
+        let (_, l) = layout(40, 2, 2);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(0)).unwrap();
+        // Sum of per-vertex counts equals total fragments.
+        let sum: u64 = (0..20u32).map(|v| s.fragments_of(VertexId(v)) as u64).sum();
+        assert_eq!(sum, s.total_fragments());
+        // A vertex's fragment count is bounded by min(out-degree, V).
+        for v in 0..20u32 {
+            let fc = s.fragments_of(VertexId(v)) as usize;
+            assert!(fc <= g.out_degree(VertexId(v)).min(l.num_blocks()));
+        }
+    }
+
+    #[test]
+    fn block_scan_totals() {
+        let g = gen::uniform(30, 150, 2);
+        let (_, l) = layout(30, 1, 3);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(0)).unwrap();
+        for j in l.block_ids() {
+            let (edge, aux) = s.block_scan_bytes(j);
+            let want_edge: u64 = l.block_ids().map(|i| s.eblock_info(j, i).edge_bytes).sum();
+            let want_aux: u64 = l.block_ids().map(|i| s.eblock_info(j, i).aux_bytes).sum();
+            assert_eq!((edge, aux), (want_edge, want_aux));
+        }
+    }
+
+    #[test]
+    fn empty_worker_store() {
+        let g = gen::uniform(16, 32, 2);
+        let p = Partition::range(16, 20); // workers 16..19 own nothing
+        let l = BlockLayout::uniform(&p, 1);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build(&vfs, &g, &l, WorkerId(17)).unwrap();
+        assert_eq!(s.local_blocks(), 0);
+        assert_eq!(s.total_fragments(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the storage substrate.
+
+use hybridgraph_graph::{gen, BlockLayout, Partition, VertexId, WorkerId};
+use hybridgraph_storage::lru::LruCache;
+use hybridgraph_storage::msg_store::SpillBuffer;
+use hybridgraph_storage::value_store::ValueStore;
+use hybridgraph_storage::veblock::VeBlockStore;
+use hybridgraph_storage::vfs::MemVfs;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SpillBuffer delivers exactly what was pushed, grouped by dst,
+    /// regardless of capacity.
+    #[test]
+    fn spill_buffer_delivers_everything(
+        msgs in prop::collection::vec((0u32..64, 0u32..1000), 0..300),
+        capacity in 0usize..64,
+    ) {
+        let vfs = MemVfs::new();
+        let mut buf: SpillBuffer<u32> = SpillBuffer::new(&vfs, "s", capacity).unwrap();
+        for &(dst, m) in &msgs {
+            buf.push(VertexId(dst), m).unwrap();
+        }
+        prop_assert_eq!(buf.total(), msgs.len() as u64);
+        prop_assert_eq!(
+            buf.spilled() as usize,
+            msgs.len().saturating_sub(capacity)
+        );
+        let delivered = buf.drain().unwrap();
+        prop_assert_eq!(delivered.len(), msgs.len());
+        // Multiset equality per destination.
+        let mut want: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(dst, m) in &msgs {
+            want.entry(dst).or_default().push(m);
+        }
+        for (dst, mut vals) in want {
+            let mut got: Vec<u32> = delivered
+                .for_vertex(VertexId(dst))
+                .iter()
+                .map(|(_, m)| *m)
+                .collect();
+            got.sort();
+            vals.sort();
+            prop_assert_eq!(got, vals);
+        }
+    }
+
+    /// The LRU cache agrees with a naive model on hits and never exceeds
+    /// capacity; every dirty value is eventually reported exactly once.
+    #[test]
+    fn lru_matches_model(
+        ops in prop::collection::vec((0u32..32, any::<bool>()), 1..200),
+        capacity in 1usize..16,
+    ) {
+        let mut lru: LruCache<u32, u32> = LruCache::new(capacity);
+        let mut dirty_out: Vec<u32> = Vec::new();
+        // Model: recency list of keys.
+        let mut recency: Vec<u32> = Vec::new();
+        for (i, &(key, write)) in ops.iter().enumerate() {
+            let val = i as u32;
+            let modeled_hit = recency.contains(&key);
+            let got_hit = if write {
+                lru.get_mut(&key).map(|v| *v = val).is_some()
+            } else {
+                lru.get(&key).is_some()
+            };
+            prop_assert_eq!(got_hit, modeled_hit, "op {}", i);
+            if modeled_hit {
+                recency.retain(|&k| k != key);
+                recency.insert(0, key);
+            } else {
+                if let Some((k, _, d)) = lru.insert(key, val, false) {
+                    if d {
+                        dirty_out.push(k);
+                    }
+                    let evicted = recency.pop().unwrap();
+                    prop_assert_eq!(k, evicted);
+                }
+                recency.insert(0, key);
+            }
+            prop_assert!(lru.len() <= capacity);
+            prop_assert_eq!(lru.len(), recency.len());
+        }
+    }
+
+    /// ValueStore point/range operations agree with a plain vector.
+    #[test]
+    fn value_store_matches_vec(
+        n in 1usize..64,
+        ops in prop::collection::vec((0usize..64, -1000i64..1000), 0..100),
+    ) {
+        let vfs = MemVfs::new();
+        let init: Vec<i64> = (0..n as i64).collect();
+        let store = ValueStore::create(&vfs, "v", 0, &init).unwrap();
+        let mut model = init.clone();
+        for &(idx, val) in &ops {
+            let idx = idx % n;
+            store.write_one(VertexId(idx as u32), &val).unwrap();
+            model[idx] = val;
+            prop_assert_eq!(store.read_one(VertexId(idx as u32)).unwrap(), val);
+        }
+        prop_assert_eq!(store.read_range(0..n as u32).unwrap(), model);
+    }
+
+    /// VE-BLOCK fragments partition the edge set exactly, for arbitrary
+    /// random graphs, partitions and block granularities.
+    #[test]
+    fn veblock_partitions_edges(
+        n in 4usize..80,
+        m in 1usize..400,
+        t in 1usize..6,
+        per in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = gen::uniform(n, m, seed);
+        let p = Partition::range(n, t);
+        let l = BlockLayout::uniform(&p, per);
+        let mut seen = 0usize;
+        let mut total_frags = 0u64;
+        for w in 0..t {
+            let vfs = MemVfs::new();
+            let s = VeBlockStore::build(&vfs, &g, &l, WorkerId::from(w)).unwrap();
+            total_frags += s.total_fragments();
+            for j in l.blocks_of_worker(WorkerId::from(w)) {
+                for i in l.block_ids() {
+                    for frag in s.scan_eblock(j, i).unwrap() {
+                        prop_assert!(!frag.edges.is_empty(), "empty fragment");
+                        seen += frag.edges.len();
+                        // Fragment edges must exist in the graph.
+                        for e in &frag.edges {
+                            prop_assert!(g
+                                .out_edges(frag.src)
+                                .iter()
+                                .any(|ge| ge.dst == e.dst));
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(seen, m);
+        // Theorem 1 sanity: fragments bounded by edges and by vertices x V.
+        prop_assert!(total_frags <= m as u64);
+    }
+}

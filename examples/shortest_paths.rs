@@ -1,0 +1,83 @@
+//! Traversal workload: SSSP over a long-diameter web-like graph — the
+//! case hybrid was built for. The active set swells then shrinks over
+//! many supersteps; b-pull wins the message-heavy middle, push wins the
+//! sparse tail, and hybrid switches between them per the `Q_t` metric.
+//!
+//! ```text
+//! cargo run --release --example shortest_paths
+//! ```
+
+use hybridgraph::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // The wiki stand-in has a chain tail, so SSSP has a long convergent
+    // stage (the paper's wiki needs 284 supersteps).
+    let graph = Dataset::Wiki.build_scaled(2000);
+    let source = graph
+        .vertices()
+        .max_by_key(|&v| graph.out_degree(v))
+        .unwrap();
+    println!(
+        "graph: {} vertices, {} edges; source {} (out-degree {})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        source,
+        graph.out_degree(source)
+    );
+
+    let mut results = Vec::new();
+    for mode in [Mode::Push, Mode::BPull, Mode::Hybrid] {
+        let cfg = JobConfig::new(mode, 5).with_buffer(300);
+        let res = run_job(Arc::new(Sssp::new(source)), &graph, cfg).expect("job failed");
+        println!(
+            "{:<8} {:>3} supersteps, modeled {:>8.4}s, switches {:?}",
+            mode.label(),
+            res.metrics.supersteps(),
+            res.metrics.modeled_total_secs(),
+            res.metrics.switches
+        );
+        results.push(res);
+    }
+
+    // All modes agree on the distances.
+    let dists = &results[0].values;
+    for r in &results[1..] {
+        assert_eq!(
+            dists.len(),
+            r.values.len(),
+            "modes must produce identical shapes"
+        );
+        for (a, b) in dists.iter().zip(&r.values) {
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-4,
+                "modes disagree: {a} vs {b}"
+            );
+        }
+    }
+    let reached = dists.iter().filter(|d| d.is_finite()).count();
+    let max = dists
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0f32, f32::max);
+    println!(
+        "\n{} of {} vertices reachable; eccentricity {:.1}",
+        reached,
+        dists.len(),
+        max
+    );
+
+    // The hybrid run's per-superstep story: messages and mode.
+    println!("\nhybrid per-superstep:");
+    println!("{:>4} {:>12} {:>10} {:>10}", "t", "mode", "messages", "Q_t");
+    for s in &results[2].metrics.steps {
+        println!(
+            "{:>4} {:>12} {:>10} {:>+10.2e}",
+            s.superstep,
+            s.kind.label(),
+            s.messages_produced,
+            s.q_metric
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Degenerate inputs the engine must survive.
+
+use hybridgraph::prelude::*;
+use hybridgraph_graph::gen;
+use std::sync::Arc;
+
+fn all_modes(combinable: bool) -> Vec<Mode> {
+    if combinable {
+        Mode::ALL.to_vec()
+    } else {
+        vec![Mode::Push, Mode::Pull, Mode::BPull, Mode::Hybrid]
+    }
+}
+
+#[test]
+fn edgeless_graph_terminates_immediately() {
+    let g = Graph::empty(10);
+    for mode in all_modes(true) {
+        let cfg = JobConfig::new(mode, 3).with_buffer(8);
+        let res = hybridgraph_core::run_job(Arc::new(PageRank::new(5)), &g, cfg).unwrap();
+        assert_eq!(res.values.len(), 10);
+        // Everyone initializes, nobody can send: one or two supersteps.
+        assert!(res.metrics.supersteps() <= 2, "{mode:?}");
+        for v in &res.values {
+            assert_eq!(*v, 0.1);
+        }
+    }
+}
+
+#[test]
+fn single_vertex_graph() {
+    let g = Graph::empty(1);
+    for mode in all_modes(true) {
+        let cfg = JobConfig::new(mode, 1);
+        let res = hybridgraph_core::run_job(Arc::new(Wcc::new()), &g, cfg).unwrap();
+        assert_eq!(res.values, vec![0]);
+    }
+}
+
+#[test]
+fn more_workers_than_vertices() {
+    let g = gen::cycle(3);
+    for mode in all_modes(true) {
+        let cfg = JobConfig::new(mode, 8).with_buffer(4);
+        let res = hybridgraph_core::run_job(Arc::new(Wcc::new()), &g, cfg).unwrap();
+        assert_eq!(res.values, vec![0, 0, 0], "{mode:?}");
+    }
+}
+
+#[test]
+fn self_loop_free_sources_with_unreachable_rest() {
+    // Source is a sink: SSSP produces dist 0 there, infinity elsewhere,
+    // and terminates after the empty push.
+    let g = gen::star(5); // 0 -> 1..4
+    let program = Sssp::new(VertexId(3)); // vertex 3 has no out-edges
+    for mode in [Mode::Push, Mode::BPull, Mode::Hybrid] {
+        let cfg = JobConfig::new(mode, 2).with_buffer(4);
+        let res = hybridgraph_core::run_job(Arc::new(program.clone()), &g, cfg).unwrap();
+        assert_eq!(res.values[3], 0.0, "{mode:?}");
+        assert!(res.values[0].is_infinite());
+        assert!(res.metrics.supersteps() <= 2);
+    }
+}
+
+#[test]
+fn one_message_buffer_still_correct() {
+    let g = gen::uniform(60, 360, 2);
+    let want = hybridgraph_algos::reference::reference_run(&Lpa::new(3), &g);
+    for mode in all_modes(false) {
+        let cfg = JobConfig::new(mode, 3).with_buffer(1);
+        let res = hybridgraph_core::run_job(Arc::new(Lpa::new(3)), &g, cfg).unwrap();
+        assert_eq!(res.values, want, "{mode:?}");
+    }
+}
+
+#[test]
+fn tiny_sending_threshold_still_correct() {
+    let g = gen::uniform(50, 300, 7);
+    let want = hybridgraph_algos::reference::reference_run(&PageRank::new(4), &g);
+    for mode in all_modes(true) {
+        let cfg = JobConfig::new(mode, 3)
+            .with_buffer(32)
+            .with_sending_threshold(1);
+        let res = hybridgraph_core::run_job(Arc::new(PageRank::new(4)), &g, cfg).unwrap();
+        for (got, want) in res.values.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-9, "{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn many_blocks_per_worker() {
+    let g = gen::uniform(40, 240, 9);
+    let want = hybridgraph_algos::reference::reference_run(&Wcc::new(), &g);
+    let mut cfg = JobConfig::new(Mode::BPull, 2).with_buffer(16);
+    cfg.vblocks_per_worker = Some(100); // clamps to vertices per worker
+    let res = hybridgraph_core::run_job(Arc::new(Wcc::new()), &g, cfg).unwrap();
+    assert_eq!(res.values, want);
+}
+
+#[test]
+fn max_supersteps_cap_halts_nonconverging_programs() {
+    let g = gen::cycle(6);
+    let mut cfg = JobConfig::new(Mode::BPull, 2);
+    cfg.max_supersteps = 4;
+    // PageRank with an unbounded budget would run forever.
+    let res =
+        hybridgraph_core::run_job(Arc::new(PageRank::new(u64::MAX)), &g, cfg).unwrap();
+    assert_eq!(res.metrics.supersteps(), 4);
+}

@@ -1,0 +1,213 @@
+//! Invariants of the measurement machinery — the quantities the figure
+//! harness reports must mean what they claim.
+
+use hybridgraph::prelude::*;
+use hybridgraph_core::StepKind;
+use hybridgraph_graph::gen;
+use std::sync::Arc;
+
+fn graph() -> Graph {
+    gen::rmat(400, 4000, gen::RmatParams::default(), 17)
+}
+
+fn run(mode: Mode, buffer: usize) -> JobMetrics {
+    let cfg = JobConfig::new(mode, 4).with_buffer(buffer);
+    hybridgraph_core::run_job(Arc::new(PageRank::new(5)), &graph(), cfg)
+        .unwrap()
+        .metrics
+}
+
+#[test]
+fn push_spills_only_past_buffer() {
+    let tight = run(Mode::Push, 50);
+    let loose = run(Mode::Push, usize::MAX - 1);
+    assert!(
+        tight.steps.iter().any(|s| s.sem.msg_spill_bytes > 0),
+        "tiny buffer must spill"
+    );
+    assert!(
+        loose.steps.iter().all(|s| s.sem.msg_spill_bytes == 0),
+        "huge buffer must not spill"
+    );
+    assert!(tight.total_io_bytes() > loose.total_io_bytes());
+}
+
+#[test]
+fn bpull_never_spills_messages() {
+    let m = run(Mode::BPull, 50);
+    for s in &m.steps {
+        assert_eq!(s.sem.msg_spill_bytes, 0, "b-pull consumes messages in place");
+        assert_eq!(s.pending_messages, 0);
+    }
+}
+
+#[test]
+fn bpull_superstep1_exchanges_nothing() {
+    // Fig. 17's note: b-pull starts exchanging messages from superstep 2.
+    let m = run(Mode::BPull, 100);
+    let s1 = &m.steps[0];
+    assert_eq!(s1.net_out_bytes, 0);
+    assert_eq!(s1.net_raw_messages, 0);
+    assert!(m.steps[1].net_raw_messages > 0);
+}
+
+#[test]
+fn bpull_requests_are_block_granular() {
+    // Requests per superstep = V blocks broadcast to T workers.
+    let m = run(Mode::BPull, 100);
+    let v = m.load.num_vblocks as u64;
+    let t = 4u64;
+    for s in &m.steps[1..] {
+        assert_eq!(s.net_requests, v * t, "superstep {}", s.superstep);
+    }
+    // Superstep 1 sends none.
+    assert_eq!(m.steps[0].net_requests, 0);
+}
+
+#[test]
+fn pull_sends_vertex_granular_requests() {
+    let m = run(Mode::Pull, 100);
+    let v = m.load.num_vblocks as u64;
+    for s in &m.steps[1..] {
+        assert!(
+            s.net_requests > v * 4,
+            "per-vertex requests must dwarf block requests: {} at superstep {}",
+            s.net_requests,
+            s.superstep
+        );
+    }
+}
+
+#[test]
+fn combining_reduces_wire_values() {
+    let combined = run(Mode::BPull, 100);
+    let mut cfg = JobConfig::new(Mode::BPull, 4).with_buffer(100);
+    cfg.combining = false;
+    let concat = hybridgraph_core::run_job(Arc::new(PageRank::new(5)), &graph(), cfg)
+        .unwrap()
+        .metrics;
+    let wire = |m: &JobMetrics| m.steps.iter().map(|s| s.net_wire_values).sum::<u64>();
+    let bytes = |m: &JobMetrics| m.total_net_bytes();
+    assert!(wire(&combined) < wire(&concat));
+    assert!(bytes(&combined) < bytes(&concat));
+    // Both merge something relative to raw.
+    assert!(combined.steps[2].net_saved_messages > 0);
+    assert!(concat.steps[2].net_saved_messages > 0);
+}
+
+#[test]
+fn eq7_eq8_formulas_hold_in_metrics() {
+    for mode in [Mode::Push, Mode::BPull] {
+        let m = run(mode, 60);
+        for s in &m.steps {
+            match s.kind {
+                StepKind::Push => assert_eq!(s.cio_push_bytes, s.sem.cio_push()),
+                StepKind::BPull => assert_eq!(s.cio_bpull_bytes, s.sem.cio_bpull()),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_initial_mode_is_recorded() {
+    let tight = run(Mode::Hybrid, 16);
+    assert!(tight.load.b_lower_bound != 0 || tight.load.fragments > 0);
+    // With a buffer under B⊥ hybrid starts in b-pull.
+    if (16 * 4) <= tight.load.b_lower_bound {
+        assert_eq!(tight.load.initial_mode, Mode::BPull);
+        assert_eq!(tight.steps[0].kind, StepKind::BPull);
+    } else {
+        assert_eq!(tight.load.initial_mode, Mode::Push);
+        assert_eq!(tight.steps[0].kind, StepKind::Push);
+    }
+}
+
+#[test]
+fn hybrid_switches_match_step_kinds() {
+    // Force switching with an SSSP run (traversal tail).
+    let g = gen::randomize_weights(&gen::uniform(600, 6000, 3), 1.0, 6.0, 3);
+    let cfg = JobConfig::new(Mode::Hybrid, 4).with_buffer(64);
+    let m = hybridgraph_core::run_job(Arc::new(Sssp::new(VertexId(0))), &g, cfg)
+        .unwrap()
+        .metrics;
+    for &(at, from, to) in &m.switches {
+        let step = &m.steps[(at - 1) as usize];
+        match (from, to) {
+            (Mode::BPull, Mode::Push) => assert_eq!(step.kind, StepKind::BPullThenPush),
+            (Mode::Push, Mode::BPull) => assert_eq!(step.kind, StepKind::PushNoSend),
+            other => panic!("impossible switch {other:?}"),
+        }
+    }
+    // Steps after a switch run the new mode until the next switch.
+    if let Some(&(at, _, to)) = m.switches.first() {
+        if (at as usize) < m.steps.len() {
+            let next = &m.steps[at as usize];
+            assert_eq!(next.kind.mode(), to);
+        }
+    }
+}
+
+#[test]
+fn modeled_time_scales_with_slower_disk() {
+    let g = graph();
+    let mk = |profile| {
+        let cfg = JobConfig::new(Mode::Push, 4)
+            .with_buffer(50)
+            .with_profile(profile);
+        hybridgraph_core::run_job(Arc::new(PageRank::new(5)), &g, cfg)
+            .unwrap()
+            .metrics
+    };
+    let hdd = mk(DeviceProfile::local_hdd());
+    let ssd = mk(DeviceProfile::amazon_ssd());
+    assert!(hdd.modeled_total_secs() > ssd.modeled_total_secs());
+    // Byte counts are hardware-independent.
+    assert_eq!(hdd.total_io_bytes(), ssd.total_io_bytes());
+    assert_eq!(hdd.total_net_bytes(), ssd.total_net_bytes());
+}
+
+#[test]
+fn memory_usage_shrinks_with_more_blocks() {
+    // Fig. 23: the receive buffer shrinks as V grows. Concatenate-only
+    // LPA makes the buffer proportional to per-block in-degree mass, so
+    // the effect dominates the (V-proportional) metadata even at test
+    // scale.
+    let g = graph();
+    let mem = |per_worker: usize| {
+        let mut cfg = JobConfig::new(Mode::BPull, 4).with_buffer(200);
+        cfg.vblocks_per_worker = Some(per_worker);
+        hybridgraph_core::run_job(Arc::new(Lpa::new(4)), &g, cfg)
+            .unwrap()
+            .metrics
+            .peak_memory_bytes()
+    };
+    assert!(mem(1) > mem(16), "{} vs {}", mem(1), mem(16));
+}
+
+#[test]
+fn io_grows_with_more_blocks() {
+    let g = graph();
+    let io = |per_worker: usize| {
+        let mut cfg = JobConfig::new(Mode::BPull, 4).with_buffer(200);
+        cfg.vblocks_per_worker = Some(per_worker);
+        hybridgraph_core::run_job(Arc::new(PageRank::new(5)), &g, cfg)
+            .unwrap()
+            .metrics
+            .total_io_bytes()
+    };
+    // Fig. 24: I/O bytes grow with V (Theorem 1).
+    assert!(io(32) > io(1), "{} vs {}", io(32), io(1));
+}
+
+#[test]
+fn load_report_counts_fragments() {
+    let m = run(Mode::BPull, 100);
+    assert!(m.load.fragments > 0);
+    assert!(m.load.num_vblocks >= 4);
+    assert!(m.load.io.seq_write_bytes > 0);
+    assert_eq!(
+        m.load.b_lower_bound,
+        (4000 / 2) as i64 - m.load.fragments as i64
+    );
+}

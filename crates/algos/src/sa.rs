@@ -156,7 +156,9 @@ mod tests {
     #[test]
     fn roughly_expected_source_fraction() {
         let sa = Sa::new(4, 1);
-        let sources = (0..10_000u32).filter(|&v| sa.is_source(VertexId(v))).count();
+        let sources = (0..10_000u32)
+            .filter(|&v| sa.is_source(VertexId(v)))
+            .count();
         assert!((1500..3500).contains(&sources), "sources {sources}");
     }
 

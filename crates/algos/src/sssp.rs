@@ -115,7 +115,12 @@ mod tests {
             if want[v].is_infinite() {
                 assert!(got[v].is_infinite(), "v{v}");
             } else {
-                assert!((got[v] - want[v]).abs() < 1e-3, "v{v}: {} vs {}", got[v], want[v]);
+                assert!(
+                    (got[v] - want[v]).abs() < 1e-3,
+                    "v{v}: {} vs {}",
+                    got[v],
+                    want[v]
+                );
             }
         }
     }

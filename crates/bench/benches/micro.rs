@@ -1,8 +1,12 @@
 //! Microbenchmarks of the storage and wire substrates: the build cost of
 //! the two on-disk layouts (Fig. 16's subject), the Pull-Respond scan
 //! path, batch encodings, and the receive-side stores.
+//!
+//! Plain `main()` harness (`harness = false`): the workspace builds
+//! offline with no external crates, so instead of criterion each case is
+//! timed with `std::time::Instant` over a fixed warmup + measurement loop
+//! and reported as ns/iter plus derived throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use hybridgraph_graph::{gen, BlockLayout, Partition, VertexId, WorkerId};
 use hybridgraph_net::combine::SumCombiner;
 use hybridgraph_net::wire::{encode_batch, BatchKind};
@@ -11,123 +15,119 @@ use hybridgraph_storage::lru::LruCache;
 use hybridgraph_storage::msg_store::SpillBuffer;
 use hybridgraph_storage::veblock::VeBlockStore;
 use hybridgraph_storage::vfs::MemVfs;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_store_builds(c: &mut Criterion) {
+/// Times `f` (warmup 2 iters, then enough iters to pass ~0.5 s) and prints
+/// a criterion-like line. Returns ns/iter.
+fn bench<R>(group: &str, name: &str, elements: Option<u64>, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 500 || iters < 5 {
+        black_box(f());
+        iters += 1;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    match elements {
+        Some(e) => {
+            let meps = e as f64 / ns * 1000.0;
+            println!("{group}/{name}: {ns:>12.0} ns/iter   {meps:>8.2} Melem/s");
+        }
+        None => println!("{group}/{name}: {ns:>12.0} ns/iter"),
+    }
+    ns
+}
+
+fn bench_store_builds() {
     let g = gen::rmat(20_000, 280_000, gen::RmatParams::default(), 7);
     let p = Partition::range(g.num_vertices(), 5);
     let layout = BlockLayout::uniform(&p, 14);
-    let mut group = c.benchmark_group("store_build");
-    group.throughput(Throughput::Elements(g.num_edges() as u64));
-    group.bench_function("adjacency", |b| {
-        b.iter(|| {
-            let vfs = MemVfs::new();
-            for w in p.workers() {
-                AdjacencyStore::build(&vfs, "adj", &g, p.worker_range(w)).unwrap();
-            }
-        })
+    let m = g.num_edges() as u64;
+    bench("store_build", "adjacency", Some(m), || {
+        let vfs = MemVfs::new();
+        for w in p.workers() {
+            AdjacencyStore::build(&vfs, "adj", &g, p.worker_range(w)).unwrap();
+        }
     });
-    group.bench_function("veblock", |b| {
-        b.iter(|| {
-            let vfs = MemVfs::new();
-            for w in 0..5 {
-                VeBlockStore::build(&vfs, &g, &layout, WorkerId::from(w)).unwrap();
-            }
-        })
+    bench("store_build", "veblock", Some(m), || {
+        let vfs = MemVfs::new();
+        for w in 0..5 {
+            VeBlockStore::build(&vfs, &g, &layout, WorkerId::from(w)).unwrap();
+        }
     });
-    group.finish();
 }
 
-fn bench_respond_scan(c: &mut Criterion) {
+fn bench_respond_scan() {
     let g = gen::rmat(20_000, 280_000, gen::RmatParams::default(), 7);
     let p = Partition::range(g.num_vertices(), 5);
     let layout = BlockLayout::uniform(&p, 14);
     let vfs = MemVfs::new();
     let store = VeBlockStore::build(&vfs, &g, &layout, WorkerId(0)).unwrap();
     let blocks: Vec<_> = layout.blocks_of_worker(WorkerId(0)).collect();
-    let mut group = c.benchmark_group("respond_scan");
-    group.bench_function("scan_all_eblocks", |b| {
-        b.iter(|| {
-            let mut frags = 0usize;
-            for &j in &blocks {
-                for i in layout.block_ids() {
-                    frags += store.scan_eblock(j, i).unwrap().len();
-                }
+    bench("respond_scan", "scan_all_eblocks", None, || {
+        let mut frags = 0usize;
+        for &j in &blocks {
+            for i in layout.block_ids() {
+                frags += store.scan_eblock(j, i).unwrap().len();
             }
-            frags
-        })
+        }
+        frags
     });
-    group.finish();
 }
 
-fn bench_wire_encodings(c: &mut Criterion) {
+fn bench_wire_encodings() {
     let msgs: Vec<(VertexId, f64)> = (0..100_000u32)
         .map(|i| (VertexId(i % 5_000), i as f64))
         .collect();
-    let mut group = c.benchmark_group("wire");
-    group.throughput(Throughput::Elements(msgs.len() as u64));
+    let n = msgs.len() as u64;
     for (name, kind) in [
         ("plain", BatchKind::Plain),
         ("concatenated", BatchKind::Concatenated),
         ("combined", BatchKind::Combined),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || msgs.clone(),
-                |mut batch| {
-                    let combiner = (kind == BatchKind::Combined).then_some(&SumCombiner as _);
-                    encode_batch(kind, &mut batch, combiner)
-                },
-                BatchSize::LargeInput,
-            )
+        bench("wire", name, Some(n), || {
+            let mut batch = msgs.clone();
+            let combiner = (kind == BatchKind::Combined).then_some(&SumCombiner as _);
+            encode_batch(kind, &mut batch, combiner)
         });
     }
-    group.finish();
 }
 
-fn bench_spill_buffer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spill_buffer");
-    group.throughput(Throughput::Elements(100_000));
+fn bench_spill_buffer() {
     for (name, capacity) in [("in_memory", usize::MAX), ("all_spilled", 0)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let vfs = MemVfs::new();
-                let mut buf: SpillBuffer<f64> = SpillBuffer::new(&vfs, "s", capacity).unwrap();
-                for i in 0..100_000u32 {
-                    buf.push(VertexId(i % 10_000), i as f64).unwrap();
-                }
-                buf.drain().unwrap().len()
-            })
+        bench("spill_buffer", name, Some(100_000), || {
+            let vfs = MemVfs::new();
+            let mut buf: SpillBuffer<f64> = SpillBuffer::new(&vfs, "s", capacity).unwrap();
+            for i in 0..100_000u32 {
+                buf.push(VertexId(i % 10_000), i as f64).unwrap();
+            }
+            buf.drain().unwrap().len()
         });
     }
-    group.finish();
 }
 
-fn bench_lru(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lru");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("churn_90pct_hit", |b| {
-        b.iter(|| {
-            let mut lru: LruCache<u32, f64> = LruCache::new(1_000);
-            let mut evictions = 0usize;
-            for i in 0..100_000u32 {
-                // 90% of accesses in a hot window, 10% cold.
-                let key = if i % 10 == 0 { i % 50_000 } else { i % 900 };
-                if lru.get(&key).is_none() && lru.insert(key, key as f64, false).is_some() {
-                    evictions += 1;
-                }
+fn bench_lru() {
+    bench("lru", "churn_90pct_hit", Some(100_000), || {
+        let mut lru: LruCache<u32, f64> = LruCache::new(1_000);
+        let mut evictions = 0usize;
+        for i in 0..100_000u32 {
+            // 90% of accesses in a hot window, 10% cold.
+            let key = if i % 10 == 0 { i % 50_000 } else { i % 900 };
+            if lru.get(&key).is_none() && lru.insert(key, key as f64, false).is_some() {
+                evictions += 1;
             }
-            evictions
-        })
+        }
+        evictions
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_store_builds,
-    bench_respond_scan,
-    bench_wire_encodings,
-    bench_spill_buffer,
-    bench_lru
-);
-criterion_main!(benches);
+fn main() {
+    bench_store_builds();
+    bench_respond_scan();
+    bench_wire_encodings();
+    bench_spill_buffer();
+    bench_lru();
+}

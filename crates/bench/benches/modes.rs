@@ -1,79 +1,81 @@
 //! End-to-end mode benchmarks: one full job per message-handling
 //! strategy on a fixed livej stand-in (wall-clock of the engine itself,
 //! complementing the modeled times the `repro` harness reports).
+//!
+//! Plain `main()` harness (`harness = false`): the workspace builds
+//! offline with no external crates, so instead of criterion each case is
+//! timed with `std::time::Instant` over a fixed warmup + measurement loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hybridgraph_algos::{PageRank, Sssp};
 use hybridgraph_core::{run_job, JobConfig, Mode};
 use hybridgraph_graph::{Dataset, VertexId};
-use std::sync::Arc;
-use std::time::Duration;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_pagerank_modes(c: &mut Criterion) {
-    let g = Dataset::LiveJ.build_scaled(4000);
-    let mut group = c.benchmark_group("pagerank_livej");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    for mode in Mode::ALL {
-        group.bench_function(mode.label(), |b| {
-            b.iter(|| {
-                let cfg = JobConfig::new(mode, 4).with_buffer(125);
-                run_job(Arc::new(PageRank::new(5)), &g, cfg).unwrap().values
-            })
-        });
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 1000 || iters < 3 {
+        black_box(f());
+        iters += 1;
     }
-    group.finish();
+    let ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    println!("{group}/{name}: {ms:>10.2} ms/iter ({iters} iters)");
 }
 
-fn bench_sssp_modes(c: &mut Criterion) {
+fn bench_pagerank_modes() {
+    let g = Dataset::LiveJ.build_scaled(4000);
+    for mode in Mode::ALL {
+        bench("pagerank_livej", mode.label(), || {
+            let cfg = JobConfig::new(mode, 4).with_buffer(125);
+            run_job(std::sync::Arc::new(PageRank::new(5)), &g, cfg)
+                .unwrap()
+                .values
+        });
+    }
+}
+
+fn bench_sssp_modes() {
     let g = Dataset::LiveJ.build_scaled(4000);
     let source = g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap();
-    let mut group = c.benchmark_group("sssp_livej");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
     for mode in [Mode::Push, Mode::PushM, Mode::BPull, Mode::Hybrid] {
-        group.bench_function(mode.label(), |b| {
-            b.iter(|| {
-                let cfg = JobConfig::new(mode, 4).with_buffer(125);
-                run_job(Arc::new(Sssp::new(source)), &g, cfg).unwrap().values
-            })
+        bench("sssp_livej", mode.label(), || {
+            let cfg = JobConfig::new(mode, 4).with_buffer(125);
+            run_job(std::sync::Arc::new(Sssp::new(source)), &g, cfg)
+                .unwrap()
+                .values
         });
     }
-    group.finish();
 }
 
-fn bench_worker_scaling(c: &mut Criterion) {
+fn bench_worker_scaling() {
     let g = Dataset::LiveJ.build_scaled(4000);
-    let mut group = c.benchmark_group("hybrid_workers");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
     for workers in [1usize, 2, 4, 8] {
-        group.bench_function(format!("T{workers}"), |b| {
-            b.iter(|| {
-                let cfg = JobConfig::new(Mode::Hybrid, workers).with_buffer(125);
-                run_job(Arc::new(PageRank::new(5)), &g, cfg).unwrap().values
-            })
+        bench("hybrid_workers", &format!("T{workers}"), || {
+            let cfg = JobConfig::new(Mode::Hybrid, workers).with_buffer(125);
+            run_job(std::sync::Arc::new(PageRank::new(5)), &g, cfg)
+                .unwrap()
+                .values
         });
     }
-    group.finish();
 }
 
-fn bench_vertex_id(c: &mut Criterion) {
+fn bench_vertex_id() {
     let ids: Vec<VertexId> = (0..1000).map(VertexId).collect();
-    c.bench_function("partition_worker_of", |b| {
-        let p = hybridgraph_graph::Partition::range(1000, 7);
-        b.iter(|| {
-            let mut acc = 0usize;
-            for &v in &ids {
-                acc += p.worker_of(v).index();
-            }
-            acc
-        })
+    let p = hybridgraph_graph::Partition::range(1000, 7);
+    bench("partition", "worker_of", || {
+        let mut acc = 0usize;
+        for &v in &ids {
+            acc += p.worker_of(v).index();
+        }
+        acc
     });
 }
 
-criterion_group!(
-    benches,
-    bench_pagerank_modes,
-    bench_sssp_modes,
-    bench_worker_scaling,
-    bench_vertex_id
-);
-criterion_main!(benches);
+fn main() {
+    bench_pagerank_modes();
+    bench_sssp_modes();
+    bench_worker_scaling();
+    bench_vertex_id();
+}

@@ -76,7 +76,11 @@ pub fn run(scale: Scale) {
     for dt in [1u64, 2, 4] {
         let mut cfg = base_cfg(d, Mode::Hybrid, scale);
         cfg.switch_interval = dt;
-        t.row(row(&format!("Δt = {dt}"), &run_algo(Algo::Sssp, &g, cfg), scale));
+        t.row(row(
+            &format!("Δt = {dt}"),
+            &run_algo(Algo::Sssp, &g, cfg),
+            scale,
+        ));
     }
     t.print();
 

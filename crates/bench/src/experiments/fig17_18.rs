@@ -16,7 +16,10 @@ pub fn fig17(scale: Scale) {
     for d in [Dataset::Wiki, Dataset::Orkut] {
         let g = scale.build(d);
         let mut t = Table::new(
-            &format!("Fig 17 — blocking time per superstep (PageRank over {})", d.name()),
+            &format!(
+                "Fig 17 — blocking time per superstep (PageRank over {})",
+                d.name()
+            ),
             &["superstep", "push (s)", "pushM (s)", "b-pull (s)"],
         );
         let runs: Vec<_> = [Mode::Push, Mode::PushM, Mode::BPull]
@@ -56,7 +59,10 @@ pub fn fig18(scale: Scale) {
         cfg.combining = false;
         let bpull = run_algo(Algo::PageRank, &g, cfg);
         let mut t = Table::new(
-            &format!("Fig 18 — network traffic per superstep (PageRank over {})", d.name()),
+            &format!(
+                "Fig 18 — network traffic per superstep (PageRank over {})",
+                d.name()
+            ),
             &["superstep", "push out", "b-pull out", "b-pull/push"],
         );
         let len = push.steps.len().max(bpull.steps.len());

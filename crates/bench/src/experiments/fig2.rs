@@ -14,7 +14,7 @@ fn sweep(algo: Algo, scale: Scale) {
     let g = scale.build(d);
     let workers = workers_for(d);
     let base = buffer_for(d, scale); // the paper's 0.5 M messages, scaled
-    // The paper sweeps 0.5 .. 9.5 million messages plus "mem".
+                                     // The paper sweeps 0.5 .. 9.5 million messages plus "mem".
     let sweep: Vec<Option<usize>> = vec![
         None, // mem
         Some(base * 19),
@@ -27,7 +27,12 @@ fn sweep(algo: Algo, scale: Scale) {
     ];
     let mut t = Table::new(
         &format!("Fig 2 — push over wiki, {} (buffer sweep)", algo.label()),
-        &["buffer (msgs)", "runtime (s)", "msgs on disk %", "supersteps"],
+        &[
+            "buffer (msgs)",
+            "runtime (s)",
+            "msgs on disk %",
+            "supersteps",
+        ],
     );
     for buf in sweep {
         let mut cfg = JobConfig::new(Mode::Push, workers);

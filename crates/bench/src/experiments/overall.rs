@@ -38,12 +38,7 @@ impl Scenario {
     fn datasets(self) -> &'static [Dataset] {
         match self {
             // Fig. 7 runs the small graphs plus twi.
-            Scenario::Sufficient => &[
-                Dataset::LiveJ,
-                Dataset::Wiki,
-                Dataset::Orkut,
-                Dataset::Twi,
-            ],
+            Scenario::Sufficient => &[Dataset::LiveJ, Dataset::Wiki, Dataset::Orkut, Dataset::Twi],
             _ => &Dataset::ALL,
         }
     }
@@ -52,9 +47,7 @@ impl Scenario {
     fn failed(self, mode: Mode, d: Dataset) -> bool {
         match self {
             // Fig. 7: push and pull run out of memory on twi.
-            Scenario::Sufficient => {
-                d == Dataset::Twi && matches!(mode, Mode::Push | Mode::Pull)
-            }
+            Scenario::Sufficient => d == Dataset::Twi && matches!(mode, Mode::Push | Mode::Pull),
             // Figs. 8–10: pull does not finish on the large graphs.
             _ => Dataset::LARGE.contains(&d) && mode == Mode::Pull,
         }
@@ -63,7 +56,13 @@ impl Scenario {
 
 fn modes_for(algo: Algo) -> Vec<Mode> {
     if algo.combinable() {
-        vec![Mode::Push, Mode::PushM, Mode::Pull, Mode::BPull, Mode::Hybrid]
+        vec![
+            Mode::Push,
+            Mode::PushM,
+            Mode::Pull,
+            Mode::BPull,
+            Mode::Hybrid,
+        ]
     } else {
         vec![Mode::Push, Mode::Pull, Mode::BPull, Mode::Hybrid]
     }
@@ -107,8 +106,7 @@ fn print_matrix(title: &str, scenario: Scenario, scale: Scale, io_bytes: bool) {
                     cells.push("F".into());
                     continue;
                 }
-                let mut cfg =
-                    JobConfig::new(mode, workers_for(d)).with_profile(scenario.profile());
+                let mut cfg = JobConfig::new(mode, workers_for(d)).with_profile(scenario.profile());
                 if scenario != Scenario::Sufficient {
                     cfg = cfg.with_buffer(buffer_for(d, scale));
                 }

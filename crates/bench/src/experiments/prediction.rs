@@ -70,7 +70,11 @@ pub fn accuracy(metric: Metric, algo: Algo, scale: Scale, max_rows: usize) {
     let mut headers = vec!["superstep"];
     headers.extend(names.iter().copied());
     let mut t = Table::new(
-        &format!("prediction accuracy of {} — {}", metric.label(), algo.label()),
+        &format!(
+            "prediction accuracy of {} — {}",
+            metric.label(),
+            algo.label()
+        ),
         &headers,
     );
     let rows = series.iter().map(Vec::len).max().unwrap_or(0).min(max_rows);

@@ -63,7 +63,10 @@ const SCENARIOS: [ScenarioSpec; 5] = [
 pub fn run(scale: Scale) {
     for algo in Algo::ALL {
         let mut t = Table::new(
-            &format!("Table 5 — modified GraphLab scenarios, {} (s, projected)", algo.label()),
+            &format!(
+                "Table 5 — modified GraphLab scenarios, {} (s, projected)",
+                algo.label()
+            ),
             &["scenario", "livej", "wiki", "orkut"],
         );
         for sc in &SCENARIOS {

@@ -37,10 +37,14 @@ pub fn trace(algo: Algo, d: Dataset, scale: Scale) {
         t.row(vec![
             (i + 1).to_string(),
             h.map(|s| s.kind.label().to_string()).unwrap_or("-".into()),
-            h.map(|s| format!("{:+.2e}", s.q_metric)).unwrap_or("-".into()),
-            h.map(|s| s.messages_produced.to_string()).unwrap_or("-".into()),
-            h.map(|s| s.sem.msg_spill_bytes.to_string()).unwrap_or("-".into()),
-            h.map(|s| secs(scale.project_secs(s.modeled_secs))).unwrap_or("-".into()),
+            h.map(|s| format!("{:+.2e}", s.q_metric))
+                .unwrap_or("-".into()),
+            h.map(|s| s.messages_produced.to_string())
+                .unwrap_or("-".into()),
+            h.map(|s| s.sem.msg_spill_bytes.to_string())
+                .unwrap_or("-".into()),
+            h.map(|s| secs(scale.project_secs(s.modeled_secs)))
+                .unwrap_or("-".into()),
             push.steps
                 .get(i)
                 .map(|s| secs(scale.project_secs(s.modeled_secs)))

@@ -29,8 +29,7 @@ fn sweep(d: Dataset, scale: Scale) {
     for &v in &per_worker {
         let mut row = vec![v.to_string()];
         for algo in [Algo::PageRank, Algo::Sssp] {
-            let mut cfg =
-                JobConfig::new(Mode::BPull, workers).with_buffer(buffer_for(d, scale));
+            let mut cfg = JobConfig::new(Mode::BPull, workers).with_buffer(buffer_for(d, scale));
             cfg.vblocks_per_worker = Some(v);
             let m = run_algo(algo, &g, cfg);
             // Fig 23(a): average (PR) or max (SSSP) per-superstep memory.

@@ -126,18 +126,26 @@ pub fn run_algo(algo: Algo, g: &Graph, cfg: JobConfig) -> JobMetrics {
 /// fixed-budget algorithms (Fig. 2 runs PageRank for 10).
 pub fn run_algo_steps(algo: Algo, g: &Graph, cfg: JobConfig, budget: u64) -> JobMetrics {
     match algo {
-        Algo::PageRank => run_job(Arc::new(PageRank::new(budget)), g, cfg)
-            .expect("job failed")
-            .metrics,
-        Algo::Sssp => run_job(Arc::new(Sssp::new(sssp_source(g))), g, cfg)
-            .expect("job failed")
-            .metrics,
-        Algo::Lpa => run_job(Arc::new(Lpa::new(budget)), g, cfg)
-            .expect("job failed")
-            .metrics,
-        Algo::Sa => run_job(Arc::new(Sa::new(8, 42)), g, cfg)
-            .expect("job failed")
-            .metrics,
+        Algo::PageRank => {
+            run_job(Arc::new(PageRank::new(budget)), g, cfg)
+                .expect("job failed")
+                .metrics
+        }
+        Algo::Sssp => {
+            run_job(Arc::new(Sssp::new(sssp_source(g))), g, cfg)
+                .expect("job failed")
+                .metrics
+        }
+        Algo::Lpa => {
+            run_job(Arc::new(Lpa::new(budget)), g, cfg)
+                .expect("job failed")
+                .metrics
+        }
+        Algo::Sa => {
+            run_job(Arc::new(Sa::new(8, 42)), g, cfg)
+                .expect("job failed")
+                .metrics
+        }
     }
 }
 

@@ -94,6 +94,31 @@ impl BitSet {
         self.words.len() as u64 * 8
     }
 
+    /// The backing words (checkpoint serialization).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitset of `len` bits from checkpointed `words`; bits
+    /// past `len` are masked off.
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than `len` requires.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert!(
+            words.len() >= len.div_ceil(64),
+            "word run too short for {len} bits"
+        );
+        let mut b = BitSet { words, len };
+        b.words.truncate(len.div_ceil(64));
+        if !len.is_multiple_of(64) {
+            if let Some(last) = b.words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        b
+    }
+
     /// Swaps contents with `other`.
     pub fn swap(&mut self, other: &mut BitSet) {
         std::mem::swap(&mut self.words, &mut other.words);
@@ -159,6 +184,21 @@ mod tests {
         a.swap(&mut b);
         assert!(a.get(2) && !a.get(1));
         assert!(b.get(1) && !b.get(2));
+    }
+
+    #[test]
+    fn words_roundtrip_masks_tail() {
+        let mut b = BitSet::new(70);
+        b.set(0);
+        b.set(69);
+        let words = b.as_words().to_vec();
+        let back = BitSet::from_words(words, 70);
+        assert_eq!(back, b);
+        // Dirty tail bits beyond `len` are dropped on restore.
+        let mut dirty = b.as_words().to_vec();
+        dirty[1] |= 1 << 63;
+        let cleaned = BitSet::from_words(dirty, 70);
+        assert_eq!(cleaned, b);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Job configuration.
 
+use crate::fault::FaultPlan;
 use hybridgraph_storage::DeviceProfile;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which message-handling strategy a job runs.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Mode {
     /// Giraph-style push: messages spill to disk past the buffer.
     #[default]
@@ -23,7 +24,13 @@ pub enum Mode {
 
 impl Mode {
     /// All standalone modes in the order the paper's figures list them.
-    pub const ALL: [Mode; 5] = [Mode::Push, Mode::PushM, Mode::Pull, Mode::BPull, Mode::Hybrid];
+    pub const ALL: [Mode; 5] = [
+        Mode::Push,
+        Mode::PushM,
+        Mode::Pull,
+        Mode::BPull,
+        Mode::Hybrid,
+    ];
 
     /// Figure label.
     pub fn label(self) -> &'static str {
@@ -37,8 +44,28 @@ impl Mode {
     }
 }
 
+/// When the engine takes superstep-boundary checkpoints.
+///
+/// Any policy other than [`CheckpointPolicy::Never`] also takes a
+/// *baseline* checkpoint right after loading (superstep 0), so a failure
+/// in any superstep has a consistent cut to roll back to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum CheckpointPolicy {
+    /// No checkpoints; a worker failure fails the job.
+    #[default]
+    Never,
+    /// Checkpoint after every `k`-th superstep (`k >= 1`).
+    EveryK(u64),
+    /// Checkpoint when the modeled compute time accumulated since the
+    /// last checkpoint exceeds [`JobConfig::adaptive_checkpoint_factor`]
+    /// times the modeled cost of writing one — a Young-style interval
+    /// driven entirely by the deterministic cost model, so the schedule
+    /// is reproducible run to run.
+    Adaptive,
+}
+
 /// Configuration of one job run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobConfig {
     /// Message-handling strategy.
     pub mode: Mode,
@@ -85,6 +112,18 @@ pub struct JobConfig {
     /// directory (one subdirectory per worker) instead of memory.
     /// Accounting is identical; this exercises the physical I/O path.
     pub disk_root: Option<std::path::PathBuf>,
+    /// Superstep-boundary checkpointing policy.
+    pub checkpoint: CheckpointPolicy,
+    /// Re-execution-to-overhead ratio for [`CheckpointPolicy::Adaptive`]:
+    /// checkpoint once `accumulated modeled step time >= factor ×
+    /// modeled checkpoint write time`.
+    pub adaptive_checkpoint_factor: f64,
+    /// Deterministic fault-injection schedule, if any.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Maximum worker failures the master will recover from before
+    /// declaring the job failed (guards against endlessly re-failing
+    /// hardware; injected faults fire once regardless).
+    pub max_recoveries: u64,
 }
 
 impl JobConfig {
@@ -109,6 +148,10 @@ impl JobConfig {
             switch_threshold: 0.1,
             push_sender_combining: false,
             disk_root: None,
+            checkpoint: CheckpointPolicy::Never,
+            adaptive_checkpoint_factor: 10.0,
+            fault_plan: None,
+            max_recoveries: 8,
         }
     }
 
@@ -127,6 +170,18 @@ impl JobConfig {
     /// Sets the sending threshold in bytes.
     pub fn with_sending_threshold(mut self, bytes: usize) -> Self {
         self.sending_threshold = bytes;
+        self
+    }
+
+    /// Sets the checkpointing policy.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Installs a fault-injection schedule.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -171,6 +226,20 @@ mod tests {
     fn labels() {
         assert_eq!(Mode::BPull.label(), "b-pull");
         assert_eq!(Mode::ALL.len(), 5);
+    }
+
+    #[test]
+    fn checkpoint_and_fault_builders() {
+        let c = JobConfig::new(Mode::Hybrid, 2);
+        assert_eq!(c.checkpoint, CheckpointPolicy::Never);
+        assert!(c.fault_plan.is_none());
+        let plan = Arc::new(FaultPlan::new().kill(0, 1, crate::fault::FaultPhase::Compute));
+        let c = c
+            .with_checkpoint(CheckpointPolicy::EveryK(3))
+            .with_fault_plan(Arc::clone(&plan));
+        assert_eq!(c.checkpoint, CheckpointPolicy::EveryK(3));
+        assert_eq!(c.fault_plan.as_ref().unwrap().len(), 1);
+        assert_eq!(c.max_recoveries, 8);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Deterministic fault injection for the simulated BSP cluster.
+//!
+//! A [`FaultPlan`] is a list of *kill orders*: worker `w` dies at
+//! superstep `k` while in a given [`FaultPhase`]. The runner's worker
+//! threads consult the plan at fixed, deterministic hook points (before
+//! loading, before a superstep's compute, and at the barrier after the
+//! superstep's exchange has quiesced), so the same plan against the same
+//! job always fails at the same instruction — which is what makes the
+//! recovery tests able to demand *bit-identical* post-recovery values.
+//!
+//! Each fault fires **once** ([`AtomicBool`] swap): after the master
+//! respawns the killed worker and rolls the cluster back, the re-executed
+//! superstep passes the same hook again and must not re-trigger.
+//!
+//! Plans are either explicit ([`FaultPlan::kill`]) or generated from a
+//! seed ([`FaultPlan::random`]) via the workspace's [`SplitMix64`] stream,
+//! so a seed fully determines the failure schedule.
+
+use hybridgraph_graph::rng::SplitMix64;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Where in a worker's lifecycle a fault strikes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPhase {
+    /// While building the on-disk stores (superstep 0).
+    Load,
+    /// At the start of a superstep's compute, before any message is sent.
+    Compute,
+    /// At the superstep barrier: compute and exchange finished, report
+    /// not yet delivered to the master.
+    Barrier,
+}
+
+impl FaultPhase {
+    /// All phases, in lifecycle order.
+    pub const ALL: [FaultPhase; 3] = [FaultPhase::Load, FaultPhase::Compute, FaultPhase::Barrier];
+}
+
+/// One kill order.
+#[derive(Debug)]
+struct Fault {
+    worker: usize,
+    superstep: u64,
+    phase: FaultPhase,
+    fired: AtomicBool,
+}
+
+/// A deterministic schedule of worker kills.
+///
+/// Shared (behind an `Arc` in
+/// [`JobConfig::fault_plan`](crate::config::JobConfig)) between the
+/// master and every worker thread; the fire-once bookkeeping is the only
+/// mutable state.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a kill order: `worker` dies at `superstep` in `phase`.
+    /// [`FaultPhase::Load`] faults conventionally use superstep 0.
+    pub fn kill(mut self, worker: usize, superstep: u64, phase: FaultPhase) -> Self {
+        self.faults.push(Fault {
+            worker,
+            superstep,
+            phase,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// A seeded random plan of `count` kill orders over `workers` workers
+    /// and supersteps `1..=max_superstep`. The same seed always yields the
+    /// same schedule ([`SplitMix64`] is the only entropy source).
+    pub fn random(seed: u64, workers: usize, max_superstep: u64, count: usize) -> Self {
+        assert!(workers > 0 && max_superstep > 0);
+        let mut r = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let worker = r.below_u32(workers as u32) as usize;
+            let phase = match r.below_u32(3) {
+                0 => FaultPhase::Load,
+                1 => FaultPhase::Compute,
+                _ => FaultPhase::Barrier,
+            };
+            let superstep = match phase {
+                FaultPhase::Load => 0,
+                _ => 1 + r.below_u64(max_superstep),
+            };
+            plan = plan.kill(worker, superstep, phase);
+        }
+        plan
+    }
+
+    /// Number of kill orders in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The schedule as `(worker, superstep, phase)` triples, for
+    /// determinism assertions in tests.
+    pub fn spec(&self) -> Vec<(usize, u64, FaultPhase)> {
+        self.faults
+            .iter()
+            .map(|f| (f.worker, f.superstep, f.phase))
+            .collect()
+    }
+
+    /// True if `worker` must die now. Each matching fault fires at most
+    /// once; re-execution of the same superstep after recovery passes.
+    pub fn should_fail(&self, worker: usize, superstep: u64, phase: FaultPhase) -> bool {
+        self.faults.iter().any(|f| {
+            f.worker == worker
+                && f.superstep == superstep
+                && f.phase == phase
+                && f.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+        })
+    }
+
+    /// How many faults have fired so far.
+    pub fn fired(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| f.fired.load(Ordering::Acquire))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_plan_fires_once() {
+        let p = FaultPlan::new().kill(2, 5, FaultPhase::Compute);
+        assert!(!p.should_fail(1, 5, FaultPhase::Compute));
+        assert!(!p.should_fail(2, 4, FaultPhase::Compute));
+        assert!(!p.should_fail(2, 5, FaultPhase::Barrier));
+        assert!(p.should_fail(2, 5, FaultPhase::Compute));
+        // Re-execution after recovery does not re-trigger.
+        assert!(!p.should_fail(2, 5, FaultPhase::Compute));
+        assert_eq!(p.fired(), 1);
+    }
+
+    #[test]
+    fn multiple_faults_fire_independently() {
+        let p = FaultPlan::new()
+            .kill(0, 2, FaultPhase::Barrier)
+            .kill(1, 2, FaultPhase::Barrier);
+        assert!(p.should_fail(0, 2, FaultPhase::Barrier));
+        assert!(p.should_fail(1, 2, FaultPhase::Barrier));
+        assert_eq!(p.fired(), 2);
+    }
+
+    #[test]
+    fn random_plan_is_seed_deterministic() {
+        let a = FaultPlan::random(0xFA11, 4, 20, 5);
+        let b = FaultPlan::random(0xFA11, 4, 20, 5);
+        assert_eq!(a.spec(), b.spec());
+        assert_eq!(a.len(), 5);
+        let c = FaultPlan::random(0xFA12, 4, 20, 5);
+        assert_ne!(a.spec(), c.spec(), "different seed, different schedule");
+        for (w, s, ph) in a.spec() {
+            assert!(w < 4);
+            match ph {
+                FaultPhase::Load => assert_eq!(s, 0),
+                _ => assert!((1..=20).contains(&s)),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert!(!p.should_fail(0, 1, FaultPhase::Load));
+    }
+}

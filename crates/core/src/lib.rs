@@ -21,9 +21,15 @@
 //!   access class, semantic I/O quantities (`IO(V^t)`, `IO(Ē^t)`,
 //!   `IO(E^t)`, `IO(F^t)`, `IO(V^t_rr)`, `IO(M_disk)`), network traffic,
 //!   memory usage, and modeled time under a device profile.
+//! * [`fault`] — deterministic, seedable fault injection
+//!   ([`FaultPlan`](fault::FaultPlan)) that kills chosen workers at chosen
+//!   supersteps; paired with superstep-boundary checkpointing
+//!   ([`CheckpointPolicy`](config::CheckpointPolicy)) and the runner's
+//!   respawn-and-rollback recovery path.
 
 pub mod bitset;
 pub mod config;
+pub mod fault;
 pub mod metrics;
 pub mod modes;
 pub mod program;
@@ -31,8 +37,12 @@ pub mod runner;
 pub mod switch;
 pub mod worker;
 
-pub use config::{JobConfig, Mode};
-pub use metrics::{JobMetrics, SemanticBytes, StepKind, StepReport, SuperstepMetrics};
+pub use config::{CheckpointPolicy, JobConfig, Mode};
+pub use fault::{FaultPhase, FaultPlan};
+pub use metrics::{
+    FailureEvent, JobMetrics, RecoveryMetrics, SemanticBytes, StepKind, StepReport,
+    SuperstepMetrics,
+};
 pub use program::{GraphInfo, Update, VertexProgram};
-pub use runner::{run_job, JobResult};
+pub use runner::{run_job, JobError, JobResult};
 pub use switch::{b_lower_bound, q_metric, CostInputs, Switcher};

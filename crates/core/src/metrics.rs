@@ -8,10 +8,9 @@
 
 use crate::config::Mode;
 use hybridgraph_storage::{DeviceProfile, IoSnapshot};
-use serde::{Deserialize, Serialize};
 
 /// What a worker executed in one superstep.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum StepKind {
     /// Pure push: load + update + pushRes.
     Push,
@@ -59,7 +58,7 @@ impl StepKind {
 }
 
 /// The paper's semantic I/O quantities for one superstep (bytes).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SemanticBytes {
     /// `IO(V^t)` — vertex values read + written while updating.
     pub value_update_bytes: u64,
@@ -105,7 +104,7 @@ impl SemanticBytes {
 }
 
 /// One worker's report for one superstep.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct StepReport {
     /// Vertices whose `update()` ran.
     pub updated: u64,
@@ -147,7 +146,7 @@ pub struct StepReport {
 }
 
 /// Master-side aggregation of one superstep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SuperstepMetrics {
     /// 1-based superstep number.
     pub superstep: u64,
@@ -204,7 +203,7 @@ pub struct SuperstepMetrics {
 }
 
 /// Loading-phase measurements (Fig. 16).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LoadReport {
     /// Wall seconds to build all stores (slowest worker).
     pub wall_secs: f64,
@@ -220,8 +219,37 @@ pub struct LoadReport {
     pub initial_mode: Mode,
 }
 
+/// One recovered worker failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Superstep in which the failure surfaced (0 = during loading).
+    pub superstep: u64,
+    /// The worker that died.
+    pub worker: usize,
+    /// The error it died with.
+    pub error: String,
+}
+
+/// Checkpoint/recovery bookkeeping for one job.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryMetrics {
+    /// Checkpoints committed (cluster-wide barriers, not per-worker files).
+    pub checkpoints_taken: u64,
+    /// Total checkpoint bytes written across workers (sequential writes).
+    pub checkpoint_bytes: u64,
+    /// Summed I/O of all checkpoint phases (the value-segment read plus
+    /// the sequential checkpoint write, per worker).
+    pub checkpoint_io: IoSnapshot,
+    /// Cluster-wide rollbacks performed.
+    pub rollbacks: u64,
+    /// Supersteps re-executed because of rollbacks (lost work).
+    pub recomputed_supersteps: u64,
+    /// Every failure the master recovered from, in order.
+    pub failures: Vec<FailureEvent>,
+}
+
 /// Everything measured over one job.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobMetrics {
     /// Loading-phase report.
     pub load: LoadReport,
@@ -229,6 +257,8 @@ pub struct JobMetrics {
     pub steps: Vec<SuperstepMetrics>,
     /// `(superstep, from, to)` for every hybrid switch taken.
     pub switches: Vec<(u64, Mode, Mode)>,
+    /// Checkpoint and recovery activity.
+    pub recovery: RecoveryMetrics,
     /// The device profile the job ran under.
     pub profile: DeviceProfile,
 }
@@ -346,6 +376,7 @@ mod tests {
             load: LoadReport::default(),
             steps: vec![step(1.0, 100), step(3.0, 200)],
             switches: vec![],
+            recovery: RecoveryMetrics::default(),
             profile: DeviceProfile::local_hdd(),
         };
         assert_eq!(m.supersteps(), 2);

@@ -38,7 +38,12 @@ use std::time::Instant;
 struct Inflight<M> {
     block: BlockId,
     ends: usize,
-    inbox: MsgAccumulator<M>,
+    /// One accumulator per sending peer. Responses arrive in whatever
+    /// order the fabric interleaves them; keeping per-sender partials and
+    /// merging them in worker order at completion makes non-commutative
+    /// float combining bit-identical run to run (and across a recovery
+    /// replay).
+    inboxes: Vec<MsgAccumulator<M>>,
 }
 
 /// Runs one b-pull superstep (`also_push` makes it the fused
@@ -71,7 +76,9 @@ pub fn run_bpull_step<P: VertexProgram>(
         inflight.push(Inflight {
             block: b,
             ends: 0,
-            inbox: MsgAccumulator::new(combinable),
+            inboxes: (0..workers)
+                .map(|_| MsgAccumulator::new(combinable))
+                .collect(),
         });
     };
     for _ in 0..pipeline {
@@ -112,7 +119,7 @@ pub fn run_bpull_step<P: VertexProgram>(
                     .iter_mut()
                     .find(|f| f.block == b)
                     .expect("response for a block not in flight");
-                fl.inbox.accept(pairs, program.combiner());
+                fl.inboxes[env.from.index()].accept(pairs, program.combiner());
             }
             Packet::Messages {
                 kind,
@@ -136,16 +143,23 @@ pub fn run_bpull_step<P: VertexProgram>(
                 inflight[pos].ends += 1;
                 if inflight[pos].ends == workers {
                     let fl = inflight.swap_remove(pos);
-                    let mem: u64 = inflight.iter().map(|f| f.inbox.memory_bytes()).sum::<u64>()
-                        + fl.inbox.memory_bytes();
+                    let inbox_mem = |f: &Inflight<P::Message>| -> u64 {
+                        f.inboxes.iter().map(|i| i.memory_bytes()).sum()
+                    };
+                    let mem: u64 = inflight.iter().map(inbox_mem).sum::<u64>() + inbox_mem(&fl);
                     w.note_memory(mem + w.standing_memory_bytes());
-                    update_block(w, &mut rep, superstep, fl.block, fl.inbox, also_push, &mut tbuf)?;
+                    let program = Arc::clone(&w.program);
+                    let inbox = MsgAccumulator::merge_in_order(fl.inboxes, program.combiner());
+                    update_block(
+                        w, &mut rep, superstep, fl.block, inbox, also_push, &mut tbuf,
+                    )?;
                     if let Some(nb) = pending.pop_front() {
                         issue(w, nb, &mut inflight);
                     }
                 }
             }
             Packet::SuperstepDone => done_peers += 1,
+            Packet::Abort => return Err(super::abort_error()),
             other => unreachable!("unexpected packet in b-pull step: {other:?}"),
         }
     }

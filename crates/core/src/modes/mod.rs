@@ -19,6 +19,21 @@ use hybridgraph_storage::Record;
 use std::io;
 use std::time::Instant;
 
+/// Marker message of the error the executors return when the master
+/// broadcasts [`Packet::Abort`] mid-superstep because a peer failed.
+pub(crate) const ABORT_MARKER: &str = "superstep aborted by master";
+
+/// The abort marker error. The worker thread that returns it stays alive
+/// and waits for the master's rollback command.
+pub(crate) fn abort_error() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, ABORT_MARKER)
+}
+
+/// True if `e` is the abort marker (as opposed to a genuine failure).
+pub(crate) fn is_abort(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted && e.to_string().contains(ABORT_MARKER)
+}
+
 /// Sends a push batch: plain-encoded by default, or combined within the
 /// batch when `push_sender_combining` is on (the `pushM+com` variant of
 /// Appendix E — only the messages that happen to share a partial buffer

@@ -51,6 +51,7 @@ pub fn run_pull_step<P: VertexProgram>(
             match env.packet {
                 Packet::Signals { ids } => accept_signals(w, &ids),
                 Packet::SuperstepDone => done_peers += 1,
+                Packet::Abort => return Err(super::abort_error()),
                 other => unreachable!("unexpected packet in pull init: {other:?}"),
             }
         }
@@ -103,16 +104,27 @@ pub fn run_pull_step<P: VertexProgram>(
     }
 
     // Event loop: serve gathers, collect responses, update when both
-    // directions have quiesced.
-    let mut inbox: MsgAccumulator<P::Message> = MsgAccumulator::new(combinable);
+    // directions have quiesced. Responses accumulate per sender and merge
+    // in worker order before updating, so float combining is
+    // order-deterministic (bit-identical across runs and replays).
+    let mut inboxes: Vec<MsgAccumulator<P::Message>> = (0..workers)
+        .map(|_| MsgAccumulator::new(combinable))
+        .collect();
     let mut gbufs: Vec<Vec<(VertexId, P::Message)>> = vec![Vec::new(); workers];
     let per_flush = (w.cfg.sending_threshold / (4 + P::Message::BYTES)).max(1);
     let (mut got_ends, mut served, mut done_peers) = (0usize, 0usize, 0usize);
     let mut my_done = false;
     loop {
         if got_ends == workers && served == workers && !my_done {
-            w.note_memory(inbox.memory_bytes() + w.standing_memory_bytes());
-            let groups = std::mem::replace(&mut inbox, MsgAccumulator::new(combinable));
+            let mem: u64 = inboxes.iter().map(|i| i.memory_bytes()).sum();
+            w.note_memory(mem + w.standing_memory_bytes());
+            let parts = std::mem::replace(
+                &mut inboxes,
+                (0..workers)
+                    .map(|_| MsgAccumulator::new(combinable))
+                    .collect(),
+            );
+            let groups = MsgAccumulator::merge_in_order(parts, program.combiner());
             update_cached(w, &mut rep, superstep, groups)?;
             // Scatter: responders signal their out-neighbors to gather
             // next superstep.
@@ -142,11 +154,12 @@ pub fn run_pull_step<P: VertexProgram>(
             }
             Packet::Messages { kind, payload, .. } => {
                 let pairs = decode_batch::<P::Message>(kind, &payload);
-                inbox.accept(pairs, program.combiner());
+                inboxes[env.from.index()].accept(pairs, program.combiner());
             }
             Packet::EndOfGather => got_ends += 1,
             Packet::Signals { ids } => accept_signals(w, &ids),
             Packet::SuperstepDone => done_peers += 1,
+            Packet::Abort => return Err(super::abort_error()),
             other => unreachable!("unexpected packet in pull step: {other:?}"),
         }
     }
@@ -179,15 +192,13 @@ fn scatter_signals<P: VertexProgram>(w: &mut Worker<P>, rep: &mut StepReport) ->
             bufs[p].extend_from_slice(&e.dst.0.to_le_bytes());
             if bufs[p].len() >= w.cfg.sending_threshold {
                 let ids = std::mem::take(&mut bufs[p]);
-                w.ep
-                    .send(WorkerId::from(p), Packet::Signals { ids: ids.into() });
+                w.ep.send(WorkerId::from(p), Packet::Signals { ids: ids.into() });
             }
         }
     }
     for (p, buf) in bufs.into_iter().enumerate() {
         if !buf.is_empty() {
-            w.ep
-                .send(WorkerId::from(p), Packet::Signals { ids: buf.into() });
+            w.ep.send(WorkerId::from(p), Packet::Signals { ids: buf.into() });
         }
     }
     Ok(())
@@ -217,16 +228,9 @@ pub(crate) fn cached_value<P: VertexProgram>(
     }
     let val = w.values.read_one(v)?;
     let width = P::Value::BYTES as u64;
-    w.vfs
-        .stats()
-        .record(AccessClass::RandRead, seek_pad(width));
+    w.vfs.stats().record(AccessClass::RandRead, seek_pad(width));
     rep.sem.svertex_rand_bytes += scattered_cost(width);
-    if let Some((k, old, dirty)) = w
-        .lru
-        .as_mut()
-        .unwrap()
-        .insert(v.0, val.clone(), false)
-    {
+    if let Some((k, old, dirty)) = w.lru.as_mut().unwrap().insert(v.0, val.clone(), false) {
         if dirty {
             write_back(w, VertexId(k), &old)?;
         }
@@ -235,11 +239,7 @@ pub(crate) fn cached_value<P: VertexProgram>(
 }
 
 /// Writes an evicted dirty value back (scattered random write).
-fn write_back<P: VertexProgram>(
-    w: &Worker<P>,
-    v: VertexId,
-    value: &P::Value,
-) -> io::Result<()> {
+fn write_back<P: VertexProgram>(w: &Worker<P>, v: VertexId, value: &P::Value) -> io::Result<()> {
     w.values.write_one(v, value)?;
     w.vfs
         .stats()
@@ -330,12 +330,7 @@ fn update_cached<P: VertexProgram>(
             let local = w.local(v);
             w.respond_next.set(local);
         }
-        if let Some((k, old, dirty)) = w
-            .lru
-            .as_mut()
-            .unwrap()
-            .insert(vg, upd.value, true)
-        {
+        if let Some((k, old, dirty)) = w.lru.as_mut().unwrap().insert(vg, upd.value, true) {
             if dirty {
                 write_back(w, VertexId(k), &old)?;
             }

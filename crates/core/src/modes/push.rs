@@ -135,6 +135,7 @@ pub fn run_push_step<P: VertexProgram>(
                     }
                 }
                 Packet::DoneSending => done += 1,
+                Packet::Abort => return Err(super::abort_error()),
                 other => unreachable!("unexpected packet in push step: {other:?}"),
             }
         }
@@ -202,7 +203,15 @@ pub(crate) fn drain_inbox<P: VertexProgram>(
     if let Some(spill) = w.spill.as_mut() {
         pairs.extend(spill.drain()?.into_sorted());
     }
-    pairs.sort_by_key(|(d, _)| *d);
+    // Canonical order: destination, then encoded message bytes. Arrival
+    // order depends on thread scheduling; sorting by content as well as
+    // destination makes non-commutative float reductions inside
+    // `update()` bit-identical run to run (and across a recovery replay).
+    pairs.sort_by_cached_key(|(d, m)| {
+        let mut bytes = vec![0u8; P::Message::BYTES];
+        m.write_to(&mut bytes);
+        (d.0, bytes)
+    });
     rep.delivered_raw = pairs.len() as u64;
     let mut groups: Vec<(u32, Vec<P::Message>)> = Vec::new();
     for (d, m) in pairs {

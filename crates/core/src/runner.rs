@@ -1,4 +1,5 @@
-//! The master: job orchestration (paper Fig. 1 and Algorithm 3).
+//! The master: job orchestration (paper Fig. 1 and Algorithm 3) plus the
+//! checkpoint/recovery protocol.
 //!
 //! [`run_job`] spawns one OS thread per computational node, loads the
 //! graph into each worker's stores, then drives supersteps: the master
@@ -8,21 +9,48 @@
 //! the hybrid switching condition (`evaluate(...)` in Algorithm 3) and
 //! checks termination (no responders and no pending messages, or the
 //! superstep budget).
+//!
+//! # Fault tolerance
+//!
+//! When [`JobConfig::checkpoint`] is not [`CheckpointPolicy::Never`], the
+//! master takes a baseline checkpoint right after loading and further
+//! checkpoints at superstep barriers per the policy. Each checkpoint is
+//! one classified sequential write per worker (see
+//! `hybridgraph_storage::checkpoint`), and the master snapshots its own
+//! superstep cursor — the hybrid [`Switcher`], current mode, and pending
+//! transition step — in memory alongside it.
+//!
+//! A worker failure (injected via [`FaultPlan`](crate::fault::FaultPlan)
+//! or genuine) surfaces as a [`WorkerMsg::Failed`] carrying the dead
+//! worker's network [`Endpoint`] back to the master. The master then
+//! broadcasts [`Packet::Abort`] over the control plane so surviving
+//! workers blocked mid-exchange unwind (they answer `Aborted` and stay
+//! alive), respawns the failed worker's thread onto the *same* VFS and
+//! endpoint, orders every worker to roll back to the last checkpoint,
+//! restores its own snapshot, and resumes from the checkpointed
+//! superstep. Without a usable checkpoint — policy `Never`, a lost
+//! endpoint, or an exhausted [`JobConfig::max_recoveries`] budget — the
+//! job returns [`JobError::WorkerFailed`] instead of panicking.
 
-use crate::config::{JobConfig, Mode};
-use crate::metrics::{JobMetrics, LoadReport, StepKind, StepReport, SuperstepMetrics};
+use crate::config::{CheckpointPolicy, JobConfig, Mode};
+use crate::fault::FaultPhase;
+use crate::metrics::{
+    FailureEvent, JobMetrics, LoadReport, RecoveryMetrics, StepKind, StepReport, SuperstepMetrics,
+};
 use crate::modes::bpull::run_bpull_step;
 use crate::modes::pull::run_pull_step;
 use crate::modes::push::run_push_step;
 use crate::program::VertexProgram;
 use crate::switch::{self, b_lower_bound, q_metric, CostInputs, Switcher};
 use crate::worker::{Worker, WorkerLoadReport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hybridgraph_graph::{partition::vblock_counts, BlockLayout, Graph, Partition, WorkerId};
-use hybridgraph_net::fabric::{Fabric, NetSnapshot};
-use hybridgraph_storage::vfs::MemVfs;
+use hybridgraph_net::fabric::{Endpoint, Fabric, NetSnapshot};
+use hybridgraph_net::packet::Packet;
+use hybridgraph_storage::vfs::{DirVfs, MemVfs, Vfs};
 use hybridgraph_storage::{IoSnapshot, Record};
+use std::fmt;
 use std::io;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,8 +62,73 @@ pub struct JobResult<P: VertexProgram> {
     pub metrics: JobMetrics,
 }
 
+/// Why a job did not produce a result.
+#[derive(Debug)]
+pub enum JobError {
+    /// A worker failed and the job could not recover: the checkpoint
+    /// policy is [`CheckpointPolicy::Never`], no checkpoint exists yet,
+    /// the recovery budget is exhausted, or the worker died in a way
+    /// that lost its network endpoint.
+    WorkerFailed {
+        /// Which worker failed.
+        worker: usize,
+        /// The superstep it failed in (0 = loading).
+        superstep: u64,
+        /// The underlying error message.
+        error: String,
+    },
+    /// An I/O error outside any worker (e.g. creating the disk roots).
+    Io(io::Error),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::WorkerFailed {
+                worker,
+                superstep,
+                error,
+            } => write!(
+                f,
+                "worker {worker} failed in superstep {superstep} and the job \
+                 could not recover: {error}"
+            ),
+            JobError::Io(e) => write!(f, "job I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Io(e) => Some(e),
+            JobError::WorkerFailed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for JobError {
+    fn from(e: io::Error) -> Self {
+        JobError::Io(e)
+    }
+}
+
 enum Cmd {
-    Step { kind: StepKind, superstep: u64 },
+    Step {
+        kind: StepKind,
+        superstep: u64,
+    },
+    /// Write the checkpoint for `superstep`; optionally prune the one at
+    /// `prune` afterwards (retention 1).
+    Checkpoint {
+        superstep: u64,
+        prune: Option<u64>,
+    },
+    /// Drain stale packets and restore the checkpoint taken after
+    /// `superstep`.
+    Rollback {
+        superstep: u64,
+    },
     Collect,
     Exit,
 }
@@ -43,21 +136,88 @@ enum Cmd {
 enum WorkerMsg<V> {
     Loaded(usize, Box<WorkerLoadReport>),
     Step(usize, Box<StepReport>),
+    /// The worker unwound from an aborted superstep and is awaiting
+    /// commands.
+    Aborted(usize),
+    /// Checkpoint written; payload is the bytes it occupies on disk.
+    Checkpointed(usize, u64),
+    RolledBack(usize),
     Values(usize, u32, Vec<V>),
-    Failed(usize, String),
+    /// The worker died. It hands its fabric endpoint back when it can so
+    /// the master can respawn a replacement onto the same slot.
+    Failed {
+        index: usize,
+        error: String,
+        endpoint: Option<Endpoint>,
+    },
+}
+
+/// Master-side state captured alongside each checkpoint so a rollback
+/// also rewinds the superstep cursor and the hybrid switching engine.
+struct MasterSnapshot {
+    switcher: Switcher,
+    cur: Mode,
+    pending_kind: Option<StepKind>,
+    steps_len: usize,
+    switches_len: usize,
+}
+
+/// Orders every worker to checkpoint `superstep`, waits for all acks, and
+/// records bytes/IO into `recovery`. Returns the largest per-worker
+/// checkpoint size (the adaptive policy's cost estimate input).
+fn checkpoint_all<V>(
+    cmd_txs: &[Sender<Cmd>],
+    rep_rx: &Receiver<WorkerMsg<V>>,
+    vfss: &[Arc<dyn Vfs>],
+    recovery: &mut RecoveryMetrics,
+    superstep: u64,
+    prune: Option<u64>,
+) -> Result<u64, JobError> {
+    let before: Vec<IoSnapshot> = vfss.iter().map(|v| v.stats().snapshot()).collect();
+    for tx in cmd_txs {
+        tx.send(Cmd::Checkpoint { superstep, prune })
+            .expect("worker gone");
+    }
+    let mut max_bytes = 0u64;
+    let mut acked = vec![false; cmd_txs.len()];
+    for _ in 0..cmd_txs.len() {
+        match rep_rx.recv().expect("workers hung up during checkpoint") {
+            WorkerMsg::Checkpointed(i, bytes) => {
+                assert!(!acked[i], "duplicate checkpoint ack from worker {i}");
+                acked[i] = true;
+                recovery.checkpoint_bytes += bytes;
+                max_bytes = max_bytes.max(bytes);
+            }
+            WorkerMsg::Failed { index, error, .. } => {
+                return Err(JobError::WorkerFailed {
+                    worker: index,
+                    superstep,
+                    error,
+                });
+            }
+            _ => unreachable!("unexpected message during checkpoint"),
+        }
+    }
+    for (vfs, base) in vfss.iter().zip(&before) {
+        let delta = vfs.stats().snapshot().delta(base);
+        recovery.checkpoint_io = recovery.checkpoint_io.plus(&delta);
+    }
+    recovery.checkpoints_taken += 1;
+    Ok(max_bytes)
 }
 
 /// Runs `program` over `graph` under `cfg` and returns the final values
-/// and metrics.
+/// and metrics, or a [`JobError`] if a worker failure could not be
+/// recovered.
 ///
 /// # Panics
 /// Panics if the configuration is inconsistent (e.g. `PushM` without a
-/// combiner) or a worker fails.
+/// combiner).
 pub fn run_job<P: VertexProgram>(
     program: Arc<P>,
     graph: &Graph,
     cfg: JobConfig,
-) -> io::Result<JobResult<P>> {
+) -> Result<JobResult<P>, JobError> {
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(
         cfg.mode != Mode::PushM || program.combiner().is_some(),
@@ -80,21 +240,33 @@ pub fn run_job<P: VertexProgram>(
     let layout = Arc::new(BlockLayout::new(&partition, &counts));
     let reverse = matches!(cfg.mode, Mode::Pull).then(|| graph.reverse());
 
-    let (endpoints, net_stats) = Fabric::mesh(t);
-    let (rep_tx, rep_rx) = unbounded::<WorkerMsg<P::Value>>();
+    // The master holds each worker's VFS so a respawned worker thread
+    // reattaches to the same (simulated or real) disk — that is what
+    // makes its checkpoints reachable after the thread died.
+    let mut vfss: Vec<Arc<dyn Vfs>> = Vec::with_capacity(t);
+    for i in 0..t {
+        vfss.push(match &cfg.disk_root {
+            Some(root) => Arc::new(DirVfs::new(root.join(format!("w{i}")))?),
+            None => Arc::new(MemVfs::new()),
+        });
+    }
 
-    std::thread::scope(|scope| -> io::Result<JobResult<P>> {
-        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(t);
-        for (i, ep) in endpoints.into_iter().enumerate() {
-            let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
-            cmd_txs.push(cmd_tx);
+    let (endpoints, net_stats, control) = Fabric::mesh_with_control(t);
+    let (rep_tx, rep_rx) = channel::<WorkerMsg<P::Value>>();
+
+    std::thread::scope(|scope| -> Result<JobResult<P>, JobError> {
+        let graph_ref = &*graph;
+        let reverse_ref = reverse.as_ref();
+        // Spawns (or respawns) worker `i` on `ep` with a fresh command
+        // channel receiver. The master keeps `rep_tx` alive for the whole
+        // job so late respawns can still clone it.
+        let spawn_worker = |i: usize, ep: Endpoint, cmd_rx: Receiver<Cmd>| {
             let program = Arc::clone(&program);
             let partition = Arc::clone(&partition);
             let layout = Arc::clone(&layout);
             let cfg = cfg.clone();
             let rep_tx = rep_tx.clone();
-            let graph_ref = &*graph;
-            let reverse_ref = reverse.as_ref();
+            let vfs = Arc::clone(&vfss[i]);
             scope.spawn(move || {
                 worker_main::<P>(
                     i,
@@ -105,20 +277,67 @@ pub fn run_job<P: VertexProgram>(
                     layout,
                     cfg,
                     ep,
+                    vfs,
                     cmd_rx,
                     rep_tx,
                 )
             });
+        };
+
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(t);
+        let mut pending_rx: Vec<Receiver<Cmd>> = Vec::with_capacity(t);
+        for _ in 0..t {
+            let (tx, rx) = channel::<Cmd>();
+            cmd_txs.push(tx);
+            pending_rx.push(rx);
         }
-        drop(rep_tx);
+        for (i, (ep, rx)) in endpoints.into_iter().zip(pending_rx).enumerate() {
+            spawn_worker(i, ep, rx);
+        }
+
+        let mut recovery = RecoveryMetrics::default();
+        let mut recoveries_used = 0u64;
 
         // ---- Load phase -------------------------------------------------
+        // Workers do not exchange packets while loading, so a load-phase
+        // failure needs no abort or rollback: respawn and reload.
         let mut load_reports: Vec<WorkerLoadReport> = vec![WorkerLoadReport::default(); t];
-        for _ in 0..t {
+        let mut loaded = 0usize;
+        while loaded < t {
             match rep_rx.recv().expect("workers hung up during load") {
-                WorkerMsg::Loaded(i, r) => load_reports[i] = *r,
-                WorkerMsg::Failed(i, e) => panic!("worker {i} failed to load: {e}"),
-                _ => unreachable!(),
+                WorkerMsg::Loaded(i, r) => {
+                    load_reports[i] = *r;
+                    loaded += 1;
+                }
+                WorkerMsg::Failed {
+                    index,
+                    error,
+                    endpoint,
+                } => {
+                    recovery.failures.push(FailureEvent {
+                        superstep: 0,
+                        worker: index,
+                        error: error.clone(),
+                    });
+                    let recoverable = cfg.checkpoint != CheckpointPolicy::Never
+                        && recoveries_used < cfg.max_recoveries;
+                    match endpoint {
+                        Some(ep) if recoverable => {
+                            recoveries_used += 1;
+                            let (tx, rx) = channel::<Cmd>();
+                            cmd_txs[index] = tx;
+                            spawn_worker(index, ep, rx);
+                        }
+                        _ => {
+                            return Err(JobError::WorkerFailed {
+                                worker: index,
+                                superstep: 0,
+                                error,
+                            })
+                        }
+                    }
+                }
+                _ => unreachable!("unexpected message during load"),
             }
         }
         let fragments: u64 = load_reports.iter().map(|r| r.fragments).sum();
@@ -141,10 +360,7 @@ pub fn run_job<P: VertexProgram>(
             m => m,
         };
         let load = LoadReport {
-            wall_secs: load_reports
-                .iter()
-                .map(|r| r.wall_secs)
-                .fold(0.0, f64::max),
+            wall_secs: load_reports.iter().map(|r| r.wall_secs).fold(0.0, f64::max),
             io: load_reports
                 .iter()
                 .fold(IoSnapshot::default(), |acc, r| acc.plus(&r.io)),
@@ -168,12 +384,32 @@ pub fn run_job<P: VertexProgram>(
         let mut pending_kind: Option<StepKind> = None;
         let mut steps: Vec<SuperstepMetrics> = Vec::new();
         let mut switches: Vec<(u64, Mode, Mode)> = Vec::new();
-        let mut net_base = net_stats.snapshot();
         let max_steps = program
             .max_supersteps()
             .unwrap_or(u64::MAX)
             .min(cfg.max_supersteps);
 
+        // Baseline checkpoint: any policy but `Never` takes one right
+        // after loading so even a superstep-1 failure has a cut to roll
+        // back to.
+        let mut last_checkpoint: Option<u64> = None;
+        let mut master_snapshot: Option<MasterSnapshot> = None;
+        let mut last_ckpt_worker_bytes = 0u64;
+        let mut accum_step_secs = 0.0f64;
+        if cfg.checkpoint != CheckpointPolicy::Never {
+            last_ckpt_worker_bytes =
+                checkpoint_all(&cmd_txs, &rep_rx, &vfss, &mut recovery, 0, None)?;
+            last_checkpoint = Some(0);
+            master_snapshot = Some(MasterSnapshot {
+                switcher: switcher.clone(),
+                cur,
+                pending_kind,
+                steps_len: 0,
+                switches_len: 0,
+            });
+        }
+
+        let mut net_base = net_stats.snapshot();
         let mut superstep = 0u64;
         while superstep < max_steps {
             superstep += 1;
@@ -192,14 +428,135 @@ pub fn run_job<P: VertexProgram>(
             for tx in &cmd_txs {
                 tx.send(Cmd::Step { kind, superstep }).expect("worker gone");
             }
+            // Collect exactly one terminal response per worker. On the
+            // first failure, broadcast an abort so peers blocked on the
+            // dead worker's packets unwind instead of deadlocking.
             let mut reports: Vec<StepReport> = vec![StepReport::default(); t];
+            let mut failures: Vec<(usize, String, Option<Endpoint>)> = Vec::new();
+            let mut responded = vec![false; t];
+            let mut abort_sent = false;
             for _ in 0..t {
                 match rep_rx.recv().expect("workers hung up mid-superstep") {
-                    WorkerMsg::Step(i, r) => reports[i] = *r,
-                    WorkerMsg::Failed(i, e) => panic!("worker {i} failed: {e}"),
-                    _ => unreachable!(),
+                    WorkerMsg::Step(i, r) => {
+                        assert!(!responded[i], "duplicate step report from worker {i}");
+                        responded[i] = true;
+                        reports[i] = *r;
+                    }
+                    WorkerMsg::Aborted(i) => {
+                        assert!(!responded[i], "duplicate abort ack from worker {i}");
+                        responded[i] = true;
+                    }
+                    WorkerMsg::Failed {
+                        index,
+                        error,
+                        endpoint,
+                    } => {
+                        if !abort_sent {
+                            control.broadcast(Packet::Abort);
+                            abort_sent = true;
+                        }
+                        failures.push((index, error, endpoint));
+                    }
+                    _ => unreachable!("unexpected message during superstep"),
                 }
             }
+
+            if !failures.is_empty() {
+                for (i, e, _) in &failures {
+                    recovery.failures.push(FailureEvent {
+                        superstep,
+                        worker: *i,
+                        error: e.clone(),
+                    });
+                }
+                let ck = match last_checkpoint {
+                    Some(ck) if cfg.checkpoint != CheckpointPolicy::Never => ck,
+                    _ => {
+                        let (w, e, _) = failures.into_iter().next().unwrap();
+                        return Err(JobError::WorkerFailed {
+                            worker: w,
+                            superstep,
+                            error: e,
+                        });
+                    }
+                };
+                // Respawn every failed worker onto its original endpoint
+                // and VFS; a lost endpoint or an exhausted budget is fatal.
+                let mut respawned = 0usize;
+                for (i, error, endpoint) in failures {
+                    let fatal_budget = recoveries_used >= cfg.max_recoveries;
+                    match endpoint {
+                        Some(ep) if !fatal_budget => {
+                            recoveries_used += 1;
+                            let (tx, rx) = channel::<Cmd>();
+                            cmd_txs[i] = tx;
+                            spawn_worker(i, ep, rx);
+                            respawned += 1;
+                        }
+                        _ => {
+                            return Err(JobError::WorkerFailed {
+                                worker: i,
+                                superstep,
+                                error,
+                            })
+                        }
+                    }
+                }
+                for _ in 0..respawned {
+                    match rep_rx.recv().expect("respawned worker hung up") {
+                        WorkerMsg::Loaded(..) => {}
+                        WorkerMsg::Failed { index, error, .. } => {
+                            return Err(JobError::WorkerFailed {
+                                worker: index,
+                                superstep,
+                                error,
+                            })
+                        }
+                        _ => unreachable!("unexpected message during respawn"),
+                    }
+                }
+                // Roll every worker (survivors and respawns alike) back
+                // to the checkpointed cut. The rollback handler drains
+                // stale packets — including the abort we broadcast — so
+                // the re-executed superstep starts from a clean fabric.
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Rollback { superstep: ck })
+                        .expect("worker gone");
+                }
+                let mut rolled = vec![false; t];
+                for _ in 0..t {
+                    match rep_rx.recv().expect("workers hung up during rollback") {
+                        WorkerMsg::RolledBack(i) => {
+                            assert!(!rolled[i], "duplicate rollback ack from worker {i}");
+                            rolled[i] = true;
+                        }
+                        WorkerMsg::Failed { index, error, .. } => {
+                            return Err(JobError::WorkerFailed {
+                                worker: index,
+                                superstep,
+                                error,
+                            })
+                        }
+                        _ => unreachable!("unexpected message during rollback"),
+                    }
+                }
+                // Rewind the master to the same cut.
+                let snap = master_snapshot
+                    .as_ref()
+                    .expect("a checkpoint always has a master snapshot");
+                switcher = snap.switcher.clone();
+                cur = snap.cur;
+                pending_kind = snap.pending_kind;
+                steps.truncate(snap.steps_len);
+                switches.truncate(snap.switches_len);
+                recovery.rollbacks += 1;
+                recovery.recomputed_supersteps += superstep - ck;
+                accum_step_secs = 0.0;
+                net_base = net_stats.snapshot();
+                superstep = ck;
+                continue;
+            }
+
             let wall = t_step.elapsed().as_secs_f64();
             let net_now = net_stats.snapshot();
             let net_delta = net_now.delta(&net_base);
@@ -239,6 +596,40 @@ pub fn run_job<P: VertexProgram>(
                     switches.push((superstep + 1, from, new_mode));
                 }
             }
+
+            // Checkpoint decision at the barrier. `EveryK` is the classic
+            // fixed interval; `Adaptive` is a Young-style rule driven by
+            // the deterministic cost model: checkpoint once the modeled
+            // compute time since the last cut outweighs `factor` times
+            // the modeled cost of writing one.
+            let take = match cfg.checkpoint {
+                CheckpointPolicy::Never => false,
+                CheckpointPolicy::EveryK(k) => superstep.is_multiple_of(k.max(1)),
+                CheckpointPolicy::Adaptive => {
+                    accum_step_secs += step_secs;
+                    let write_secs = cfg.profile.seq_write_secs(last_ckpt_worker_bytes.max(1));
+                    accum_step_secs >= cfg.adaptive_checkpoint_factor * write_secs
+                }
+            };
+            if take {
+                last_ckpt_worker_bytes = checkpoint_all(
+                    &cmd_txs,
+                    &rep_rx,
+                    &vfss,
+                    &mut recovery,
+                    superstep,
+                    last_checkpoint,
+                )?;
+                last_checkpoint = Some(superstep);
+                master_snapshot = Some(MasterSnapshot {
+                    switcher: switcher.clone(),
+                    cur,
+                    pending_kind,
+                    steps_len: steps.len(),
+                    switches_len: switches.len(),
+                });
+                accum_step_secs = 0.0;
+            }
         }
 
         // ---- Collect ----------------------------------------------------
@@ -253,8 +644,14 @@ pub fn run_job<P: VertexProgram>(
                     bases[i] = base;
                     values[i] = Some(vals);
                 }
-                WorkerMsg::Failed(i, e) => panic!("worker {i} failed during collect: {e}"),
-                _ => unreachable!(),
+                WorkerMsg::Failed { index, error, .. } => {
+                    return Err(JobError::WorkerFailed {
+                        worker: index,
+                        superstep,
+                        error,
+                    })
+                }
+                _ => unreachable!("unexpected message during collect"),
             }
         }
         for tx in &cmd_txs {
@@ -278,6 +675,7 @@ pub fn run_job<P: VertexProgram>(
                 steps,
                 switches,
                 profile: cfg.profile,
+                recovery,
             },
         })
     })
@@ -292,36 +690,63 @@ fn worker_main<P: VertexProgram>(
     partition: Arc<Partition>,
     layout: Arc<BlockLayout>,
     cfg: JobConfig,
-    ep: hybridgraph_net::fabric::Endpoint,
+    ep: Endpoint,
+    vfs: Arc<dyn Vfs>,
     cmd_rx: Receiver<Cmd>,
     rep_tx: Sender<WorkerMsg<P::Value>>,
 ) {
     let id = WorkerId::from(index);
-    let vfs: Arc<dyn hybridgraph_storage::vfs::Vfs> = match &cfg.disk_root {
-        Some(root) => match hybridgraph_storage::vfs::DirVfs::new(root.join(format!("w{index}"))) {
-            Ok(v) => Arc::new(v),
+    let plan = cfg.fault_plan.clone();
+    let injected = |superstep: u64, phase: FaultPhase| -> bool {
+        plan.as_ref()
+            .is_some_and(|p| p.should_fail(index, superstep, phase))
+    };
+    // The load-phase hook fires before `Worker::load` consumes the
+    // endpoint, so an injected load fault is recoverable; a genuine load
+    // error is not (the endpoint went down with the half-built worker).
+    if injected(0, FaultPhase::Load) {
+        rep_tx
+            .send(WorkerMsg::Failed {
+                index,
+                error: "injected fault: killed while loading".into(),
+                endpoint: Some(ep),
+            })
+            .ok();
+        return;
+    }
+    let (mut worker, load) =
+        match Worker::load(id, program, graph, reverse, partition, layout, cfg, ep, vfs) {
+            Ok(x) => x,
             Err(e) => {
-                rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
+                rep_tx
+                    .send(WorkerMsg::Failed {
+                        index,
+                        error: e.to_string(),
+                        endpoint: None,
+                    })
+                    .ok();
                 return;
             }
-        },
-        None => Arc::new(MemVfs::new()),
-    };
-    let (mut worker, load) = match Worker::load(
-        id, program, graph, reverse, partition, layout, cfg, ep, vfs,
-    ) {
-        Ok(x) => x,
-        Err(e) => {
-            rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
-            return;
-        }
-    };
+        };
     rep_tx
         .send(WorkerMsg::Loaded(index, Box::new(load)))
         .expect("master gone");
     while let Ok(cmd) = cmd_rx.recv() {
         match cmd {
             Cmd::Step { kind, superstep } => {
+                if injected(superstep, FaultPhase::Compute) {
+                    let ep = worker.ep;
+                    rep_tx
+                        .send(WorkerMsg::Failed {
+                            index,
+                            error: format!(
+                                "injected fault: killed before compute of superstep {superstep}"
+                            ),
+                            endpoint: Some(ep),
+                        })
+                        .ok();
+                    return;
+                }
                 let res = match kind {
                     StepKind::Push => run_push_step(&mut worker, superstep, true, false),
                     StepKind::PushNoSend => run_push_step(&mut worker, superstep, false, false),
@@ -331,11 +756,84 @@ fn worker_main<P: VertexProgram>(
                     StepKind::BPullThenPush => run_bpull_step(&mut worker, superstep, true),
                 };
                 match res {
-                    Ok(rep) => rep_tx
-                        .send(WorkerMsg::Step(index, Box::new(rep)))
+                    Ok(rep) => {
+                        if injected(superstep, FaultPhase::Barrier) {
+                            let ep = worker.ep;
+                            rep_tx
+                                .send(WorkerMsg::Failed {
+                                    index,
+                                    error: format!(
+                                        "injected fault: killed at barrier of superstep {superstep}"
+                                    ),
+                                    endpoint: Some(ep),
+                                })
+                                .ok();
+                            return;
+                        }
+                        rep_tx
+                            .send(WorkerMsg::Step(index, Box::new(rep)))
+                            .expect("master gone");
+                    }
+                    Err(e) if crate::modes::is_abort(&e) => {
+                        // A peer failed; the master broadcast an abort.
+                        // Unwind this superstep and await the rollback.
+                        rep_tx.send(WorkerMsg::Aborted(index)).expect("master gone");
+                    }
+                    Err(e) => {
+                        let ep = worker.ep;
+                        rep_tx
+                            .send(WorkerMsg::Failed {
+                                index,
+                                error: e.to_string(),
+                                endpoint: Some(ep),
+                            })
+                            .ok();
+                        return;
+                    }
+                }
+            }
+            Cmd::Checkpoint { superstep, prune } => {
+                let res = worker.write_checkpoint(superstep).and_then(|bytes| {
+                    if let Some(p) = prune {
+                        hybridgraph_storage::checkpoint::remove_checkpoint(worker.vfs.as_ref(), p)?;
+                    }
+                    Ok(bytes)
+                });
+                match res {
+                    Ok(bytes) => rep_tx
+                        .send(WorkerMsg::Checkpointed(index, bytes))
                         .expect("master gone"),
                     Err(e) => {
-                        rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
+                        let ep = worker.ep;
+                        rep_tx
+                            .send(WorkerMsg::Failed {
+                                index,
+                                error: e.to_string(),
+                                endpoint: Some(ep),
+                            })
+                            .ok();
+                        return;
+                    }
+                }
+            }
+            Cmd::Rollback { superstep } => {
+                // Stale packets from the aborted superstep (message
+                // batches, end-of-step markers, the abort itself) must
+                // not leak into the re-execution.
+                worker.ep.drain();
+                match worker.restore_checkpoint(superstep) {
+                    Ok(()) => rep_tx
+                        .send(WorkerMsg::RolledBack(index))
+                        .expect("master gone"),
+                    Err(e) => {
+                        let ep = worker.ep;
+                        rep_tx
+                            .send(WorkerMsg::Failed {
+                                index,
+                                error: e.to_string(),
+                                endpoint: Some(ep),
+                            })
+                            .ok();
                         return;
                     }
                 }
@@ -345,7 +843,14 @@ fn worker_main<P: VertexProgram>(
                     .send(WorkerMsg::Values(index, worker.range.start, vals))
                     .expect("master gone"),
                 Err(e) => {
-                    rep_tx.send(WorkerMsg::Failed(index, e.to_string())).ok();
+                    let ep = worker.ep;
+                    rep_tx
+                        .send(WorkerMsg::Failed {
+                            index,
+                            error: e.to_string(),
+                            endpoint: Some(ep),
+                        })
+                        .ok();
                     return;
                 }
             },
@@ -387,9 +892,7 @@ fn aggregate(
     let mut modeled_net = 0.0f64;
     for (i, r) in reports.iter().enumerate() {
         let io_secs = r.io.modeled_secs(&cfg.profile);
-        let net_secs = cfg
-            .profile
-            .net_secs(net.out_bytes[i] + net.in_bytes[i]);
+        let net_secs = cfg.profile.net_secs(net.out_bytes[i] + net.in_bytes[i]);
         let cpu_secs = (cfg.cpu_us_per_message
             * (r.messages_produced + r.messages_consumed) as f64
             + cfg.cpu_us_per_vertex * r.updated as f64)

@@ -16,9 +16,11 @@ use hybridgraph_graph::{BlockLayout, Graph, Partition, VertexId, WorkerId};
 use hybridgraph_net::fabric::{Endpoint, Envelope};
 use hybridgraph_net::wire::BatchKind;
 use hybridgraph_storage::adjacency::AdjacencyStore;
+use hybridgraph_storage::checkpoint::{CheckpointReader, CheckpointWriter};
 use hybridgraph_storage::gather::GatherStore;
 use hybridgraph_storage::lru::LruCache;
 use hybridgraph_storage::msg_store::SpillBuffer;
+use hybridgraph_storage::record::{decode_slice, encode_slice};
 use hybridgraph_storage::value_store::ValueStore;
 use hybridgraph_storage::veblock::VeBlockStore;
 use hybridgraph_storage::vfs::Vfs;
@@ -106,6 +108,39 @@ impl<M: Record> MsgAccumulator<M> {
     /// In-memory footprint.
     pub fn memory_bytes(&self) -> u64 {
         self.len() as u64 * (4 + M::BYTES as u64)
+    }
+
+    /// Merges per-sender accumulators **in slot order** into one.
+    ///
+    /// Receiving threads see sender batches in whatever order the fabric
+    /// delivers them; merging per-sender partials in a fixed order makes
+    /// non-commutative float reductions (e.g. `f64` sums) bit-identical
+    /// run to run — which is what lets recovery tests demand bit-equal
+    /// values after a rollback.
+    pub fn merge_in_order(
+        parts: Vec<Self>,
+        combiner: Option<&dyn hybridgraph_net::Combiner<M>>,
+    ) -> Self {
+        let combined = matches!(parts.first(), Some(MsgAccumulator::Combined(_)));
+        let mut out = MsgAccumulator::new(combined);
+        for part in parts {
+            match (&mut out, part) {
+                (MsgAccumulator::Combined(map), MsgAccumulator::Combined(p)) => {
+                    let c = combiner.expect("combined merge requires combiner");
+                    // Canonical per-part order: destination ascending.
+                    let mut entries: Vec<(u32, M)> = p.into_iter().collect();
+                    entries.sort_by_key(|(d, _)| *d);
+                    for (d, m) in entries {
+                        map.entry(d)
+                            .and_modify(|acc| *acc = c.combine(acc, &m))
+                            .or_insert(m);
+                    }
+                }
+                (MsgAccumulator::List(list), MsgAccumulator::List(p)) => list.extend(p),
+                _ => unreachable!("mixed accumulator kinds in merge"),
+            }
+        }
+        out
     }
 
     /// Drains into per-destination groups, sorted by destination.
@@ -339,10 +374,7 @@ impl<P: VertexProgram> Worker<P> {
         let hotset = if matches!(cfg.mode, Mode::PushM) {
             let ind = graph.in_degrees();
             let local_ind: Vec<u32> = range.clone().map(|v| ind[v as usize]).collect();
-            Some(HotSet::new(
-                &local_ind,
-                cfg.buffer_messages.min(n_local),
-            ))
+            Some(HotSet::new(&local_ind, cfg.buffer_messages.min(n_local)))
         } else {
             None
         };
@@ -559,6 +591,124 @@ impl<P: VertexProgram> Worker<P> {
             }
         }
         self.values.read_range(self.range.clone())
+    }
+
+    /// Serializes this worker's recoverable state — the vertex-value
+    /// segment, the responding/signaled flag vectors, pending spilled
+    /// messages, and online-computing accumulators — as the checkpoint
+    /// taken after `superstep`. The whole checkpoint commits as **one
+    /// classified sequential write** on this worker's VFS, so its cost is
+    /// visible in `IoStats` and modeled time like any other byte the
+    /// engine moves. Returns the bytes written.
+    pub fn write_checkpoint(&mut self, superstep: u64) -> io::Result<u64> {
+        debug_assert!(
+            self.staged.is_empty(),
+            "staged updates must be flushed before checkpointing"
+        );
+        // Pull mode: push dirty cached values down so the on-disk value
+        // segment is authoritative, then rebuild the cache clean (drain
+        // returns MRU-first; reinserting oldest-first preserves recency).
+        if let Some(lru) = &mut self.lru {
+            let entries = lru.drain();
+            for (k, v, dirty) in &entries {
+                if *dirty {
+                    self.values.write_one(VertexId(*k), v)?;
+                }
+            }
+            for (k, v, _) in entries.into_iter().rev() {
+                lru.insert(k, v, false);
+            }
+        }
+        let vals = self.values.read_range(self.range.clone())?;
+        let n = self.range.len();
+        let mut w = CheckpointWriter::new(superstep);
+        w.put_bytes(&encode_slice(&vals));
+        w.put_u64(n as u64);
+        w.put_words(self.respond.as_words());
+        w.put_words(self.signaled.as_words());
+        match &self.spill {
+            Some(s) => {
+                w.put_u8(1);
+                let pairs = s.snapshot_pending()?;
+                w.put_bytes(&encode_slice(&pairs));
+            }
+            None => w.put_u8(0),
+        }
+        match &self.hotset {
+            Some(h) => {
+                w.put_u8(1);
+                let pairs: Vec<(u32, P::Message)> = h
+                    .acc
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, m)| m.clone().map(|m| (i as u32, m)))
+                    .collect();
+                w.put_bytes(&encode_slice(&pairs));
+            }
+            None => w.put_u8(0),
+        }
+        w.commit(self.vfs.as_ref())
+    }
+
+    /// Restores this worker's recoverable state from the checkpoint taken
+    /// after `superstep` (the rollback half of recovery). Values, flag
+    /// vectors, pending messages, and online accumulators revert to the
+    /// checkpointed cut; the LRU cache and staged updates reset. Works
+    /// identically on a surviving worker (discarding newer state) and on
+    /// a freshly respawned one (adopting the cut).
+    pub fn restore_checkpoint(&mut self, superstep: u64) -> io::Result<()> {
+        fn mismatch(what: &str) -> io::Error {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint does not match worker state: {what}"),
+            )
+        }
+        let mut r = CheckpointReader::open(self.vfs.as_ref(), superstep)?;
+        let vals: Vec<P::Value> = decode_slice(&r.get_bytes()?);
+        let n = self.range.len();
+        if vals.len() != n {
+            return Err(mismatch("value count"));
+        }
+        self.values.write_range(self.range.clone(), &vals)?;
+        if r.get_u64()? as usize != n {
+            return Err(mismatch("flag vector length"));
+        }
+        self.respond = BitSet::from_words(r.get_words()?, n);
+        self.respond_next = BitSet::new(n);
+        self.signaled = BitSet::from_words(r.get_words()?, n);
+        self.signaled_next = BitSet::new(n);
+        match (&mut self.spill, r.get_u8()?) {
+            (Some(s), 1) => {
+                let pairs: Vec<(VertexId, P::Message)> = decode_slice(&r.get_bytes()?);
+                s.restore_pending(pairs)?;
+            }
+            (None, 0) => {}
+            _ => return Err(mismatch("spill buffer presence")),
+        }
+        match (&mut self.hotset, r.get_u8()?) {
+            (Some(h), 1) => {
+                for a in h.acc.iter_mut() {
+                    *a = None;
+                }
+                let pairs: Vec<(u32, P::Message)> = decode_slice(&r.get_bytes()?);
+                for (i, m) in pairs {
+                    if i as usize >= h.acc.len() {
+                        return Err(mismatch("hot accumulator index"));
+                    }
+                    h.acc[i as usize] = Some(m);
+                }
+            }
+            (None, 0) => {}
+            _ => return Err(mismatch("hot set presence")),
+        }
+        if self.lru.is_some() {
+            self.lru = Some(LruCache::new(
+                self.cfg.effective_lru_capacity().min(1 << 28),
+            ));
+        }
+        self.staged.clear();
+        self.superstep = superstep;
+        Ok(())
     }
 }
 

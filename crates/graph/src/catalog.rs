@@ -16,10 +16,9 @@
 
 use crate::csr::Graph;
 use crate::gen::{self, RmatParams};
-use serde::{Deserialize, Serialize};
 
 /// Which paper dataset a spec stands in for.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Dataset {
     /// LiveJournal social network (`livej`).
     LiveJ,
@@ -176,7 +175,12 @@ impl DatasetSpec {
         let core_n = n - tail;
         let core = gen::rmat(core_n, m.saturating_sub(tail), self.rmat, self.seed);
         let core = if self.locality > 0.0 {
-            gen::localize(&core, self.locality, (core_n / 512).max(8), self.seed ^ 0x10c)
+            gen::localize(
+                &core,
+                self.locality,
+                (core_n / 512).max(8),
+                self.seed ^ 0x10c,
+            )
         } else {
             core
         };

@@ -216,12 +216,12 @@ mod tests {
 
     #[test]
     fn reverse_preserves_weights() {
-        let g = Graph::from_parts(
-            vec![0, 1, 1],
-            vec![Edge::weighted(VertexId(1), 2.5)],
-        );
+        let g = Graph::from_parts(vec![0, 1, 1], vec![Edge::weighted(VertexId(1), 2.5)]);
         let r = g.reverse();
-        assert_eq!(r.out_edges(VertexId(1)), &[Edge::weighted(VertexId(0), 2.5)]);
+        assert_eq!(
+            r.out_edges(VertexId(1)),
+            &[Edge::weighted(VertexId(0), 2.5)]
+        );
     }
 
     #[test]

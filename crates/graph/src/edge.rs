@@ -1,14 +1,13 @@
 //! Directed, weighted edges.
 
 use crate::ids::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// A directed edge to `dst` with a `weight`.
 ///
 /// The source vertex is implicit: edges are stored in per-source adjacency
 /// runs (CSR rows, or VE-BLOCK fragments). Weights are used by SSSP; other
 /// algorithms in the paper ignore them.
-#[derive(Copy, Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
 pub struct Edge {
     /// Destination vertex.
     pub dst: VertexId,

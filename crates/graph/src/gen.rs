@@ -10,20 +10,19 @@
 use crate::builder::GraphBuilder;
 use crate::csr::Graph;
 use crate::ids::VertexId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Erdős–Rényi-style uniform random directed graph with `n` vertices and
 /// `m` edges (self-loops excluded, duplicates allowed — matching multigraph
 /// behaviour of web crawls).
 pub fn uniform(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n >= 2, "uniform graph needs at least 2 vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new(n).with_edge_capacity(m);
     let mut added = 0;
     while added < m {
-        let s = rng.gen_range(0..n as u32);
-        let d = rng.gen_range(0..n as u32);
+        let s = rng.below_u32(n as u32);
+        let d = rng.below_u32(n as u32);
         if s == d {
             continue;
         }
@@ -90,14 +89,14 @@ pub fn rmat(n: usize, m: usize, params: RmatParams, seed: u64) -> Graph {
     assert!(n >= 2, "rmat graph needs at least 2 vertices");
     let scale = (n as f64).log2().ceil() as u32;
     let side = 1u64 << scale;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new(n).with_edge_capacity(m);
     let mut added = 0;
     while added < m {
         let (mut lo_s, mut lo_d) = (0u64, 0u64);
         let mut half = side / 2;
         while half >= 1 {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.next_f64();
             let (ds, dd) = if r < params.a {
                 (0, 0)
             } else if r < params.a + params.b {
@@ -179,14 +178,14 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 pub fn with_chain_tail(core: &Graph, tail: usize, seed: u64) -> Graph {
     let n0 = core.num_vertices();
     let n = n0 + tail;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new(n).with_edge_capacity(core.num_edges() + tail + 1);
     for (s, e) in core.edges() {
         b.add_weighted(s, e.dst, e.weight);
     }
     if tail > 0 {
         // Attach the tail to a random core vertex so it is reachable.
-        let anchor = VertexId(rng.gen_range(0..n0 as u32));
+        let anchor = VertexId(rng.below_u32(n0 as u32));
         b.add(anchor, VertexId(n0 as u32));
         for i in 0..tail - 1 {
             b.add(VertexId((n0 + i) as u32), VertexId((n0 + i + 1) as u32));
@@ -208,12 +207,12 @@ pub fn localize(g: &Graph, frac: f64, window: usize, seed: u64) -> Graph {
     let n = g.num_vertices();
     assert!(n >= 2);
     let window = window.max(1) as i64;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new(n).with_edge_capacity(g.num_edges());
     for (s, e) in g.edges() {
-        if rng.gen::<f64>() < frac {
+        if rng.next_f64() < frac {
             let dst = loop {
-                let off = rng.gen_range(-window..=window);
+                let off = rng.range_i64_inclusive(-window, window);
                 let d = (s.0 as i64 + off).rem_euclid(n as i64) as u32;
                 if d != s.0 {
                     break d;
@@ -229,10 +228,10 @@ pub fn localize(g: &Graph, frac: f64, window: usize, seed: u64) -> Graph {
 
 /// Assigns uniform random weights in `[lo, hi)` to every edge of `g`.
 pub fn randomize_weights(g: &Graph, lo: f32, hi: f32, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new(g.num_vertices()).with_edge_capacity(g.num_edges());
     for (s, e) in g.edges() {
-        b.add_weighted(s, e.dst, rng.gen_range(lo..hi));
+        b.add_weighted(s, e.dst, rng.range_f32(lo, hi));
     }
     b.build()
 }

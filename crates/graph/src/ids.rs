@@ -4,13 +4,10 @@
 //! slaves) are all addressed by dense indices. Newtypes keep the three
 //! spaces from being mixed up while compiling down to plain integers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a vertex. Dense in `0..n` for a graph with `n` vertices.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct VertexId(pub u32);
 
 impl VertexId {
@@ -47,9 +44,7 @@ impl From<usize> for VertexId {
 /// Block ids are dense in `0..V` where `V` is the total number of Vblocks
 /// across the cluster; pull requests carry a `BlockId` instead of a set of
 /// vertex ids, which is the essence of block-centric pulling (paper §4.2).
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -68,9 +63,7 @@ impl fmt::Display for BlockId {
 
 /// Identifier of a computational node (the paper's "slave"/task; one task
 /// per node is assumed throughout, matching the paper's setup).
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct WorkerId(pub u16);
 
 impl WorkerId {

@@ -21,6 +21,7 @@ pub mod gen;
 pub mod ids;
 pub mod io;
 pub mod partition;
+pub mod rng;
 
 pub use builder::GraphBuilder;
 pub use catalog::{Dataset, DatasetSpec};

@@ -170,7 +170,10 @@ impl BlockLayout {
     pub fn block_of(&self, v: VertexId) -> BlockId {
         debug_assert!(!self.blocks.is_empty());
         let idx = self.block_starts.partition_point(|&s| s <= v.0) - 1;
-        debug_assert!(self.blocks[idx].range.contains(&v.0), "vertex outside layout");
+        debug_assert!(
+            self.blocks[idx].range.contains(&v.0),
+            "vertex outside layout"
+        );
         BlockId(idx as u32)
     }
 
@@ -229,7 +232,10 @@ pub fn vblock_counts(
         partition
             .workers()
             .map(|w| {
-                let sum: u64 = partition.worker_range(w).map(|v| ind[v as usize] as u64).sum();
+                let sum: u64 = partition
+                    .worker_range(w)
+                    .map(|v| ind[v as usize] as u64)
+                    .sum();
                 vblocks_eq6(sum, buffer_messages)
             })
             .collect()

@@ -1,0 +1,147 @@
+//! Small deterministic PRNG used across the workspace.
+//!
+//! The workspace builds hermetically from the standard library, so the
+//! generators (and the engine's fault-injection planner) need a local
+//! source of seeded pseudo-randomness instead of the `rand` crate. This is
+//! Steele et al.'s *splitmix64* — the generator Java's `SplittableRandom`
+//! and the xoshiro seeding routines use — which passes BigCrush and is
+//! more than adequate for synthetic-graph generation and test-case
+//! shuffling. It is explicitly **not** cryptographic.
+//!
+//! Determinism is load-bearing: the same seed must produce the same
+//! stream on every platform and in every session, because graph
+//! generation, property tests, and [`FaultPlan`]s in the engine all key
+//! their reproducibility on it.
+//!
+//! [`FaultPlan`]: https://docs.rs/hybridgraph-core
+
+/// A seeded splitmix64 stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u32` in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn below_u32(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        // Modulo over a full 64-bit draw: bias < 2^-32, irrelevant for
+        // synthetic graphs and far below what any test asserts on.
+        (self.next_u64() % bound as u64) as u32
+    }
+
+    /// Uniform `u64` in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Widen to 128 bits so the modulo bias stays below 2^-64.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below_u64((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive on both ends).
+    #[inline]
+    pub fn range_i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + self.below_u64(span) as i64
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (self.next_f64() as f32) * (hi - lo)
+    }
+
+    /// Uniform `bool`.
+    #[inline]
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_vector() {
+        // Reference values of splitmix64 with seed 0 (Vigna's test vector).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(r.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(r.next_u64(), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.below_u32(10) < 10);
+            let v = r.range_i64_inclusive(-3, 3);
+            assert!((-3..=3).contains(&v));
+            let f = r.range_f32(1.0, 2.0);
+            assert!((1.0..2.0).contains(&f));
+            let u = r.range_usize(5, 8);
+            assert!((5..8).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_u32_covers_range() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.below_u32(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

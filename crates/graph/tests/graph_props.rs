@@ -1,99 +1,141 @@
-//! Property-based tests for the graph substrate.
+//! Randomized (seeded, reproducible) tests for the graph substrate.
+//!
+//! Formerly proptest-based; rewritten as plain seeded loops over a
+//! [`SplitMix64`] stream so the workspace builds offline with no external
+//! crates. Every case derives all of its parameters from the loop's RNG,
+//! so a failure reproduces exactly from the fixed seed.
 
+use hybridgraph_graph::rng::SplitMix64;
 use hybridgraph_graph::{gen, io, partition, BlockLayout, GraphBuilder, Partition, VertexId};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every vertex is owned by exactly one worker, ranges are contiguous
-    /// and cover 0..n.
-    #[test]
-    fn partition_covers_all_vertices(n in 1usize..500, t in 1usize..40) {
+/// Every vertex is owned by exactly one worker, ranges are contiguous
+/// and cover 0..n.
+#[test]
+fn partition_covers_all_vertices() {
+    let mut r = SplitMix64::new(0xA11CE);
+    for _ in 0..64 {
+        let n = r.range_usize(1, 500);
+        let t = r.range_usize(1, 40);
         let p = Partition::range(n, t);
-        prop_assert_eq!(p.num_vertices(), n);
-        prop_assert_eq!(p.num_workers(), t);
+        assert_eq!(p.num_vertices(), n);
+        assert_eq!(p.num_workers(), t);
         let mut covered = 0usize;
         let mut at = 0u32;
         for w in p.workers() {
-            let r = p.worker_range(w);
-            prop_assert_eq!(r.start, at);
-            at = r.end;
-            covered += r.len();
-            for v in r {
-                prop_assert_eq!(p.worker_of(VertexId(v)), w);
+            let range = p.worker_range(w);
+            assert_eq!(range.start, at);
+            at = range.end;
+            covered += range.len();
+            for v in range {
+                assert_eq!(p.worker_of(VertexId(v)), w);
             }
         }
-        prop_assert_eq!(covered, n);
+        assert_eq!(covered, n);
     }
+}
 
-    /// Range sizes differ by at most one vertex.
-    #[test]
-    fn partition_is_balanced(n in 1usize..1000, t in 1usize..50) {
+/// Range sizes differ by at most one vertex.
+#[test]
+fn partition_is_balanced() {
+    let mut r = SplitMix64::new(0xBA1A);
+    for _ in 0..64 {
+        let n = r.range_usize(1, 1000);
+        let t = r.range_usize(1, 50);
         let p = Partition::range(n, t);
         let sizes: Vec<usize> = p.workers().map(|w| p.worker_len(w)).collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
-        prop_assert!(max - min <= 1, "sizes {sizes:?}");
+        assert!(max - min <= 1, "sizes {sizes:?}");
     }
+}
 
-    /// Block layout covers every vertex exactly once and block_of agrees.
-    #[test]
-    fn layout_partitions_vertices(n in 1usize..300, t in 1usize..8, per in 1usize..10) {
+/// Block layout covers every vertex exactly once and block_of agrees.
+#[test]
+fn layout_partitions_vertices() {
+    let mut r = SplitMix64::new(0x1A01);
+    for _ in 0..64 {
+        let n = r.range_usize(1, 300);
+        let t = r.range_usize(1, 8);
+        let per = r.range_usize(1, 10);
         let p = Partition::range(n, t);
         let l = BlockLayout::uniform(&p, per);
         let mut covered = 0usize;
         for b in l.block_ids() {
-            let r = l.block_range(b);
-            covered += r.len();
-            for v in r {
-                prop_assert_eq!(l.block_of(VertexId(v)), b);
+            let range = l.block_range(b);
+            covered += range.len();
+            for v in range {
+                assert_eq!(l.block_of(VertexId(v)), b);
             }
         }
-        prop_assert_eq!(covered, n);
+        assert_eq!(covered, n);
     }
+}
 
-    /// Eq. 5 monotonicity: more buffer, fewer blocks; never zero.
-    #[test]
-    fn eq5_monotone_in_buffer(n in 1usize..100_000, t in 1usize..64, b in 1usize..1_000_000) {
+/// Eq. 5 monotonicity: more buffer, fewer blocks; never zero.
+#[test]
+fn eq5_monotone_in_buffer() {
+    let mut r = SplitMix64::new(0xE05);
+    for _ in 0..64 {
+        let n = r.range_usize(1, 100_000);
+        let t = r.range_usize(1, 64);
+        let b = r.range_usize(1, 1_000_000);
         let v1 = partition::vblocks_eq5(n, t, b);
         let v2 = partition::vblocks_eq5(n, t, b * 2);
-        prop_assert!(v1 >= v2);
-        prop_assert!(v2 >= 1);
+        assert!(v1 >= v2);
+        assert!(v2 >= 1);
     }
+}
 
-    /// reverse(reverse(g)) has identical adjacency to g.
-    #[test]
-    fn reverse_is_involution(n in 2usize..80, m in 0usize..400, seed in 0u64..1000) {
+/// reverse(reverse(g)) has identical adjacency to g.
+#[test]
+fn reverse_is_involution() {
+    let mut r = SplitMix64::new(0x12EF);
+    for case in 0..48 {
+        let n = r.range_usize(2, 80);
+        let m = r.range_usize(0, 400);
+        let seed = r.next_u64() % 1000;
         let g = if m == 0 {
             hybridgraph_graph::Graph::empty(n)
         } else {
             gen::uniform(n, m, seed)
         };
         let back = g.reverse().reverse();
-        prop_assert_eq!(g.num_edges(), back.num_edges());
+        assert_eq!(g.num_edges(), back.num_edges(), "case {case}");
         for v in g.vertices() {
             let mut a: Vec<u32> = g.out_edges(v).iter().map(|e| e.dst.0).collect();
             let mut b: Vec<u32> = back.out_edges(v).iter().map(|e| e.dst.0).collect();
             a.sort();
             b.sort();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
     }
+}
 
-    /// Binary serialization round-trips arbitrary random graphs.
-    #[test]
-    fn binary_io_roundtrip(n in 2usize..60, m in 1usize..300, seed in 0u64..1000) {
+/// Binary serialization round-trips arbitrary random graphs.
+#[test]
+fn binary_io_roundtrip() {
+    let mut r = SplitMix64::new(0xB10);
+    for case in 0..48 {
+        let n = r.range_usize(2, 60);
+        let m = r.range_usize(1, 300);
+        let seed = r.next_u64() % 1000;
         let g = gen::randomize_weights(&gen::uniform(n, m, seed), 0.5, 9.5, seed);
         let mut buf = Vec::new();
         io::write_binary(&g, &mut buf).unwrap();
         let back = io::read_binary(buf.as_slice()).unwrap();
-        prop_assert_eq!(g, back);
+        assert_eq!(g, back, "case {case}");
     }
+}
 
-    /// The builder is insensitive to edge insertion order.
-    #[test]
-    fn builder_order_insensitive(mut edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
+/// The builder is insensitive to edge insertion order.
+#[test]
+fn builder_order_insensitive() {
+    let mut r = SplitMix64::new(0x0DE);
+    for _ in 0..64 {
+        let len = r.range_usize(0, 200);
+        let mut edges: Vec<(u32, u32)> = (0..len)
+            .map(|_| (r.below_u32(50), r.below_u32(50)))
+            .collect();
         let build = |pairs: &[(u32, u32)]| {
             let mut b = GraphBuilder::new(50);
             for &(s, d) in pairs {
@@ -104,28 +146,41 @@ proptest! {
         let forward = build(&edges);
         edges.reverse();
         let backward = build(&edges);
-        prop_assert_eq!(forward, backward);
+        assert_eq!(forward, backward);
     }
+}
 
-    /// localize preserves vertex count, edge count and out-degrees.
-    #[test]
-    fn localize_preserves_degrees(n in 4usize..80, m in 1usize..300, frac in 0.0f64..1.0, seed in 0u64..500) {
+/// localize preserves vertex count, edge count and out-degrees.
+#[test]
+fn localize_preserves_degrees() {
+    let mut r = SplitMix64::new(0x10CA);
+    for _ in 0..48 {
+        let n = r.range_usize(4, 80);
+        let m = r.range_usize(1, 300);
+        let frac = r.next_f64();
+        let seed = r.next_u64() % 500;
         let g = gen::uniform(n, m, seed);
         let l = gen::localize(&g, frac, n / 8 + 1, seed);
-        prop_assert_eq!(l.num_vertices(), g.num_vertices());
-        prop_assert_eq!(l.num_edges(), g.num_edges());
+        assert_eq!(l.num_vertices(), g.num_vertices());
+        assert_eq!(l.num_edges(), g.num_edges());
         for v in g.vertices() {
-            prop_assert_eq!(l.out_degree(v), g.out_degree(v));
+            assert_eq!(l.out_degree(v), g.out_degree(v));
         }
     }
+}
 
-    /// Generators honour exact edge counts and never emit self-loops.
-    #[test]
-    fn rmat_no_self_loops(scale_n in 3usize..200, m in 1usize..500, seed in 0u64..500) {
-        let g = gen::rmat(scale_n, m, gen::RmatParams::default(), seed);
-        prop_assert_eq!(g.num_edges(), m);
+/// Generators honour exact edge counts and never emit self-loops.
+#[test]
+fn rmat_no_self_loops() {
+    let mut r = SplitMix64::new(0x53ED);
+    for _ in 0..48 {
+        let n = r.range_usize(3, 200);
+        let m = r.range_usize(1, 500);
+        let seed = r.next_u64() % 500;
+        let g = gen::rmat(n, m, gen::RmatParams::default(), seed);
+        assert_eq!(g.num_edges(), m);
         for (s, e) in g.edges() {
-            prop_assert_ne!(s, e.dst);
+            assert_ne!(s, e.dst);
         }
     }
 }

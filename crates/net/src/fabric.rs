@@ -4,12 +4,14 @@
 //! send to any worker (including itself — loopback traffic is accounted
 //! separately because it never crosses the NIC) and receives from all
 //! peers over a single inbox. Delivery is reliable and FIFO per
-//! sender-receiver pair, like the TCP transport of the original system.
+//! sender-receiver pair (std `mpsc` channels), like the TCP transport of
+//! the original system. [`ControlPlane`] gives the master an out-of-band
+//! path into every inbox for rollback aborts.
 
 use crate::packet::Packet;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hybridgraph_graph::WorkerId;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,7 +60,8 @@ impl NetStats {
         src.packets_out.fetch_add(1, Ordering::Relaxed);
         match packet {
             Packet::Messages { stats, .. } => {
-                src.raw_msgs_out.fetch_add(stats.raw_messages, Ordering::Relaxed);
+                src.raw_msgs_out
+                    .fetch_add(stats.raw_messages, Ordering::Relaxed);
                 src.wire_values_out
                     .fetch_add(stats.wire_values, Ordering::Relaxed);
                 src.saved_msgs_out
@@ -231,6 +234,51 @@ impl Endpoint {
     pub fn stats(&self) -> &Arc<NetStats> {
         &self.stats
     }
+
+    /// Discards every packet currently queued in this endpoint's inbox and
+    /// returns how many were dropped.
+    ///
+    /// Used by the rollback protocol: once the master has collected a
+    /// terminal report from every worker, all workers are parked and every
+    /// in-flight send has been enqueued, so draining here removes exactly
+    /// the abandoned superstep's traffic and nothing else.
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        while self.rx.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Master-side injector of out-of-band control packets.
+///
+/// The master is not a worker and owns no [`Endpoint`], but the rollback
+/// protocol needs it to interrupt workers that are blocked in `recv()`
+/// waiting for a dead peer. A `ControlPlane` holds a sender to every
+/// worker inbox; its packets are stamped with the destination's own id
+/// (no worker impersonation) and are **not** recorded in [`NetStats`] —
+/// they model the master's command channel, which the paper's cost model
+/// never charges to the data network.
+#[derive(Clone)]
+pub struct ControlPlane {
+    txs: Vec<Sender<Envelope>>,
+}
+
+impl ControlPlane {
+    /// Sends `packet` to `to`'s inbox. A dead (dropped) endpoint is
+    /// ignored: the failed worker it belonged to is being respawned and
+    /// will be restored from a checkpoint anyway.
+    pub fn send(&self, to: WorkerId, packet: Packet) {
+        let _ = self.txs[to.index()].send(Envelope { from: to, packet });
+    }
+
+    /// Sends `packet` to every worker's inbox.
+    pub fn broadcast(&self, packet: Packet) {
+        for w in 0..self.txs.len() {
+            self.send(WorkerId::from(w), packet.clone());
+        }
+    }
 }
 
 /// Builder for the channel mesh.
@@ -240,12 +288,19 @@ impl Fabric {
     /// Creates a fully-connected mesh of `n` endpoints sharing one
     /// [`NetStats`].
     pub fn mesh(n: usize) -> (Vec<Endpoint>, Arc<NetStats>) {
+        let (eps, stats, _) = Fabric::mesh_with_control(n);
+        (eps, stats)
+    }
+
+    /// Like [`Fabric::mesh`], but also returns the master's
+    /// [`ControlPlane`] for out-of-band aborts.
+    pub fn mesh_with_control(n: usize) -> (Vec<Endpoint>, Arc<NetStats>, ControlPlane) {
         assert!(n >= 1, "mesh needs at least one worker");
         let stats = Arc::new(NetStats::new(n));
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             txs.push(tx);
             rxs.push(rx);
         }
@@ -259,7 +314,7 @@ impl Fabric {
                 stats: Arc::clone(&stats),
             })
             .collect();
-        (endpoints, stats)
+        (endpoints, stats, ControlPlane { txs })
     }
 }
 
@@ -267,13 +322,12 @@ impl Fabric {
 mod tests {
     use super::*;
     use crate::wire::{BatchKind, WireStats};
-    use bytes::Bytes;
     use hybridgraph_graph::BlockId;
 
     fn msg_packet(payload_len: usize, raw: u64, saved: u64) -> Packet {
         Packet::Messages {
             kind: BatchKind::Plain,
-            payload: Bytes::from(vec![0u8; payload_len]),
+            payload: vec![0u8; payload_len].into(),
             stats: WireStats {
                 raw_messages: raw,
                 wire_values: raw - saved,

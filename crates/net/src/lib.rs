@@ -3,7 +3,7 @@
 //! The paper's cluster connects computational nodes over Gigabit Ethernet;
 //! its analysis needs only the *bytes* each strategy moves (`C_net` in
 //! Eq. 4, `M_co · Byte_m / s_net` in Eq. 11) and the message/request
-//! counts. This crate reproduces the network as a crossbeam-channel mesh
+//! counts. This crate reproduces the network as a channel mesh
 //! with full byte accounting:
 //!
 //! * [`packet`] — wire formats and their serialized sizes,
@@ -13,7 +13,7 @@
 //! * [`flow`] — sending-threshold buffering (Appendix E's knob),
 //! * [`fabric`] — the worker-to-worker channel mesh and [`NetStats`].
 //!
-//! Delivery is reliable and ordered per sender-receiver pair (crossbeam
+//! Delivery is reliable and ordered per sender-receiver pair (std `mpsc`
 //! channels), matching the TCP transport of the original system. The
 //! paper's receiver-paced one-outstanding-package flow control exists to
 //! bound receive-buffer memory; this reproduction sizes buffers analytically
@@ -27,6 +27,6 @@ pub mod packet;
 pub mod wire;
 
 pub use combine::Combiner;
-pub use fabric::{Endpoint, Fabric, NetSnapshot, NetStats};
+pub use fabric::{ControlPlane, Endpoint, Fabric, NetSnapshot, NetStats};
 pub use packet::Packet;
 pub use wire::{decode_batch, encode_batch, BatchKind, WireStats};

@@ -15,8 +15,8 @@
 //!   of the superstep (the barrier waits for one per peer).
 
 use crate::wire::{BatchKind, WireStats};
-use bytes::Bytes;
 use hybridgraph_graph::BlockId;
+use std::sync::Arc;
 
 /// Fixed header bytes per packet (tag + ids), charged on every packet.
 pub const PACKET_HEADER_BYTES: u64 = 8;
@@ -34,7 +34,7 @@ pub enum Packet {
         /// How `payload` is encoded.
         kind: BatchKind,
         /// Encoded batch (see [`crate::wire`]).
-        payload: Bytes,
+        payload: Arc<[u8]>,
         /// Encoding statistics (raw/wire counts, saved messages).
         stats: WireStats,
         /// For b-pull responses: which block the batch answers.
@@ -55,7 +55,7 @@ pub enum Packet {
     /// destination vertices whose in-edges the receiver hosts.
     GatherRequests {
         /// Little-endian `u32` vertex ids, 4 bytes each.
-        ids: Bytes,
+        ids: Arc<[u8]>,
     },
     /// The pull baseline's sender has issued all gather requests of the
     /// superstep to this peer.
@@ -68,8 +68,15 @@ pub enum Packet {
     /// value changed (PowerGraph's scatter-phase activation).
     Signals {
         /// Little-endian `u32` vertex ids, 4 bytes each.
-        ids: Bytes,
+        ids: Arc<[u8]>,
     },
+    /// Out-of-band rollback order from the master's control plane: a peer
+    /// failed mid-superstep, so every worker must abandon the current
+    /// superstep immediately (stop computing, stop waiting for barriers)
+    /// and await a rollback command. Injected by
+    /// [`crate::fabric::ControlPlane`], never by workers, and therefore
+    /// never accounted in [`crate::fabric::NetStats`].
+    Abort,
 }
 
 impl Packet {
@@ -102,13 +109,15 @@ mod tests {
         );
         assert_eq!(Packet::DoneSending.wire_bytes(), PACKET_HEADER_BYTES);
         assert!(Packet::DoneSending.is_control());
+        assert_eq!(Packet::Abort.wire_bytes(), PACKET_HEADER_BYTES);
+        assert!(Packet::Abort.is_control());
     }
 
     #[test]
     fn message_packets_add_payload() {
         let p = Packet::Messages {
             kind: BatchKind::Plain,
-            payload: Bytes::from(vec![0u8; 100]),
+            payload: vec![0u8; 100].into(),
             stats: WireStats::default(),
             for_block: None,
         };

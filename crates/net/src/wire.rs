@@ -256,9 +256,8 @@ mod tests {
         // Each group carries a 4-byte count, so sharing the id pays off
         // once a destination receives more than two messages — the regime
         // pull-based generation puts every high-in-degree vertex in.
-        let mut batch: Vec<(VertexId, f64)> = (0..100)
-            .map(|i| (VertexId(i / 10), i as f64))
-            .collect();
+        let mut batch: Vec<(VertexId, f64)> =
+            (0..100).map(|i| (VertexId(i / 10), i as f64)).collect();
         let mut plain_batch = batch.clone();
         let (_, plain) = encode_batch(BatchKind::Plain, &mut plain_batch, None);
         let (_, conc) = encode_batch(BatchKind::Concatenated, &mut batch, None);

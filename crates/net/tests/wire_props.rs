@@ -1,75 +1,92 @@
-//! Property-based tests for the wire encodings.
+//! Randomized (seeded, reproducible) tests for the wire encodings.
+//!
+//! Formerly proptest-based; rewritten as plain seeded loops over a
+//! [`SplitMix64`] stream so the workspace builds offline.
 
+use hybridgraph_graph::rng::SplitMix64;
 use hybridgraph_graph::VertexId;
 use hybridgraph_net::combine::{MinCombiner, SumCombiner};
 use hybridgraph_net::wire::{decode_batch, encode_batch, BatchKind};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn batch() -> impl Strategy<Value = Vec<(VertexId, u32)>> {
-    prop::collection::vec((0u32..40, 0u32..10_000), 0..200)
-        .prop_map(|v| v.into_iter().map(|(d, m)| (VertexId(d), m)).collect())
+fn batch(r: &mut SplitMix64) -> Vec<(VertexId, u32)> {
+    let len = r.range_usize(0, 200);
+    (0..len)
+        .map(|_| (VertexId(r.below_u32(40)), r.below_u32(10_000)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    /// Plain encoding round-trips exactly, in order.
-    #[test]
-    fn plain_roundtrip(msgs in batch()) {
+/// Plain encoding round-trips exactly, in order.
+#[test]
+fn plain_roundtrip() {
+    let mut r = SplitMix64::new(0x71A1);
+    for _ in 0..CASES {
+        let msgs = batch(&mut r);
         let mut input = msgs.clone();
         let (bytes, stats) = encode_batch(BatchKind::Plain, &mut input, None);
-        prop_assert_eq!(stats.raw_messages as usize, msgs.len());
-        prop_assert_eq!(stats.wire_bytes as usize, bytes.len());
-        prop_assert_eq!(stats.saved_messages, 0);
+        assert_eq!(stats.raw_messages as usize, msgs.len());
+        assert_eq!(stats.wire_bytes as usize, bytes.len());
+        assert_eq!(stats.saved_messages, 0);
         let back: Vec<(VertexId, u32)> = decode_batch(BatchKind::Plain, &bytes);
-        prop_assert_eq!(back, msgs);
+        assert_eq!(back, msgs);
     }
+}
 
-    /// Concatenated encoding preserves the multiset of messages.
-    #[test]
-    fn concat_preserves_multiset(msgs in batch()) {
+/// Concatenated encoding preserves the multiset of messages.
+#[test]
+fn concat_preserves_multiset() {
+    let mut r = SplitMix64::new(0xC0CA);
+    for _ in 0..CASES {
+        let msgs = batch(&mut r);
         let mut input = msgs.clone();
         let (bytes, stats) = encode_batch(BatchKind::Concatenated, &mut input, None);
-        prop_assert_eq!(stats.wire_bytes as usize, bytes.len());
+        assert_eq!(stats.wire_bytes as usize, bytes.len());
         let back: Vec<(VertexId, u32)> = decode_batch(BatchKind::Concatenated, &bytes);
-        prop_assert_eq!(back.len(), msgs.len());
+        assert_eq!(back.len(), msgs.len());
         let key = |v: &[(VertexId, u32)]| {
             let mut s: Vec<(u32, u32)> = v.iter().map(|(d, m)| (d.0, *m)).collect();
             s.sort();
             s
         };
-        prop_assert_eq!(key(&back), key(&msgs));
+        assert_eq!(key(&back), key(&msgs));
         // Savings equal messages minus distinct destinations.
-        let distinct: std::collections::HashSet<u32> =
-            msgs.iter().map(|(d, _)| d.0).collect();
-        prop_assert_eq!(
+        let distinct: std::collections::HashSet<u32> = msgs.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(
             stats.saved_messages as usize,
             msgs.len() - distinct.len().min(msgs.len())
         );
     }
+}
 
-    /// Combined (sum) encoding produces per-destination sums.
-    #[test]
-    fn combined_sums_per_destination(msgs in batch()) {
-        let mut input: Vec<(VertexId, u64)> =
-            msgs.iter().map(|(d, m)| (*d, *m as u64)).collect();
+/// Combined (sum) encoding produces per-destination sums.
+#[test]
+fn combined_sums_per_destination() {
+    let mut r = SplitMix64::new(0x5035);
+    for _ in 0..CASES {
+        let msgs = batch(&mut r);
+        let mut input: Vec<(VertexId, u64)> = msgs.iter().map(|(d, m)| (*d, *m as u64)).collect();
         let (bytes, stats) = encode_batch(BatchKind::Combined, &mut input, Some(&SumCombiner));
         let back: Vec<(VertexId, u64)> = decode_batch(BatchKind::Combined, &bytes);
         let mut want: HashMap<u32, u64> = HashMap::new();
         for (d, m) in &msgs {
             *want.entry(d.0).or_insert(0) += *m as u64;
         }
-        prop_assert_eq!(back.len(), want.len());
+        assert_eq!(back.len(), want.len());
         for (d, sum) in back {
-            prop_assert_eq!(want.get(&d.0).copied(), Some(sum));
+            assert_eq!(want.get(&d.0).copied(), Some(sum));
         }
-        prop_assert_eq!(stats.wire_values as usize, want.len());
+        assert_eq!(stats.wire_values as usize, want.len());
     }
+}
 
-    /// Combined (min) is order-insensitive: shuffled input, same output.
-    #[test]
-    fn combined_min_order_insensitive(msgs in batch()) {
+/// Combined (min) is order-insensitive: shuffled input, same output.
+#[test]
+fn combined_min_order_insensitive() {
+    let mut r = SplitMix64::new(0x0D3);
+    for _ in 0..CASES {
+        let msgs = batch(&mut r);
         let to_f = |v: &[(VertexId, u32)]| -> Vec<(VertexId, f32)> {
             v.iter().map(|(d, m)| (*d, *m as f32)).collect()
         };
@@ -78,18 +95,22 @@ proptest! {
         b.reverse();
         let (bytes_a, _) = encode_batch(BatchKind::Combined, &mut a, Some(&MinCombiner));
         let (bytes_b, _) = encode_batch(BatchKind::Combined, &mut b, Some(&MinCombiner));
-        prop_assert_eq!(bytes_a, bytes_b);
+        assert_eq!(bytes_a, bytes_b);
     }
+}
 
-    /// Merging encodings never put MORE values on the wire than plain.
-    #[test]
-    fn merging_never_increases_values(msgs in batch()) {
+/// Merging encodings never put MORE values on the wire than plain.
+#[test]
+fn merging_never_increases_values() {
+    let mut r = SplitMix64::new(0x3E6);
+    for _ in 0..CASES {
+        let msgs = batch(&mut r);
         let mut a = msgs.clone();
         let mut b = msgs.clone();
         let (_, plain) = encode_batch(BatchKind::Plain, &mut a, None);
         let (_, comb) = encode_batch(BatchKind::Combined, &mut b, Some(&SumCombiner));
-        prop_assert!(comb.wire_values <= plain.wire_values);
-        prop_assert!(comb.wire_bytes <= plain.wire_bytes);
-        prop_assert_eq!(comb.raw_messages, plain.raw_messages);
+        assert!(comb.wire_values <= plain.wire_values);
+        assert!(comb.wire_bytes <= plain.wire_bytes);
+        assert_eq!(comb.raw_messages, plain.raw_messages);
     }
 }

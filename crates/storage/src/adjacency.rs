@@ -124,9 +124,7 @@ impl AdjacencyStore {
         if start == end {
             return Ok(Vec::new());
         }
-        let bytes = self
-            .file
-            .read_vec(class, start, (end - start) as usize)?;
+        let bytes = self.file.read_vec(class, start, (end - start) as usize)?;
         Ok(crate::record::decode_slice(&bytes))
     }
 }
@@ -188,7 +186,10 @@ mod tests {
         let vfs = MemVfs::new();
         let s = AdjacencyStore::build(&vfs, "adj", &g, 0..10).unwrap();
         let before = vfs.stats().snapshot();
-        assert!(s.edges_of(VertexId(5), AccessClass::SeqRead).unwrap().is_empty());
+        assert!(s
+            .edges_of(VertexId(5), AccessClass::SeqRead)
+            .unwrap()
+            .is_empty());
         assert_eq!(vfs.stats().snapshot(), before);
         assert_eq!(s.out_degree(VertexId(0)), 9);
     }

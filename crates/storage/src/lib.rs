@@ -19,9 +19,13 @@
 //! * [`veblock`] — the paper's VE-BLOCK layout (Vblocks, Eblocks,
 //!   fragments, per-block metadata `X_j`),
 //! * [`msg_store`] — the push receiver-side message buffer with spill,
-//! * [`lru`] — the LRU vertex cache used by the per-vertex pull baseline.
+//! * [`lru`] — the LRU vertex cache used by the per-vertex pull baseline,
+//! * [`checkpoint`] — superstep-boundary checkpoint framing for the
+//!   engine's fault-tolerance subsystem (classified sequential I/O like
+//!   everything else).
 
 pub mod adjacency;
+pub mod checkpoint;
 pub mod gather;
 pub mod lru;
 pub mod msg_store;
@@ -32,6 +36,7 @@ pub mod value_store;
 pub mod veblock;
 pub mod vfs;
 
+pub use checkpoint::{CheckpointReader, CheckpointWriter};
 pub use profile::DeviceProfile;
 pub use record::Record;
 pub use stats::{AccessClass, IoSnapshot, IoStats};

@@ -107,6 +107,37 @@ impl<M: Record> SpillBuffer<M> {
         all.sort_by_key(|(dst, _)| *dst);
         Ok(DeliveredMessages { sorted: all })
     }
+
+    /// Non-destructively snapshots every pending message (the in-memory
+    /// buffer plus a sequential read-back of the spill file) for
+    /// checkpointing. The buffer is left exactly as it was.
+    pub fn snapshot_pending(&self) -> io::Result<Vec<(VertexId, M)>> {
+        let mut all = self.mem.clone();
+        if self.spilled > 0 {
+            let bytes = self.spill.read_all(AccessClass::SeqRead)?;
+            let width = Self::message_bytes() as usize;
+            for chunk in bytes.chunks_exact(width) {
+                let dst = VertexId::read_from(&chunk[..4]);
+                let msg = M::read_from(&chunk[4..]);
+                all.push((dst, msg));
+            }
+        }
+        Ok(all)
+    }
+
+    /// Replaces the buffer's entire contents with `pairs` (recovery
+    /// restore): the first `capacity` stay in memory, the rest spill,
+    /// with the usual accounting.
+    pub fn restore_pending(&mut self, pairs: Vec<(VertexId, M)>) -> io::Result<()> {
+        self.mem.clear();
+        self.spill.truncate()?;
+        self.spilled = 0;
+        self.total = 0;
+        for (dst, msg) in pairs {
+            self.push(dst, msg)?;
+        }
+        Ok(())
+    }
 }
 
 /// Messages of one superstep, grouped by destination vertex.
@@ -261,6 +292,36 @@ mod tests {
         b.push(VertexId(0), 0.0).unwrap();
         b.push(VertexId(1), 1.0).unwrap();
         assert_eq!(b.memory_bytes(), 2 * 12);
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive_and_restore_rebuilds() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<u32> = SpillBuffer::new(&vfs, "spill", 2).unwrap();
+        for i in 0..5 {
+            b.push(VertexId(i), i * 10).unwrap();
+        }
+        let snap = b.snapshot_pending().unwrap();
+        assert_eq!(snap.len(), 5);
+        // Buffer untouched by the snapshot.
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.spilled(), 3);
+        assert_eq!(b.in_memory(), 2);
+
+        // Restore into a fresh buffer reproduces counts and contents.
+        let vfs2 = MemVfs::new();
+        let mut c: SpillBuffer<u32> = SpillBuffer::new(&vfs2, "spill", 2).unwrap();
+        c.restore_pending(snap).unwrap();
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.spilled(), 3);
+        let d = c.drain().unwrap();
+        let got: Vec<(u32, u32)> = d.iter().map(|(v, m)| (v.0, *m)).collect();
+        assert_eq!(got, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        // Restore over a dirty buffer discards its old contents.
+        c.push(VertexId(9), 99).unwrap();
+        c.restore_pending(vec![(VertexId(1), 7)]).unwrap();
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.drain().unwrap().len(), 1);
     }
 
     #[test]

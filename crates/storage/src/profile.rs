@@ -5,12 +5,10 @@
 //! resulting MB/s numbers directly into the switching metric `Q_t`
 //! (Eq. 11). The same numbers drive this reproduction's modeled time.
 
-use serde::{Deserialize, Serialize};
-
 const MB: f64 = 1024.0 * 1024.0;
 
 /// Throughputs of one cluster's disk and network, in MB/s.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct DeviceProfile {
     /// Random-read throughput (`s_rr`).
     pub srr: f64,

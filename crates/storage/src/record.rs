@@ -82,7 +82,10 @@ impl<A: Record, B: Record> Record for (A, B) {
 
     #[inline]
     fn read_from(inp: &[u8]) -> Self {
-        (A::read_from(&inp[..A::BYTES]), B::read_from(&inp[A::BYTES..]))
+        (
+            A::read_from(&inp[..A::BYTES]),
+            B::read_from(&inp[A::BYTES..]),
+        )
     }
 }
 
@@ -103,7 +106,11 @@ pub fn decode_slice<T: Record>(bytes: &[u8]) -> Vec<T> {
     if T::BYTES == 0 {
         return Vec::new();
     }
-    assert_eq!(bytes.len() % T::BYTES, 0, "byte length not a record multiple");
+    assert_eq!(
+        bytes.len() % T::BYTES,
+        0,
+        "byte length not a record multiple"
+    );
     bytes.chunks_exact(T::BYTES).map(T::read_from).collect()
 }
 

@@ -7,7 +7,6 @@
 //! [`DeviceProfile`](crate::profile::DeviceProfile).
 
 use crate::profile::DeviceProfile;
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Smallest unit a *scattered* random access moves on a real disk.
@@ -35,7 +34,7 @@ pub fn scattered_cost(bytes: u64) -> u64 {
 ///
 /// Classification is done by the caller (the store), which knows whether it
 /// is scanning or seeking; the VFS backends do not guess.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum AccessClass {
     /// Sequential read (scan).
     SeqRead,
@@ -117,7 +116,7 @@ impl IoStats {
 }
 
 /// An immutable copy of [`IoStats`] counters; supports deltas.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
     pub seq_read_bytes: u64,
     pub seq_write_bytes: u64,

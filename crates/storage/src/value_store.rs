@@ -27,12 +27,7 @@ pub struct ValueStore<V: Record> {
 impl<V: Record> ValueStore<V> {
     /// Creates the store for vertices `base..base + values.len()` and
     /// writes the initial values sequentially.
-    pub fn create(
-        vfs: &dyn Vfs,
-        name: &str,
-        base: u32,
-        values: &[V],
-    ) -> io::Result<ValueStore<V>> {
+    pub fn create(vfs: &dyn Vfs, name: &str, base: u32, values: &[V]) -> io::Result<ValueStore<V>> {
         let file = vfs.create(name)?;
         file.append(AccessClass::SeqWrite, &encode_slice(values))?;
         Ok(ValueStore {

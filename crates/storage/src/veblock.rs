@@ -459,7 +459,10 @@ mod tests {
                     .unwrap()
                     .total_fragments();
             }
-            assert!(frags >= prev, "fragments must grow with V: {frags} < {prev}");
+            assert!(
+                frags >= prev,
+                "fragments must grow with V: {frags} < {prev}"
+            );
             prev = frags;
         }
         // And it is bounded by |E|.

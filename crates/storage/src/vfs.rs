@@ -15,11 +15,10 @@
 //! Eq. 11.
 
 use crate::stats::{AccessClass, IoStats};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Backend-agnostic file contents.
 trait RawFile: Send + Sync {
@@ -119,11 +118,11 @@ struct MemFile {
 
 impl RawFile for MemFile {
     fn len(&self) -> u64 {
-        self.data.read().len() as u64
+        self.data.read().unwrap().len() as u64
     }
 
     fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()> {
-        let data = self.data.read();
+        let data = self.data.read().unwrap();
         let off = off as usize;
         let end = off + buf.len();
         if end > data.len() {
@@ -137,7 +136,7 @@ impl RawFile for MemFile {
     }
 
     fn write_at(&self, off: u64, data_in: &[u8]) -> io::Result<()> {
-        let mut data = self.data.write();
+        let mut data = self.data.write().unwrap();
         let off = off as usize;
         let end = off + data_in.len();
         if end > data.len() {
@@ -148,14 +147,14 @@ impl RawFile for MemFile {
     }
 
     fn append(&self, data_in: &[u8]) -> io::Result<u64> {
-        let mut data = self.data.write();
+        let mut data = self.data.write().unwrap();
         let off = data.len() as u64;
         data.extend_from_slice(data_in);
         Ok(off)
     }
 
     fn truncate(&self) -> io::Result<()> {
-        self.data.write().clear();
+        self.data.write().unwrap().clear();
         Ok(())
     }
 }
@@ -182,7 +181,7 @@ impl MemVfs {
 
     /// Total bytes currently stored across all files (simulated disk usage).
     pub fn disk_usage(&self) -> u64 {
-        self.files.read().values().map(|f| f.len()).sum()
+        self.files.read().unwrap().values().map(|f| f.len()).sum()
     }
 }
 
@@ -197,7 +196,10 @@ impl Vfs for MemVfs {
         let file = Arc::new(MemFile {
             data: RwLock::new(Vec::new()),
         });
-        self.files.write().insert(name.to_string(), Arc::clone(&file));
+        self.files
+            .write()
+            .unwrap()
+            .insert(name.to_string(), Arc::clone(&file));
         Ok(VfsFile {
             raw: file,
             stats: Arc::clone(&self.stats),
@@ -205,7 +207,7 @@ impl Vfs for MemVfs {
     }
 
     fn open(&self, name: &str) -> io::Result<VfsFile> {
-        let files = self.files.read();
+        let files = self.files.read().unwrap();
         let file = files
             .get(name)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
@@ -216,12 +218,12 @@ impl Vfs for MemVfs {
     }
 
     fn remove(&self, name: &str) -> io::Result<()> {
-        self.files.write().remove(name);
+        self.files.write().unwrap().remove(name);
         Ok(())
     }
 
     fn exists(&self, name: &str) -> bool {
-        self.files.read().contains_key(name)
+        self.files.read().unwrap().contains_key(name)
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -238,7 +240,7 @@ struct DirFile {
 
 impl RawFile for DirFile {
     fn len(&self) -> u64 {
-        *self.len.lock()
+        *self.len.lock().unwrap()
     }
 
     fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()> {
@@ -249,14 +251,14 @@ impl RawFile for DirFile {
     fn write_at(&self, off: u64, data: &[u8]) -> io::Result<()> {
         use std::os::unix::fs::FileExt;
         self.file.write_all_at(data, off)?;
-        let mut len = self.len.lock();
+        let mut len = self.len.lock().unwrap();
         *len = (*len).max(off + data.len() as u64);
         Ok(())
     }
 
     fn append(&self, data: &[u8]) -> io::Result<u64> {
         use std::os::unix::fs::FileExt;
-        let mut len = self.len.lock();
+        let mut len = self.len.lock().unwrap();
         let off = *len;
         self.file.write_all_at(data, off)?;
         *len += data.len() as u64;
@@ -265,7 +267,7 @@ impl RawFile for DirFile {
 
     fn truncate(&self) -> io::Result<()> {
         self.file.set_len(0)?;
-        *self.len.lock() = 0;
+        *self.len.lock().unwrap() = 0;
         Ok(())
     }
 }
@@ -314,7 +316,10 @@ impl Vfs for DirVfs {
 
     fn open(&self, name: &str) -> io::Result<VfsFile> {
         let path = self.path_of(name);
-        let file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)?;
         let len = file.metadata()?.len();
         Ok(VfsFile {
             raw: Arc::new(DirFile {
@@ -414,15 +419,24 @@ mod tests {
     #[test]
     fn disk_usage_sums_files() {
         let vfs = MemVfs::new();
-        vfs.create("a").unwrap().append(AccessClass::SeqWrite, &[0; 10]).unwrap();
-        vfs.create("b").unwrap().append(AccessClass::SeqWrite, &[0; 32]).unwrap();
+        vfs.create("a")
+            .unwrap()
+            .append(AccessClass::SeqWrite, &[0; 10])
+            .unwrap();
+        vfs.create("b")
+            .unwrap()
+            .append(AccessClass::SeqWrite, &[0; 32])
+            .unwrap();
         assert_eq!(vfs.disk_usage(), 42);
     }
 
     #[test]
     fn create_truncates_existing() {
         let vfs = MemVfs::new();
-        vfs.create("a").unwrap().append(AccessClass::SeqWrite, b"data").unwrap();
+        vfs.create("a")
+            .unwrap()
+            .append(AccessClass::SeqWrite, b"data")
+            .unwrap();
         let f = vfs.create("a").unwrap();
         assert!(f.is_empty());
     }
@@ -431,8 +445,14 @@ mod tests {
     fn shared_stats_across_files() {
         let stats = Arc::new(IoStats::new());
         let vfs = MemVfs::with_stats(Arc::clone(&stats));
-        vfs.create("a").unwrap().append(AccessClass::SeqWrite, &[1; 3]).unwrap();
-        vfs.create("b").unwrap().append(AccessClass::SeqWrite, &[2; 4]).unwrap();
+        vfs.create("a")
+            .unwrap()
+            .append(AccessClass::SeqWrite, &[1; 3])
+            .unwrap();
+        vfs.create("b")
+            .unwrap()
+            .append(AccessClass::SeqWrite, &[2; 4])
+            .unwrap();
         assert_eq!(stats.snapshot().seq_write_bytes, 7);
     }
 }

@@ -1,36 +1,37 @@
-//! Property-based tests for the storage substrate.
+//! Randomized (seeded, reproducible) tests for the storage substrate.
+//!
+//! Formerly proptest-based; rewritten as plain seeded loops over a
+//! [`SplitMix64`] stream so the workspace builds offline.
 
+use hybridgraph_graph::rng::SplitMix64;
 use hybridgraph_graph::{gen, BlockLayout, Partition, VertexId, WorkerId};
 use hybridgraph_storage::lru::LruCache;
 use hybridgraph_storage::msg_store::SpillBuffer;
 use hybridgraph_storage::value_store::ValueStore;
 use hybridgraph_storage::veblock::VeBlockStore;
 use hybridgraph_storage::vfs::MemVfs;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// SpillBuffer delivers exactly what was pushed, grouped by dst,
-    /// regardless of capacity.
-    #[test]
-    fn spill_buffer_delivers_everything(
-        msgs in prop::collection::vec((0u32..64, 0u32..1000), 0..300),
-        capacity in 0usize..64,
-    ) {
+/// SpillBuffer delivers exactly what was pushed, grouped by dst,
+/// regardless of capacity.
+#[test]
+fn spill_buffer_delivers_everything() {
+    let mut r = SplitMix64::new(0x5B1);
+    for _ in 0..48 {
+        let len = r.range_usize(0, 300);
+        let msgs: Vec<(u32, u32)> = (0..len)
+            .map(|_| (r.below_u32(64), r.below_u32(1000)))
+            .collect();
+        let capacity = r.range_usize(0, 64);
         let vfs = MemVfs::new();
         let mut buf: SpillBuffer<u32> = SpillBuffer::new(&vfs, "s", capacity).unwrap();
         for &(dst, m) in &msgs {
             buf.push(VertexId(dst), m).unwrap();
         }
-        prop_assert_eq!(buf.total(), msgs.len() as u64);
-        prop_assert_eq!(
-            buf.spilled() as usize,
-            msgs.len().saturating_sub(capacity)
-        );
+        assert_eq!(buf.total(), msgs.len() as u64);
+        assert_eq!(buf.spilled() as usize, msgs.len().saturating_sub(capacity));
         let delivered = buf.drain().unwrap();
-        prop_assert_eq!(delivered.len(), msgs.len());
+        assert_eq!(delivered.len(), msgs.len());
         // Multiset equality per destination.
         let mut want: HashMap<u32, Vec<u32>> = HashMap::new();
         for &(dst, m) in &msgs {
@@ -44,17 +45,22 @@ proptest! {
                 .collect();
             got.sort();
             vals.sort();
-            prop_assert_eq!(got, vals);
+            assert_eq!(got, vals);
         }
     }
+}
 
-    /// The LRU cache agrees with a naive model on hits and never exceeds
-    /// capacity; every dirty value is eventually reported exactly once.
-    #[test]
-    fn lru_matches_model(
-        ops in prop::collection::vec((0u32..32, any::<bool>()), 1..200),
-        capacity in 1usize..16,
-    ) {
+/// The LRU cache agrees with a naive model on hits and never exceeds
+/// capacity; every dirty value is eventually reported exactly once.
+#[test]
+fn lru_matches_model() {
+    let mut r = SplitMix64::new(0x12C);
+    for _ in 0..48 {
+        let n_ops = r.range_usize(1, 200);
+        let ops: Vec<(u32, bool)> = (0..n_ops)
+            .map(|_| (r.below_u32(32), r.next_bool()))
+            .collect();
+        let capacity = r.range_usize(1, 16);
         let mut lru: LruCache<u32, u32> = LruCache::new(capacity);
         let mut dirty_out: Vec<u32> = Vec::new();
         // Model: recency list of keys.
@@ -67,7 +73,7 @@ proptest! {
             } else {
                 lru.get(&key).is_some()
             };
-            prop_assert_eq!(got_hit, modeled_hit, "op {}", i);
+            assert_eq!(got_hit, modeled_hit, "op {}", i);
             if modeled_hit {
                 recency.retain(|&k| k != key);
                 recency.insert(0, key);
@@ -77,44 +83,49 @@ proptest! {
                         dirty_out.push(k);
                     }
                     let evicted = recency.pop().unwrap();
-                    prop_assert_eq!(k, evicted);
+                    assert_eq!(k, evicted);
                 }
                 recency.insert(0, key);
             }
-            prop_assert!(lru.len() <= capacity);
-            prop_assert_eq!(lru.len(), recency.len());
+            assert!(lru.len() <= capacity);
+            assert_eq!(lru.len(), recency.len());
         }
     }
+}
 
-    /// ValueStore point/range operations agree with a plain vector.
-    #[test]
-    fn value_store_matches_vec(
-        n in 1usize..64,
-        ops in prop::collection::vec((0usize..64, -1000i64..1000), 0..100),
-    ) {
+/// ValueStore point/range operations agree with a plain vector.
+#[test]
+fn value_store_matches_vec() {
+    let mut r = SplitMix64::new(0x7A1E);
+    for _ in 0..48 {
+        let n = r.range_usize(1, 64);
+        let n_ops = r.range_usize(0, 100);
         let vfs = MemVfs::new();
         let init: Vec<i64> = (0..n as i64).collect();
         let store = ValueStore::create(&vfs, "v", 0, &init).unwrap();
         let mut model = init.clone();
-        for &(idx, val) in &ops {
-            let idx = idx % n;
+        for _ in 0..n_ops {
+            let idx = r.range_usize(0, 64) % n;
+            let val = r.range_i64_inclusive(-1000, 1000);
             store.write_one(VertexId(idx as u32), &val).unwrap();
             model[idx] = val;
-            prop_assert_eq!(store.read_one(VertexId(idx as u32)).unwrap(), val);
+            assert_eq!(store.read_one(VertexId(idx as u32)).unwrap(), val);
         }
-        prop_assert_eq!(store.read_range(0..n as u32).unwrap(), model);
+        assert_eq!(store.read_range(0..n as u32).unwrap(), model);
     }
+}
 
-    /// VE-BLOCK fragments partition the edge set exactly, for arbitrary
-    /// random graphs, partitions and block granularities.
-    #[test]
-    fn veblock_partitions_edges(
-        n in 4usize..80,
-        m in 1usize..400,
-        t in 1usize..6,
-        per in 1usize..6,
-        seed in 0u64..500,
-    ) {
+/// VE-BLOCK fragments partition the edge set exactly, for arbitrary
+/// random graphs, partitions and block granularities.
+#[test]
+fn veblock_partitions_edges() {
+    let mut r = SplitMix64::new(0xEB10);
+    for _ in 0..32 {
+        let n = r.range_usize(4, 80);
+        let m = r.range_usize(1, 400);
+        let t = r.range_usize(1, 6);
+        let per = r.range_usize(1, 6);
+        let seed = r.next_u64() % 500;
         let g = gen::uniform(n, m, seed);
         let p = Partition::range(n, t);
         let l = BlockLayout::uniform(&p, per);
@@ -127,21 +138,18 @@ proptest! {
             for j in l.blocks_of_worker(WorkerId::from(w)) {
                 for i in l.block_ids() {
                     for frag in s.scan_eblock(j, i).unwrap() {
-                        prop_assert!(!frag.edges.is_empty(), "empty fragment");
+                        assert!(!frag.edges.is_empty(), "empty fragment");
                         seen += frag.edges.len();
                         // Fragment edges must exist in the graph.
                         for e in &frag.edges {
-                            prop_assert!(g
-                                .out_edges(frag.src)
-                                .iter()
-                                .any(|ge| ge.dst == e.dst));
+                            assert!(g.out_edges(frag.src).iter().any(|ge| ge.dst == e.dst));
                         }
                     }
                 }
             }
         }
-        prop_assert_eq!(seen, m);
+        assert_eq!(seen, m);
         // Theorem 1 sanity: fragments bounded by edges and by vertices x V.
-        prop_assert!(total_frags <= m as u64);
+        assert!(total_frags <= m as u64);
     }
 }

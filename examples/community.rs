@@ -43,12 +43,7 @@ fn main() {
     // Concatenation effectiveness (Appendix E's point: even without a
     // combiner, grouping messages by destination shares the id bytes).
     let raw: u64 = res.metrics.steps.iter().map(|s| s.net_raw_messages).sum();
-    let saved: u64 = res
-        .metrics
-        .steps
-        .iter()
-        .map(|s| s.net_saved_messages)
-        .sum();
+    let saved: u64 = res.metrics.steps.iter().map(|s| s.net_saved_messages).sum();
     println!(
         "\nmessages {} raw, {} merged into shared-id groups ({:.0}% concatenation ratio)",
         raw,

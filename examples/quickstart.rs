@@ -23,8 +23,17 @@ fn main() {
     // The limited-memory scenario: each of 5 workers may hold only 250
     // messages in memory; the rest spills to (simulated) disk.
     let buffer = 250;
-    println!("\n{:<8} {:>12} {:>14} {:>12}", "mode", "modeled s", "io bytes", "net bytes");
-    for mode in [Mode::Push, Mode::PushM, Mode::Pull, Mode::BPull, Mode::Hybrid] {
+    println!(
+        "\n{:<8} {:>12} {:>14} {:>12}",
+        "mode", "modeled s", "io bytes", "net bytes"
+    );
+    for mode in [
+        Mode::Push,
+        Mode::PushM,
+        Mode::Pull,
+        Mode::BPull,
+        Mode::Hybrid,
+    ] {
         let cfg = JobConfig::new(mode, 5).with_buffer(buffer);
         let result = run_job(Arc::new(PageRank::new(5)), &graph, cfg).expect("job failed");
         let m = &result.metrics;

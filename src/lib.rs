@@ -49,7 +49,8 @@ pub use hybridgraph_storage as storage;
 pub mod prelude {
     pub use hybridgraph_algos::{Lpa, PageRank, Sa, Sssp, Wcc};
     pub use hybridgraph_core::{
-        run_job, GraphInfo, JobConfig, JobMetrics, JobResult, Mode, Update, VertexProgram,
+        run_job, CheckpointPolicy, FaultPhase, FaultPlan, GraphInfo, JobConfig, JobError,
+        JobMetrics, JobResult, Mode, RecoveryMetrics, Update, VertexProgram,
     };
     pub use hybridgraph_graph::{
         Dataset, Edge, Graph, GraphBuilder, Partition, VertexId, WorkerId,

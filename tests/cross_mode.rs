@@ -12,7 +12,13 @@ use std::sync::Arc;
 
 fn modes_for(combinable: bool) -> Vec<Mode> {
     if combinable {
-        vec![Mode::Push, Mode::PushM, Mode::Pull, Mode::BPull, Mode::Hybrid]
+        vec![
+            Mode::Push,
+            Mode::PushM,
+            Mode::Pull,
+            Mode::BPull,
+            Mode::Hybrid,
+        ]
     } else {
         // pushM requires a combiner.
         vec![Mode::Push, Mode::Pull, Mode::BPull, Mode::Hybrid]

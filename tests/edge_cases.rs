@@ -104,7 +104,6 @@ fn max_supersteps_cap_halts_nonconverging_programs() {
     let mut cfg = JobConfig::new(Mode::BPull, 2);
     cfg.max_supersteps = 4;
     // PageRank with an unbounded budget would run forever.
-    let res =
-        hybridgraph_core::run_job(Arc::new(PageRank::new(u64::MAX)), &g, cfg).unwrap();
+    let res = hybridgraph_core::run_job(Arc::new(PageRank::new(u64::MAX)), &g, cfg).unwrap();
     assert_eq!(res.metrics.supersteps(), 4);
 }

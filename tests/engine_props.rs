@@ -1,61 +1,74 @@
-//! Property-based cross-mode equivalence on randomly generated graphs
-//! and configurations: exact-valued programs (WCC, LPA) must agree
+//! Randomized cross-mode equivalence on seeded random graphs and
+//! configurations: exact-valued programs (WCC, LPA) must agree
 //! byte-for-byte across all strategies and with the sequential reference.
+//!
+//! Formerly proptest-based; rewritten as plain seeded loops over a
+//! [`SplitMix64`] stream so the workspace builds offline.
 
 use hybridgraph::prelude::*;
 use hybridgraph_algos::reference::reference_run;
 use hybridgraph_graph::gen;
-use proptest::prelude::*;
+use hybridgraph_graph::rng::SplitMix64;
 use std::sync::Arc;
 
-proptest! {
-    // Each case runs 4-5 full distributed jobs; keep the count modest.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+// Each case runs 4-5 full distributed jobs; keep the count modest.
+const CASES: usize = 12;
 
-    #[test]
-    fn wcc_exact_across_modes(
-        n in 8usize..120,
-        m in 1usize..500,
-        t in 1usize..6,
-        buffer in 8usize..256,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn wcc_exact_across_modes() {
+    let mut r = SplitMix64::new(0x1CC);
+    for _ in 0..CASES {
+        let n = r.range_usize(8, 120);
+        let m = r.range_usize(1, 500);
+        let t = r.range_usize(1, 6);
+        let buffer = r.range_usize(8, 256);
+        let seed = r.next_u64() % 10_000;
         let g = hybridgraph_algos::wcc::symmetrize(&gen::uniform(n, m, seed));
         let program = Wcc::new();
         let want = reference_run(&program, &g);
-        for mode in [Mode::Push, Mode::PushM, Mode::Pull, Mode::BPull, Mode::Hybrid] {
+        for mode in [
+            Mode::Push,
+            Mode::PushM,
+            Mode::Pull,
+            Mode::BPull,
+            Mode::Hybrid,
+        ] {
             let cfg = JobConfig::new(mode, t).with_buffer(buffer);
             let res = hybridgraph_core::run_job(Arc::new(program.clone()), &g, cfg).unwrap();
-            prop_assert_eq!(&res.values, &want, "{:?} t={} buf={}", mode, t, buffer);
+            assert_eq!(&res.values, &want, "{:?} t={} buf={}", mode, t, buffer);
         }
     }
+}
 
-    #[test]
-    fn lpa_exact_across_modes(
-        n in 8usize..100,
-        m in 1usize..400,
-        t in 1usize..5,
-        buffer in 8usize..128,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn lpa_exact_across_modes() {
+    let mut r = SplitMix64::new(0x17A);
+    for _ in 0..CASES {
+        let n = r.range_usize(8, 100);
+        let m = r.range_usize(1, 400);
+        let t = r.range_usize(1, 5);
+        let buffer = r.range_usize(8, 128);
+        let seed = r.next_u64() % 10_000;
         let g = gen::uniform(n, m, seed);
         let program = Lpa::new(4);
         let want = reference_run(&program, &g);
         for mode in [Mode::Push, Mode::Pull, Mode::BPull, Mode::Hybrid] {
             let cfg = JobConfig::new(mode, t).with_buffer(buffer);
             let res = hybridgraph_core::run_job(Arc::new(program.clone()), &g, cfg).unwrap();
-            prop_assert_eq!(&res.values, &want, "{:?} t={} buf={}", mode, t, buffer);
+            assert_eq!(&res.values, &want, "{:?} t={} buf={}", mode, t, buffer);
         }
     }
+}
 
-    #[test]
-    fn sssp_close_across_modes(
-        n in 8usize..120,
-        m in 1usize..500,
-        t in 1usize..6,
-        source in 0u32..8,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn sssp_close_across_modes() {
+    let mut r = SplitMix64::new(0x555);
+    for _ in 0..CASES {
+        let n = r.range_usize(8, 120);
+        let m = r.range_usize(1, 500);
+        let t = r.range_usize(1, 6);
+        let source = r.below_u32(8);
+        let seed = r.next_u64() % 10_000;
         let g = gen::randomize_weights(&gen::uniform(n, m, seed), 1.0, 3.0, seed);
         let source = VertexId(source % n as u32);
         let program = Sssp::new(source);
@@ -64,9 +77,8 @@ proptest! {
             let cfg = JobConfig::new(mode, t).with_buffer(32);
             let res = hybridgraph_core::run_job(Arc::new(program.clone()), &g, cfg).unwrap();
             for (v, (got, want)) in res.values.iter().zip(&want).enumerate() {
-                prop_assert!(
-                    (got.is_infinite() && want.is_infinite())
-                        || (got - want).abs() < 1e-4,
+                assert!(
+                    (got.is_infinite() && want.is_infinite()) || (got - want).abs() < 1e-4,
                     "{:?}: v{} {} vs {}",
                     mode,
                     v,

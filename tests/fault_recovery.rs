@@ -1,0 +1,251 @@
+//! Checkpoint/recovery correctness: injected worker failures must leave
+//! no trace in the computed values.
+//!
+//! The engine's executors are order-deterministic (per-sender message
+//! accumulators merged in worker order, canonical inbox sorting), so
+//! these tests can demand *bit-identical* `f64` results between a
+//! fault-free run and a run that lost workers and rolled back — not just
+//! agreement within a tolerance.
+
+use hybridgraph::prelude::*;
+use hybridgraph_graph::gen;
+use std::sync::Arc;
+
+fn pagerank_graph() -> Graph {
+    gen::rmat(256, 2048, gen::RmatParams::default(), 11)
+}
+
+fn sssp_graph() -> Graph {
+    gen::randomize_weights(&gen::uniform(200, 1200, 5), 1.0, 4.0, 6)
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn bits32(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Asserts two runs computed bit-identical values and matching semantic
+/// I/O per superstep.
+fn assert_equivalent(clean: &JobResult<PageRank>, faulted: &JobResult<PageRank>, label: &str) {
+    assert_eq!(
+        bits(&clean.values),
+        bits(&faulted.values),
+        "{label}: values diverged after recovery"
+    );
+    assert_eq!(
+        clean.metrics.steps.len(),
+        faulted.metrics.steps.len(),
+        "{label}: superstep counts diverged"
+    );
+    for (c, f) in clean.metrics.steps.iter().zip(&faulted.metrics.steps) {
+        assert_eq!(c.kind, f.kind, "{label}: superstep {} kind", c.superstep);
+        assert_eq!(
+            c.sem, f.sem,
+            "{label}: superstep {} semantic bytes",
+            c.superstep
+        );
+    }
+}
+
+use hybridgraph_core::runner::JobResult;
+
+/// The headline scenario: worker 2 dies at superstep 5 of a 20-superstep
+/// hybrid PageRank with checkpoints every 3 supersteps. The job must
+/// finish with values bit-identical to a fault-free run, after at least
+/// one rollback, with the checkpoint bytes visible as classified
+/// sequential writes.
+#[test]
+fn hybrid_pagerank_recovers_bit_identical_after_kill() {
+    let g = pagerank_graph();
+    let program = PageRank::new(20);
+    let base = JobConfig::new(Mode::Hybrid, 4).with_buffer(256);
+
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+    assert_eq!(clean.metrics.recovery.rollbacks, 0);
+    assert_eq!(clean.metrics.recovery.checkpoints_taken, 0);
+
+    let plan = Arc::new(FaultPlan::new().kill(2, 5, FaultPhase::Compute));
+    let cfg = base
+        .with_checkpoint(CheckpointPolicy::EveryK(3))
+        .with_fault_plan(Arc::clone(&plan));
+    let faulted = run_job(Arc::new(program), &g, cfg).unwrap();
+
+    assert_equivalent(&clean, &faulted, "hybrid pagerank");
+    let rec = &faulted.metrics.recovery;
+    assert_eq!(plan.fired(), 1, "the kill order must have fired");
+    assert_eq!(rec.rollbacks, 1, "one failure, one rollback");
+    assert_eq!(rec.failures.len(), 1);
+    assert_eq!(rec.failures[0].worker, 2);
+    assert_eq!(rec.failures[0].superstep, 5);
+    // Rolled back from superstep 5 to the checkpoint at 3: supersteps 4
+    // and 5 are re-executed.
+    assert_eq!(rec.recomputed_supersteps, 2);
+    // Baseline at 0 plus every 3rd superstep, re-taken ones included.
+    assert!(rec.checkpoints_taken >= 7, "got {}", rec.checkpoints_taken);
+    assert!(rec.checkpoint_bytes > 0);
+    // Every checkpoint byte is a classified sequential write.
+    assert_eq!(rec.checkpoint_io.seq_write_bytes, rec.checkpoint_bytes);
+}
+
+/// Without checkpoints, a worker failure fails the job with a typed
+/// error instead of panicking.
+#[test]
+fn never_policy_fails_fast_with_typed_error() {
+    let g = pagerank_graph();
+    let plan = Arc::new(FaultPlan::new().kill(2, 5, FaultPhase::Compute));
+    let cfg = JobConfig::new(Mode::Hybrid, 4)
+        .with_buffer(256)
+        .with_fault_plan(plan);
+    match run_job(Arc::new(PageRank::new(20)), &g, cfg) {
+        Err(JobError::WorkerFailed {
+            worker,
+            superstep,
+            error,
+        }) => {
+            assert_eq!(worker, 2);
+            assert_eq!(superstep, 5);
+            assert!(error.contains("injected fault"), "got: {error}");
+        }
+        Err(other) => panic!("wrong error kind: {other}"),
+        Ok(_) => panic!("job must not survive an unrecoverable failure"),
+    }
+}
+
+/// Kills in every lifecycle phase — loading, before compute, and at the
+/// barrier — must all recover to bit-identical values, in both b-pull
+/// and hybrid modes.
+#[test]
+fn every_phase_and_mode_recovers() {
+    let g = pagerank_graph();
+    let program = PageRank::new(12);
+    for mode in [Mode::BPull, Mode::Hybrid] {
+        let base = JobConfig::new(mode, 3).with_buffer(128);
+        let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+        for phase in FaultPhase::ALL {
+            let superstep = match phase {
+                FaultPhase::Load => 0,
+                _ => 4,
+            };
+            let plan = Arc::new(FaultPlan::new().kill(1, superstep, phase));
+            let cfg = base
+                .clone()
+                .with_checkpoint(CheckpointPolicy::EveryK(3))
+                .with_fault_plan(Arc::clone(&plan));
+            let faulted = run_job(Arc::new(program.clone()), &g, cfg).unwrap();
+            assert_eq!(plan.fired(), 1, "{mode:?}/{phase:?}: fault did not fire");
+            assert_equivalent(&clean, &faulted, &format!("{mode:?}/{phase:?}"));
+            if phase != FaultPhase::Load {
+                assert!(faulted.metrics.recovery.rollbacks >= 1);
+            }
+        }
+    }
+}
+
+/// SSSP (min-combined messages, push mode and the pull baseline with its
+/// LRU cache) also recovers bit-identically — distances, including
+/// `inf` for unreachable vertices, survive the rollback untouched.
+#[test]
+fn sssp_push_and_pull_recover_bit_identical() {
+    let g = sssp_graph();
+    let program = Sssp::new(VertexId(0));
+    for mode in [Mode::Push, Mode::Pull] {
+        let base = JobConfig::new(mode, 3).with_buffer(96);
+        let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+        let plan = Arc::new(FaultPlan::new().kill(0, 3, FaultPhase::Barrier));
+        let cfg = base
+            .with_checkpoint(CheckpointPolicy::EveryK(2))
+            .with_fault_plan(Arc::clone(&plan));
+        let faulted = run_job(Arc::new(program.clone()), &g, cfg).unwrap();
+        assert_eq!(plan.fired(), 1, "{mode:?}: fault did not fire");
+        assert_eq!(
+            bits32(&clean.values),
+            bits32(&faulted.values),
+            "{mode:?}: distances diverged after recovery"
+        );
+        assert!(faulted.metrics.recovery.rollbacks >= 1);
+    }
+}
+
+/// The same seed must produce the same failure schedule, the same
+/// recovery trace, and the same (bit-identical) results — the property
+/// that makes failure reproductions debuggable.
+#[test]
+fn seeded_fault_injection_is_deterministic() {
+    let g = pagerank_graph();
+    let program = PageRank::new(10);
+    let run = |seed: u64| {
+        let plan = Arc::new(FaultPlan::random(seed, 4, 8, 2));
+        let cfg = JobConfig::new(Mode::Hybrid, 4)
+            .with_buffer(256)
+            .with_checkpoint(CheckpointPolicy::EveryK(2))
+            .with_fault_plan(plan);
+        run_job(Arc::new(program.clone()), &g, cfg).unwrap()
+    };
+    let a = run(0xFA11);
+    let b = run(0xFA11);
+    assert_eq!(bits(&a.values), bits(&b.values));
+    assert_eq!(a.metrics.recovery.failures, b.metrics.recovery.failures);
+    assert_eq!(a.metrics.recovery.rollbacks, b.metrics.recovery.rollbacks);
+    assert_eq!(
+        a.metrics.recovery.recomputed_supersteps,
+        b.metrics.recovery.recomputed_supersteps
+    );
+    assert_eq!(
+        a.metrics.recovery.checkpoint_bytes,
+        b.metrics.recovery.checkpoint_bytes
+    );
+    assert_eq!(a.metrics.steps.len(), b.metrics.steps.len());
+    for (x, y) in a.metrics.steps.iter().zip(&b.metrics.steps) {
+        assert_eq!(x.sem, y.sem, "superstep {} semantic bytes", x.superstep);
+    }
+}
+
+/// The adaptive (Young-style) policy spaces checkpoints by the modeled
+/// cost ratio and still recovers bit-identically.
+#[test]
+fn adaptive_policy_checkpoints_and_recovers() {
+    let g = pagerank_graph();
+    let program = PageRank::new(12);
+    let base = JobConfig::new(Mode::BPull, 3).with_buffer(128);
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+
+    let plan = Arc::new(FaultPlan::new().kill(1, 6, FaultPhase::Compute));
+    let mut cfg = base
+        .with_checkpoint(CheckpointPolicy::Adaptive)
+        .with_fault_plan(Arc::clone(&plan));
+    // A small re-execution-to-overhead ratio forces frequent checkpoints
+    // on this small graph.
+    cfg.adaptive_checkpoint_factor = 0.01;
+    let faulted = run_job(Arc::new(program), &g, cfg).unwrap();
+    assert_eq!(plan.fired(), 1);
+    assert!(faulted.metrics.recovery.checkpoints_taken >= 2);
+    assert!(faulted.metrics.recovery.rollbacks >= 1);
+    assert_eq!(bits(&clean.values), bits(&faulted.values));
+}
+
+/// Exhausting the recovery budget turns the next failure into a typed
+/// job error rather than an endless respawn loop.
+#[test]
+fn recovery_budget_is_enforced() {
+    let g = pagerank_graph();
+    let plan = Arc::new(FaultPlan::new().kill(0, 2, FaultPhase::Compute).kill(
+        1,
+        3,
+        FaultPhase::Compute,
+    ));
+    let mut cfg = JobConfig::new(Mode::BPull, 3)
+        .with_buffer(128)
+        .with_checkpoint(CheckpointPolicy::EveryK(1))
+        .with_fault_plan(plan);
+    cfg.max_recoveries = 1;
+    match run_job(Arc::new(PageRank::new(10)), &g, cfg) {
+        Err(JobError::WorkerFailed { worker, .. }) => assert_eq!(worker, 1),
+        other => panic!(
+            "expected the second failure to exhaust the budget, got {:?}",
+            other.map(|r| r.values.len())
+        ),
+    }
+}

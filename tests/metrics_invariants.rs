@@ -36,7 +36,10 @@ fn push_spills_only_past_buffer() {
 fn bpull_never_spills_messages() {
     let m = run(Mode::BPull, 50);
     for s in &m.steps {
-        assert_eq!(s.sem.msg_spill_bytes, 0, "b-pull consumes messages in place");
+        assert_eq!(
+            s.sem.msg_spill_bytes, 0,
+            "b-pull consumes messages in place"
+        );
         assert_eq!(s.pending_messages, 0);
     }
 }

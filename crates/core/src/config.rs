@@ -124,6 +124,13 @@ pub struct JobConfig {
     /// declaring the job failed (guards against endlessly re-failing
     /// hardware; injected faults fire once regardless).
     pub max_recoveries: u64,
+    /// Log every worker's outgoing remote packets, one classified
+    /// sequential write per superstep, enabling Pregel-style *confined*
+    /// recovery: a failure respawns only the dead worker, which replays
+    /// from its checkpoint while survivors re-serve their logs instead
+    /// of rolling back. Without logs (the default), recovery falls back
+    /// to a global rollback of every worker.
+    pub message_logging: bool,
 }
 
 impl JobConfig {
@@ -152,6 +159,7 @@ impl JobConfig {
             adaptive_checkpoint_factor: 10.0,
             fault_plan: None,
             max_recoveries: 8,
+            message_logging: false,
         }
     }
 
@@ -182,6 +190,13 @@ impl JobConfig {
     /// Installs a fault-injection schedule.
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables sender-side message logging, which lets the master use
+    /// Pregel-style confined recovery instead of a global rollback.
+    pub fn with_message_logging(mut self, on: bool) -> Self {
+        self.message_logging = on;
         self
     }
 
@@ -240,6 +255,14 @@ mod tests {
         assert_eq!(c.checkpoint, CheckpointPolicy::EveryK(3));
         assert_eq!(c.fault_plan.as_ref().unwrap().len(), 1);
         assert_eq!(c.max_recoveries, 8);
+    }
+
+    #[test]
+    fn message_logging_builder() {
+        let c = JobConfig::new(Mode::Hybrid, 2);
+        assert!(!c.message_logging, "logging is opt-in");
+        let c = c.with_message_logging(true);
+        assert!(c.message_logging);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! so a seed fully determines the failure schedule.
 
 use hybridgraph_graph::rng::SplitMix64;
+use hybridgraph_net::NetFaultPlan;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Where in a worker's lifecycle a fault strikes.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -54,6 +56,7 @@ struct Fault {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
+    net: Option<Arc<NetFaultPlan>>,
 }
 
 impl FaultPlan {
@@ -74,14 +77,25 @@ impl FaultPlan {
         self
     }
 
-    /// A seeded random plan of `count` kill orders over `workers` workers
-    /// and supersteps `1..=max_superstep`. The same seed always yields the
-    /// same schedule ([`SplitMix64`] is the only entropy source).
+    /// A seeded random plan of `count` **distinct** kill orders over
+    /// `workers` workers and supersteps `1..=max_superstep`. The same
+    /// seed always yields the same schedule ([`SplitMix64`] is the only
+    /// entropy source). Duplicate `(worker, superstep, phase)` draws are
+    /// rejected and regenerated, so `len() == count` holds and a
+    /// duplicated triple can never silently halve the schedule (a
+    /// duplicate's second copy could fire during the re-execution after
+    /// recovery, producing a seed-dependent *extra* failure).
     pub fn random(seed: u64, workers: usize, max_superstep: u64, count: usize) -> Self {
         assert!(workers > 0 && max_superstep > 0);
+        let capacity = workers as u64 * (1 + 2 * max_superstep);
+        assert!(
+            count as u64 <= capacity,
+            "cannot draw {count} distinct faults from a space of {capacity}"
+        );
         let mut r = SplitMix64::new(seed);
         let mut plan = FaultPlan::new();
-        for _ in 0..count {
+        let mut seen = std::collections::HashSet::new();
+        while plan.faults.len() < count {
             let worker = r.below_u32(workers as u32) as usize;
             let phase = match r.below_u32(3) {
                 0 => FaultPhase::Load,
@@ -92,9 +106,24 @@ impl FaultPlan {
                 FaultPhase::Load => 0,
                 _ => 1 + r.below_u64(max_superstep),
             };
-            plan = plan.kill(worker, superstep, phase);
+            if seen.insert((worker, superstep, phase)) {
+                plan = plan.kill(worker, superstep, phase);
+            }
         }
         plan
+    }
+
+    /// Attaches a seeded network-fault schedule (drops, duplicates,
+    /// delays on the simulated wire) to this plan. The runner installs
+    /// it on every fabric endpoint.
+    pub fn with_net(mut self, net: Arc<NetFaultPlan>) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// The attached network-fault schedule, if any.
+    pub fn net_plan(&self) -> Option<&Arc<NetFaultPlan>> {
+        self.net.as_ref()
     }
 
     /// Number of kill orders in the plan.
@@ -179,6 +208,44 @@ mod tests {
                 _ => assert!((1..=20).contains(&s)),
             }
         }
+    }
+
+    #[test]
+    fn random_plan_has_no_duplicate_triples() {
+        // A small space forces collisions in the raw draw stream, so
+        // this exercises the reject-and-regenerate path.
+        for seed in 0..64u64 {
+            let workers = 2;
+            let max_ss = 3;
+            let count = 8;
+            let p = FaultPlan::random(seed, workers, max_ss, count);
+            assert_eq!(p.len(), count, "seed {seed}: len must match count");
+            let spec = p.spec();
+            let distinct: std::collections::HashSet<_> = spec.iter().collect();
+            assert_eq!(distinct.len(), spec.len(), "seed {seed}: duplicate triple");
+        }
+        // Regeneration keeps the schedule seed-stable.
+        let a = FaultPlan::random(99, 2, 3, 8);
+        let b = FaultPlan::random(99, 2, 3, 8);
+        assert_eq!(a.spec(), b.spec());
+        // Drawing the entire space is allowed and exact.
+        let full = 2 * (1 + 2 * 3);
+        let p = FaultPlan::random(7, 2, 3, full);
+        assert_eq!(p.len(), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct faults")]
+    fn random_plan_rejects_oversized_count() {
+        let _ = FaultPlan::random(1, 1, 1, 4);
+    }
+
+    #[test]
+    fn net_plan_attachment() {
+        use hybridgraph_net::NetFaultPlan;
+        let p = FaultPlan::new().with_net(Arc::new(NetFaultPlan::new(3).with_drops(100, 2)));
+        assert!(p.net_plan().is_some());
+        assert!(FaultPlan::new().net_plan().is_none());
     }
 
     #[test]

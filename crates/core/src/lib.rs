@@ -40,7 +40,7 @@ pub mod worker;
 pub use config::{CheckpointPolicy, JobConfig, Mode};
 pub use fault::{FaultPhase, FaultPlan};
 pub use metrics::{
-    FailureEvent, JobMetrics, RecoveryMetrics, SemanticBytes, StepKind, StepReport,
+    FailureEvent, JobMetrics, NetOverhead, RecoveryMetrics, SemanticBytes, StepKind, StepReport,
     SuperstepMetrics,
 };
 pub use program::{GraphInfo, Update, VertexProgram};

@@ -143,6 +143,11 @@ pub struct StepReport {
     pub wall_secs: f64,
     /// Wall-clock seconds spent blocked exchanging messages (Fig. 17).
     pub blocking_secs: f64,
+    /// Bytes appended to the sender-side outgoing-message log this
+    /// superstep (one classified sequential write; zero when
+    /// [`message_logging`](crate::config::JobConfig::message_logging) is
+    /// off).
+    pub msg_log_bytes: u64,
 }
 
 /// Master-side aggregation of one superstep.
@@ -240,12 +245,48 @@ pub struct RecoveryMetrics {
     /// Summed I/O of all checkpoint phases (the value-segment read plus
     /// the sequential checkpoint write, per worker).
     pub checkpoint_io: IoSnapshot,
-    /// Cluster-wide rollbacks performed.
+    /// Cluster-wide (global) rollbacks performed: every worker reloaded
+    /// its checkpoint.
     pub rollbacks: u64,
-    /// Supersteps re-executed because of rollbacks (lost work).
+    /// Confined recoveries performed: only the failed worker reloaded its
+    /// checkpoint while survivors re-served logged messages.
+    pub confined_recoveries: u64,
+    /// Checkpoint restores actually executed, summed over workers. A
+    /// global rollback adds `workers`; a confined recovery adds 1 — the
+    /// gap between this and `rollbacks × workers` is exactly what
+    /// confinement saved.
+    pub checkpoint_restores: u64,
+    /// Supersteps re-executed because of rollbacks (lost work, every
+    /// worker recomputing).
     pub recomputed_supersteps: u64,
+    /// Supersteps the failed worker replayed from survivor logs during
+    /// confined recoveries (survivors stayed idle apart from serving).
+    pub replayed_supersteps: u64,
+    /// Total bytes written to sender-side message logs across the job
+    /// (zero unless message logging is on).
+    pub msg_log_bytes: u64,
     /// Every failure the master recovered from, in order.
     pub failures: Vec<FailureEvent>,
+}
+
+/// Reliability-protocol overhead over one job — bytes and events the ARQ
+/// layer spent masking an unreliable fabric. Deliberately **excluded**
+/// from the cost model's byte counts (`Q_t`, Eqs. 7–8 and the per-step
+/// network columns), which account each payload once at first send.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetOverhead {
+    /// Payload bytes re-transmitted (timeouts) or duplicated by faults.
+    pub retransmitted_bytes: u64,
+    /// Frames discarded by receivers as already-delivered duplicates.
+    pub duplicate_drops: u64,
+    /// Frames the fault plan dropped on the wire.
+    pub dropped_frames: u64,
+    /// Frames the fault plan delayed in flight.
+    pub delayed_frames: u64,
+    /// Acknowledgement frames sent.
+    pub acks_sent: u64,
+    /// Bytes re-served from message logs during confined recovery.
+    pub replayed_bytes: u64,
 }
 
 /// Everything measured over one job.
@@ -259,6 +300,9 @@ pub struct JobMetrics {
     pub switches: Vec<(u64, Mode, Mode)>,
     /// Checkpoint and recovery activity.
     pub recovery: RecoveryMetrics,
+    /// Reliability-protocol overhead (retransmissions, dup drops, acks,
+    /// replay traffic) over the whole job.
+    pub net_overhead: NetOverhead,
     /// The device profile the job ran under.
     pub profile: DeviceProfile,
 }
@@ -377,6 +421,7 @@ mod tests {
             steps: vec![step(1.0, 100), step(3.0, 200)],
             switches: vec![],
             recovery: RecoveryMetrics::default(),
+            net_overhead: NetOverhead::default(),
             profile: DeviceProfile::local_hdd(),
         };
         assert_eq!(m.supersteps(), 2);

@@ -62,9 +62,18 @@ pub fn run_bpull_step<P: VertexProgram>(
     let mut blocking = 0.0;
     let workers = w.cfg.workers;
     let combinable = w.combinable();
-    let pipeline = if combinable && w.cfg.pre_pull { 2 } else { 1 };
 
     let mut pending: VecDeque<BlockId> = w.layout.blocks_of_worker(w.id).collect();
+    // During a confined-recovery replay, survivors re-serve their logged
+    // responses without flow control (the whole superstep's packets arrive
+    // up front), so every block must already be in flight when they land.
+    let pipeline = if w.replay {
+        pending.len().max(1)
+    } else if combinable && w.cfg.pre_pull {
+        2
+    } else {
+        1
+    };
     let mut inflight: Vec<Inflight<P::Message>> = Vec::new();
     let mut tbuf: ThresholdBuffer<P::Message> =
         ThresholdBuffer::new(workers, w.cfg.sending_threshold);
@@ -282,6 +291,7 @@ fn update_block<P: VertexProgram>(
     let info = w.info;
     let br = w.layout.block_range(block);
     let vals = w.values.read_range(br.clone())?;
+    w.note_value_preimage(br.start, &vals);
     rep.sem.value_update_bytes += vals.len() as u64 * P::Value::BYTES as u64;
     for (vg, msgs) in groups {
         let v = VertexId(vg);

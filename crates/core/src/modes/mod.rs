@@ -100,6 +100,7 @@ pub(crate) fn init_updates<P: VertexProgram>(
             continue;
         }
         let mut vals = w.values.read_range(br.clone())?;
+        w.note_value_preimage(br.start, &vals);
         let block_bytes = vals.len() as u64 * P::Value::BYTES as u64;
         rep.sem.value_update_bytes += block_bytes;
         for v in actives {

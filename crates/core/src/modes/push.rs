@@ -71,6 +71,7 @@ pub fn run_push_step<P: VertexProgram>(
                 w.values.write_range(r, &vals)?;
             }
             let vals = w.values.read_range(br.clone())?;
+            w.note_value_preimage(br.start, &vals);
             rep.sem.value_update_bytes += vals.len() as u64 * P::Value::BYTES as u64;
             cur = Some((br.clone(), vals));
         }

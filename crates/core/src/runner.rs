@@ -31,28 +31,47 @@
 //! superstep. Without a usable checkpoint — policy `Never`, a lost
 //! endpoint, or an exhausted [`JobConfig::max_recoveries`] budget — the
 //! job returns [`JobError::WorkerFailed`] instead of panicking.
+//!
+//! # Confined recovery
+//!
+//! With [`JobConfig::message_logging`] on, every worker additionally
+//! writes its superstep's outgoing remote packets as one log segment
+//! (one classified sequential write), and a single failure at superstep
+//! `t` recovers Pregel-style *confined*: only the dead worker rolls back
+//! to the checkpoint `ck` and re-executes `ck+1..t-1` with its inputs
+//! re-served from the survivors' logs, while the survivors merely revert
+//! superstep `t` in memory (pre-images captured when the step started)
+//! — they never reload a checkpoint. Each recovery bumps a fabric
+//! *epoch*; endpoints reset to it so in-flight ARQ frames from before
+//! the failure can never leak into the re-execution. When the
+//! preconditions fail — logging off, several simultaneous deaths,
+//! missing/truncated log segments, or a mode whose receive state is not
+//! undoable (`pull`'s LRU cache, `pushM`'s order-sensitive online
+//! combining) — the master falls back to the global rollback above.
 
 use crate::config::{CheckpointPolicy, JobConfig, Mode};
 use crate::fault::FaultPhase;
 use crate::metrics::{
-    FailureEvent, JobMetrics, LoadReport, RecoveryMetrics, StepKind, StepReport, SuperstepMetrics,
+    FailureEvent, JobMetrics, LoadReport, NetOverhead, RecoveryMetrics, StepKind, StepReport,
+    SuperstepMetrics,
 };
 use crate::modes::bpull::run_bpull_step;
 use crate::modes::pull::run_pull_step;
 use crate::modes::push::run_push_step;
 use crate::program::VertexProgram;
 use crate::switch::{self, b_lower_bound, q_metric, CostInputs, Switcher};
-use crate::worker::{Worker, WorkerLoadReport};
+use crate::worker::{Worker, WorkerLoadReport, WorkerSeed};
 use hybridgraph_graph::{partition::vblock_counts, BlockLayout, Graph, Partition, WorkerId};
 use hybridgraph_net::fabric::{Endpoint, Fabric, NetSnapshot};
 use hybridgraph_net::packet::Packet;
+use hybridgraph_storage::msg_log::{self, MsgLogReader};
 use hybridgraph_storage::vfs::{DirVfs, MemVfs, Vfs};
 use hybridgraph_storage::{IoSnapshot, Record};
 use std::fmt;
 use std::io;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The outcome of a job: final vertex values plus everything measured.
 pub struct JobResult<P: VertexProgram> {
@@ -119,14 +138,35 @@ enum Cmd {
         superstep: u64,
     },
     /// Write the checkpoint for `superstep`; optionally prune the one at
-    /// `prune` afterwards (retention 1).
+    /// `prune` afterwards (retention 1). With message logging on, log
+    /// segments at or before `superstep` are pruned too — a future
+    /// failure replays from this cut, so they can never be needed again.
     Checkpoint {
         superstep: u64,
         prune: Option<u64>,
     },
-    /// Drain stale packets and restore the checkpoint taken after
-    /// `superstep`.
+    /// Reset the endpoint to the fabric `epoch` and restore the
+    /// checkpoint taken after `superstep`.
     Rollback {
+        superstep: u64,
+        epoch: u64,
+    },
+    /// Confined recovery, survivor side: reset the endpoint to `epoch`
+    /// and revert exactly the last captured superstep in memory.
+    UndoStep {
+        epoch: u64,
+    },
+    /// Confined recovery, survivor side: re-serve the log segment of
+    /// `superstep`, forwarding the entries addressed to worker `target`.
+    ReplayServe {
+        superstep: u64,
+        target: usize,
+    },
+    /// Confined recovery, respawned-worker side: re-execute `superstep`
+    /// with remote sends suppressed (peers already processed the
+    /// originals) and inputs arriving from the survivors' logs.
+    ReplayStep {
+        kind: StepKind,
         superstep: u64,
     },
     Collect,
@@ -142,13 +182,19 @@ enum WorkerMsg<V> {
     /// Checkpoint written; payload is the bytes it occupies on disk.
     Checkpointed(usize, u64),
     RolledBack(usize),
+    /// Survivor reverted its last captured superstep (confined recovery).
+    Undone(usize),
+    /// Survivor finished re-serving one log segment.
+    Served(usize),
+    /// Respawned worker finished re-executing one replayed superstep.
+    Replayed(usize),
     Values(usize, u32, Vec<V>),
     /// The worker died. It hands its fabric endpoint back when it can so
     /// the master can respawn a replacement onto the same slot.
     Failed {
         index: usize,
         error: String,
-        endpoint: Option<Endpoint>,
+        endpoint: Option<Box<Endpoint>>,
     },
 }
 
@@ -206,6 +252,16 @@ fn checkpoint_all<V>(
     Ok(max_bytes)
 }
 
+/// True if every survivor holds a readable log segment for every
+/// superstep the failed worker must replay (`ck+1..t`). A missing or
+/// truncated segment fails validation and recovery falls back to the
+/// global rollback.
+fn confined_logs_ok(vfss: &[Arc<dyn Vfs>], failed: usize, ck: u64, failed_step: u64) -> bool {
+    vfss.iter().enumerate().all(|(i, vfs)| {
+        i == failed || ((ck + 1)..failed_step).all(|s| MsgLogReader::open(vfs.as_ref(), s).is_ok())
+    })
+}
+
 /// Runs `program` over `graph` under `cfg` and returns the final values
 /// and metrics, or a [`JobError`] if a worker failure could not be
 /// recovered.
@@ -252,6 +308,13 @@ pub fn run_job<P: VertexProgram>(
     }
 
     let (endpoints, net_stats, control) = Fabric::mesh_with_control(t);
+    // A seeded network-fault schedule attached to the fault plan makes
+    // every endpoint's wire unreliable; the ARQ layer absorbs it.
+    if let Some(np) = cfg.fault_plan.as_ref().and_then(|p| p.net_plan()) {
+        for ep in &endpoints {
+            ep.install_faults(Arc::clone(np));
+        }
+    }
     let (rep_tx, rep_rx) = channel::<WorkerMsg<P::Value>>();
 
     std::thread::scope(|scope| -> Result<JobResult<P>, JobError> {
@@ -261,27 +324,19 @@ pub fn run_job<P: VertexProgram>(
         // channel receiver. The master keeps `rep_tx` alive for the whole
         // job so late respawns can still clone it.
         let spawn_worker = |i: usize, ep: Endpoint, cmd_rx: Receiver<Cmd>| {
-            let program = Arc::clone(&program);
-            let partition = Arc::clone(&partition);
-            let layout = Arc::clone(&layout);
-            let cfg = cfg.clone();
+            let seed = WorkerSeed {
+                id: WorkerId::from(i),
+                program: Arc::clone(&program),
+                graph: graph_ref,
+                reverse: reverse_ref,
+                partition: Arc::clone(&partition),
+                layout: Arc::clone(&layout),
+                cfg: cfg.clone(),
+                ep,
+                vfs: Arc::clone(&vfss[i]),
+            };
             let rep_tx = rep_tx.clone();
-            let vfs = Arc::clone(&vfss[i]);
-            scope.spawn(move || {
-                worker_main::<P>(
-                    i,
-                    program,
-                    graph_ref,
-                    reverse_ref,
-                    partition,
-                    layout,
-                    cfg,
-                    ep,
-                    vfs,
-                    cmd_rx,
-                    rep_tx,
-                )
-            });
+            scope.spawn(move || worker_main::<P>(seed, cmd_rx, rep_tx));
         };
 
         let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(t);
@@ -326,7 +381,7 @@ pub fn run_job<P: VertexProgram>(
                             recoveries_used += 1;
                             let (tx, rx) = channel::<Cmd>();
                             cmd_txs[index] = tx;
-                            spawn_worker(index, ep, rx);
+                            spawn_worker(index, *ep, rx);
                         }
                         _ => {
                             return Err(JobError::WorkerFailed {
@@ -410,6 +465,9 @@ pub fn run_job<P: VertexProgram>(
         }
 
         let mut net_base = net_stats.snapshot();
+        // Fabric epoch: bumped on every recovery so ARQ frames still in
+        // flight from before a failure are recognizably stale.
+        let mut epoch = 0u64;
         let mut superstep = 0u64;
         while superstep < max_steps {
             superstep += 1;
@@ -432,7 +490,7 @@ pub fn run_job<P: VertexProgram>(
             // first failure, broadcast an abort so peers blocked on the
             // dead worker's packets unwind instead of deadlocking.
             let mut reports: Vec<StepReport> = vec![StepReport::default(); t];
-            let mut failures: Vec<(usize, String, Option<Endpoint>)> = Vec::new();
+            let mut failures: Vec<(usize, String, Option<Box<Endpoint>>)> = Vec::new();
             let mut responded = vec![false; t];
             let mut abort_sent = false;
             for _ in 0..t {
@@ -480,8 +538,115 @@ pub fn run_job<P: VertexProgram>(
                         });
                     }
                 };
-                // Respawn every failed worker onto its original endpoint
-                // and VFS; a lost endpoint or an exhausted budget is fatal.
+                epoch += 1;
+
+                // Confined recovery (Pregel-style): a *single* death with
+                // message logging on, valid log segments at every
+                // survivor, a known step kind for every replayed
+                // superstep, and a mode whose receive-side state is
+                // undoable. Anything else falls back to global rollback.
+                let confined = cfg.message_logging
+                    && failures.len() == 1
+                    && !matches!(cfg.mode, Mode::Pull | Mode::PushM)
+                    && failures[0].2.is_some()
+                    && recoveries_used < cfg.max_recoveries
+                    && ((ck + 1)..superstep).all(|s| steps.iter().any(|m| m.superstep == s))
+                    && confined_logs_ok(&vfss, failures[0].0, ck, superstep);
+                if confined {
+                    let (fi, _error, endpoint) = failures.into_iter().next().unwrap();
+                    let fail_here = |msg: WorkerMsg<P::Value>| match msg {
+                        WorkerMsg::Failed { index, error, .. } => Err(JobError::WorkerFailed {
+                            worker: index,
+                            superstep,
+                            error,
+                        }),
+                        _ => unreachable!("unexpected message during confined recovery"),
+                    };
+                    recoveries_used += 1;
+                    let (tx, rx) = channel::<Cmd>();
+                    cmd_txs[fi] = tx;
+                    spawn_worker(fi, *endpoint.unwrap(), rx);
+                    match rep_rx.recv().expect("respawned worker hung up") {
+                        WorkerMsg::Loaded(i, _) => debug_assert_eq!(i, fi),
+                        other => return fail_here(other),
+                    }
+                    // Only the respawned worker reloads the checkpoint.
+                    cmd_txs[fi]
+                        .send(Cmd::Rollback {
+                            superstep: ck,
+                            epoch,
+                        })
+                        .expect("worker gone");
+                    match rep_rx.recv().expect("worker hung up during rollback") {
+                        WorkerMsg::RolledBack(i) => debug_assert_eq!(i, fi),
+                        other => return fail_here(other),
+                    }
+                    // Survivors revert exactly the failed superstep from
+                    // their in-memory pre-images — no checkpoint I/O.
+                    for (i, tx) in cmd_txs.iter().enumerate() {
+                        if i != fi {
+                            tx.send(Cmd::UndoStep { epoch }).expect("worker gone");
+                        }
+                    }
+                    for _ in 0..t - 1 {
+                        match rep_rx.recv().expect("workers hung up during undo") {
+                            WorkerMsg::Undone(i) => debug_assert_ne!(i, fi),
+                            other => return fail_here(other),
+                        }
+                    }
+                    // Replay ck+1..t-1 on the respawned worker: survivors
+                    // re-serve their logged packets (never re-executing),
+                    // the dead worker re-computes with sends suppressed.
+                    for s in (ck + 1)..superstep {
+                        let kind_s = steps
+                            .iter()
+                            .find(|m| m.superstep == s)
+                            .expect("validated above")
+                            .kind;
+                        for (i, tx) in cmd_txs.iter().enumerate() {
+                            if i != fi {
+                                tx.send(Cmd::ReplayServe {
+                                    superstep: s,
+                                    target: fi,
+                                })
+                                .expect("worker gone");
+                            }
+                        }
+                        for _ in 0..t - 1 {
+                            match rep_rx.recv().expect("workers hung up during replay") {
+                                WorkerMsg::Served(i) => debug_assert_ne!(i, fi),
+                                other => return fail_here(other),
+                            }
+                        }
+                        cmd_txs[fi]
+                            .send(Cmd::ReplayStep {
+                                kind: kind_s,
+                                superstep: s,
+                            })
+                            .expect("worker gone");
+                        match rep_rx.recv().expect("worker hung up during replay") {
+                            WorkerMsg::Replayed(i) => debug_assert_eq!(i, fi),
+                            other => return fail_here(other),
+                        }
+                    }
+                    // The master keeps its cursor: completed supersteps
+                    // stay aggregated, the switcher is untouched, and the
+                    // failed superstep re-runs under the same kind.
+                    if cfg.mode == Mode::Hybrid {
+                        pending_kind = Some(kind);
+                    }
+                    recovery.confined_recoveries += 1;
+                    recovery.checkpoint_restores += 1;
+                    recovery.replayed_supersteps += (superstep - 1).saturating_sub(ck);
+                    recovery.recomputed_supersteps += 1;
+                    net_base = net_stats.snapshot();
+                    superstep -= 1;
+                    continue;
+                }
+
+                // Global rollback: respawn every failed worker onto its
+                // original endpoint and VFS; a lost endpoint or an
+                // exhausted budget is fatal.
                 let mut respawned = 0usize;
                 for (i, error, endpoint) in failures {
                     let fatal_budget = recoveries_used >= cfg.max_recoveries;
@@ -490,7 +655,7 @@ pub fn run_job<P: VertexProgram>(
                             recoveries_used += 1;
                             let (tx, rx) = channel::<Cmd>();
                             cmd_txs[i] = tx;
-                            spawn_worker(i, ep, rx);
+                            spawn_worker(i, *ep, rx);
                             respawned += 1;
                         }
                         _ => {
@@ -516,12 +681,17 @@ pub fn run_job<P: VertexProgram>(
                     }
                 }
                 // Roll every worker (survivors and respawns alike) back
-                // to the checkpointed cut. The rollback handler drains
-                // stale packets — including the abort we broadcast — so
-                // the re-executed superstep starts from a clean fabric.
+                // to the checkpointed cut. The rollback handler resets
+                // the endpoint to the new epoch — clearing stale packets
+                // (including the abort we broadcast) *and* un-acked ARQ
+                // frames that would otherwise retransmit into the
+                // re-execution.
                 for tx in &cmd_txs {
-                    tx.send(Cmd::Rollback { superstep: ck })
-                        .expect("worker gone");
+                    tx.send(Cmd::Rollback {
+                        superstep: ck,
+                        epoch,
+                    })
+                    .expect("worker gone");
                 }
                 let mut rolled = vec![false; t];
                 for _ in 0..t {
@@ -550,6 +720,7 @@ pub fn run_job<P: VertexProgram>(
                 steps.truncate(snap.steps_len);
                 switches.truncate(snap.switches_len);
                 recovery.rollbacks += 1;
+                recovery.checkpoint_restores += t as u64;
                 recovery.recomputed_supersteps += superstep - ck;
                 accum_step_secs = 0.0;
                 net_base = net_stats.snapshot();
@@ -561,17 +732,21 @@ pub fn run_job<P: VertexProgram>(
             let net_now = net_stats.snapshot();
             let net_delta = net_now.delta(&net_base);
             net_base = net_now;
+            recovery.msg_log_bytes += reports.iter().map(|r| r.msg_log_bytes).sum::<u64>();
 
+            let ctx = AggCtx {
+                cfg: &cfg,
+                b_total,
+                msg_bytes,
+                combinable,
+            };
             let (metrics, q_inputs) = aggregate(
                 superstep,
                 kind,
                 &reports,
                 &net_delta,
-                &cfg,
+                &ctx,
                 &mut switcher,
-                b_total,
-                msg_bytes,
-                combinable,
                 wall,
             );
             let pending = metrics.pending_messages;
@@ -668,6 +843,16 @@ pub fn run_job<P: VertexProgram>(
         }
         debug_assert_eq!(all.len(), n);
 
+        let ns = net_stats.snapshot();
+        let net_overhead = NetOverhead {
+            retransmitted_bytes: ns.retransmitted_bytes,
+            duplicate_drops: ns.duplicate_drops,
+            dropped_frames: ns.dropped_frames,
+            delayed_frames: ns.delayed_frames,
+            acks_sent: ns.acks_sent,
+            replayed_bytes: ns.replayed_bytes,
+        };
+
         Ok(JobResult {
             values: all,
             metrics: JobMetrics {
@@ -676,27 +861,35 @@ pub fn run_job<P: VertexProgram>(
                 switches,
                 profile: cfg.profile,
                 recovery,
+                net_overhead,
             },
         })
     })
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Dispatches one superstep execution by kind.
+fn run_step_kind<P: VertexProgram>(
+    worker: &mut Worker<P>,
+    kind: StepKind,
+    superstep: u64,
+) -> io::Result<StepReport> {
+    match kind {
+        StepKind::Push => run_push_step(worker, superstep, true, false),
+        StepKind::PushNoSend => run_push_step(worker, superstep, false, false),
+        StepKind::PushM => run_push_step(worker, superstep, true, true),
+        StepKind::Pull => run_pull_step(worker, superstep),
+        StepKind::BPull => run_bpull_step(worker, superstep, false),
+        StepKind::BPullThenPush => run_bpull_step(worker, superstep, true),
+    }
+}
+
 fn worker_main<P: VertexProgram>(
-    index: usize,
-    program: Arc<P>,
-    graph: &Graph,
-    reverse: Option<&Graph>,
-    partition: Arc<Partition>,
-    layout: Arc<BlockLayout>,
-    cfg: JobConfig,
-    ep: Endpoint,
-    vfs: Arc<dyn Vfs>,
+    seed: WorkerSeed<'_, P>,
     cmd_rx: Receiver<Cmd>,
     rep_tx: Sender<WorkerMsg<P::Value>>,
 ) {
-    let id = WorkerId::from(index);
-    let plan = cfg.fault_plan.clone();
+    let index = seed.id.index();
+    let plan = seed.cfg.fault_plan.clone();
     let injected = |superstep: u64, phase: FaultPhase| -> bool {
         plan.as_ref()
             .is_some_and(|p| p.should_fail(index, superstep, phase))
@@ -709,66 +902,81 @@ fn worker_main<P: VertexProgram>(
             .send(WorkerMsg::Failed {
                 index,
                 error: "injected fault: killed while loading".into(),
-                endpoint: Some(ep),
+                endpoint: Some(Box::new(seed.ep)),
             })
             .ok();
         return;
     }
-    let (mut worker, load) =
-        match Worker::load(id, program, graph, reverse, partition, layout, cfg, ep, vfs) {
-            Ok(x) => x,
-            Err(e) => {
-                rep_tx
-                    .send(WorkerMsg::Failed {
-                        index,
-                        error: e.to_string(),
-                        endpoint: None,
-                    })
-                    .ok();
-                return;
-            }
-        };
+    let (mut worker, load) = match Worker::load(seed) {
+        Ok(x) => x,
+        Err(e) => {
+            rep_tx
+                .send(WorkerMsg::Failed {
+                    index,
+                    error: e.to_string(),
+                    endpoint: None,
+                })
+                .ok();
+            return;
+        }
+    };
     rep_tx
         .send(WorkerMsg::Loaded(index, Box::new(load)))
         .expect("master gone");
-    while let Ok(cmd) = cmd_rx.recv() {
+    // Propagates an error as a worker death, handing the endpoint back.
+    macro_rules! fail {
+        ($err:expr) => {{
+            let ep = worker.ep;
+            rep_tx
+                .send(WorkerMsg::Failed {
+                    index,
+                    error: $err.to_string(),
+                    endpoint: Some(Box::new(ep)),
+                })
+                .ok();
+            return;
+        }};
+    }
+    loop {
+        // Idle workers must keep servicing the endpoint: the ARQ layer
+        // retransmits from the *sender*, so a worker parked between
+        // supersteps would otherwise never re-send a dropped frame a
+        // peer is still blocked on.
+        let cmd = match cmd_rx.recv_timeout(Duration::from_millis(2)) {
+            Ok(cmd) => cmd,
+            Err(RecvTimeoutError::Timeout) => {
+                worker.ep.service();
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
         match cmd {
             Cmd::Step { kind, superstep } => {
                 if injected(superstep, FaultPhase::Compute) {
-                    let ep = worker.ep;
-                    rep_tx
-                        .send(WorkerMsg::Failed {
-                            index,
-                            error: format!(
-                                "injected fault: killed before compute of superstep {superstep}"
-                            ),
-                            endpoint: Some(ep),
-                        })
-                        .ok();
-                    return;
+                    fail!(format!(
+                        "injected fault: killed before compute of superstep {superstep}"
+                    ));
                 }
-                let res = match kind {
-                    StepKind::Push => run_push_step(&mut worker, superstep, true, false),
-                    StepKind::PushNoSend => run_push_step(&mut worker, superstep, false, false),
-                    StepKind::PushM => run_push_step(&mut worker, superstep, true, true),
-                    StepKind::Pull => run_pull_step(&mut worker, superstep),
-                    StepKind::BPull => run_bpull_step(&mut worker, superstep, false),
-                    StepKind::BPullThenPush => run_bpull_step(&mut worker, superstep, true),
-                };
-                match res {
-                    Ok(rep) => {
+                let logging = worker.cfg.message_logging;
+                if logging {
+                    worker.ep.start_capture();
+                    if let Err(e) = worker.begin_undo_capture() {
+                        fail!(e);
+                    }
+                }
+                match run_step_kind(&mut worker, kind, superstep) {
+                    Ok(mut rep) => {
+                        if logging {
+                            let captured = worker.ep.take_capture();
+                            match worker.commit_msg_log(superstep, &captured) {
+                                Ok(bytes) => rep.msg_log_bytes = bytes,
+                                Err(e) => fail!(e),
+                            }
+                        }
                         if injected(superstep, FaultPhase::Barrier) {
-                            let ep = worker.ep;
-                            rep_tx
-                                .send(WorkerMsg::Failed {
-                                    index,
-                                    error: format!(
-                                        "injected fault: killed at barrier of superstep {superstep}"
-                                    ),
-                                    endpoint: Some(ep),
-                                })
-                                .ok();
-                            return;
+                            fail!(format!(
+                                "injected fault: killed at barrier of superstep {superstep}"
+                            ));
                         }
                         rep_tx
                             .send(WorkerMsg::Step(index, Box::new(rep)))
@@ -776,20 +984,15 @@ fn worker_main<P: VertexProgram>(
                     }
                     Err(e) if crate::modes::is_abort(&e) => {
                         // A peer failed; the master broadcast an abort.
-                        // Unwind this superstep and await the rollback.
+                        // Unwind this superstep (keeping the undo capture
+                        // for a possible confined recovery) and await the
+                        // master's next order.
+                        if logging {
+                            let _ = worker.ep.take_capture();
+                        }
                         rep_tx.send(WorkerMsg::Aborted(index)).expect("master gone");
                     }
-                    Err(e) => {
-                        let ep = worker.ep;
-                        rep_tx
-                            .send(WorkerMsg::Failed {
-                                index,
-                                error: e.to_string(),
-                                endpoint: Some(ep),
-                            })
-                            .ok();
-                        return;
-                    }
+                    Err(e) => fail!(e),
                 }
             }
             Cmd::Checkpoint { superstep, prune } => {
@@ -797,82 +1000,125 @@ fn worker_main<P: VertexProgram>(
                     if let Some(p) = prune {
                         hybridgraph_storage::checkpoint::remove_checkpoint(worker.vfs.as_ref(), p)?;
                     }
+                    if worker.cfg.message_logging {
+                        // Replays start from this cut; earlier log
+                        // segments can never be needed again.
+                        for s in (prune.unwrap_or(0) + 1)..=superstep {
+                            if msg_log::has_log_segment(worker.vfs.as_ref(), s) {
+                                msg_log::remove_log_segment(worker.vfs.as_ref(), s)?;
+                            }
+                        }
+                    }
                     Ok(bytes)
                 });
                 match res {
                     Ok(bytes) => rep_tx
                         .send(WorkerMsg::Checkpointed(index, bytes))
                         .expect("master gone"),
-                    Err(e) => {
-                        let ep = worker.ep;
-                        rep_tx
-                            .send(WorkerMsg::Failed {
-                                index,
-                                error: e.to_string(),
-                                endpoint: Some(ep),
-                            })
-                            .ok();
-                        return;
-                    }
+                    Err(e) => fail!(e),
                 }
             }
-            Cmd::Rollback { superstep } => {
+            Cmd::Rollback { superstep, epoch } => {
                 // Stale packets from the aborted superstep (message
-                // batches, end-of-step markers, the abort itself) must
-                // not leak into the re-execution.
-                worker.ep.drain();
+                // batches, end-of-step markers, the abort itself) and
+                // un-acked ARQ frames must not leak into the
+                // re-execution: the epoch reset invalidates them all.
+                worker.ep.reset(epoch);
+                worker.undo = None;
+                worker.replay = false;
                 match worker.restore_checkpoint(superstep) {
                     Ok(()) => rep_tx
                         .send(WorkerMsg::RolledBack(index))
                         .expect("master gone"),
-                    Err(e) => {
-                        let ep = worker.ep;
-                        rep_tx
-                            .send(WorkerMsg::Failed {
-                                index,
-                                error: e.to_string(),
-                                endpoint: Some(ep),
-                            })
-                            .ok();
-                        return;
+                    Err(e) => fail!(e),
+                }
+            }
+            Cmd::UndoStep { epoch } => {
+                worker.ep.reset(epoch);
+                match worker.apply_undo() {
+                    Ok(true) => rep_tx.send(WorkerMsg::Undone(index)).expect("master gone"),
+                    Ok(false) => fail!("confined undo ordered but no capture exists"),
+                    Err(e) => fail!(e),
+                }
+            }
+            Cmd::ReplayServe { superstep, target } => {
+                let res = (|| -> io::Result<()> {
+                    let mut r = MsgLogReader::open(worker.vfs.as_ref(), superstep)?;
+                    let to = WorkerId::from(target);
+                    while let Some((dest, blob)) = r.next_entry()? {
+                        if dest as usize != target {
+                            continue;
+                        }
+                        let (packet, _) = Packet::decode(&blob).ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("corrupt message-log entry in superstep {superstep}"),
+                            )
+                        })?;
+                        worker.ep.send_replay(to, packet);
                     }
+                    Ok(())
+                })();
+                match res {
+                    Ok(()) => rep_tx.send(WorkerMsg::Served(index)).expect("master gone"),
+                    Err(e) => fail!(e),
+                }
+            }
+            Cmd::ReplayStep { kind, superstep } => {
+                // Re-execute with remote sends suppressed: every peer
+                // already processed the originals, and this worker's own
+                // loopback traffic still flows so it re-serves itself.
+                worker.replay = true;
+                worker.ep.set_replay(true);
+                let res = run_step_kind(&mut worker, kind, superstep);
+                worker.ep.set_replay(false);
+                worker.replay = false;
+                match res {
+                    Ok(_rep) => rep_tx
+                        .send(WorkerMsg::Replayed(index))
+                        .expect("master gone"),
+                    Err(e) => fail!(e),
                 }
             }
             Cmd::Collect => match worker.collect_values() {
                 Ok(vals) => rep_tx
                     .send(WorkerMsg::Values(index, worker.range.start, vals))
                     .expect("master gone"),
-                Err(e) => {
-                    let ep = worker.ep;
-                    rep_tx
-                        .send(WorkerMsg::Failed {
-                            index,
-                            error: e.to_string(),
-                            endpoint: Some(ep),
-                        })
-                        .ok();
-                    return;
-                }
+                Err(e) => fail!(e),
             },
             Cmd::Exit => return,
         }
     }
 }
 
+/// Job-constant inputs the per-superstep aggregation needs.
+struct AggCtx<'a> {
+    /// The job configuration.
+    cfg: &'a JobConfig,
+    /// Cluster-wide message-buffer capacity (the paper's `B`).
+    b_total: u64,
+    /// Encoded bytes per message (id + payload).
+    msg_bytes: u64,
+    /// True if messages combine under this configuration.
+    combinable: bool,
+}
+
 /// Builds the master-side superstep metrics from worker reports.
-#[allow(clippy::too_many_arguments)]
 fn aggregate(
     superstep: u64,
     kind: StepKind,
     reports: &[StepReport],
     net: &NetSnapshot,
-    cfg: &JobConfig,
+    ctx: &AggCtx<'_>,
     switcher: &mut Switcher,
-    b_total: u64,
-    msg_bytes: u64,
-    combinable: bool,
     wall: f64,
 ) -> (SuperstepMetrics, CostInputs) {
+    let AggCtx {
+        cfg,
+        b_total,
+        msg_bytes,
+        combinable,
+    } = *ctx;
     let sem = reports
         .iter()
         .fold(crate::metrics::SemanticBytes::default(), |acc, r| {

@@ -11,10 +11,16 @@
 //!   combined (b-pull), with per-batch savings statistics,
 //! * [`combine`] — the `Combiner` abstraction (paper §4.2, Appendix E),
 //! * [`flow`] — sending-threshold buffering (Appendix E's knob),
-//! * [`fabric`] — the worker-to-worker channel mesh and [`NetStats`].
+//! * [`fabric`] — the worker-to-worker channel mesh and [`NetStats`],
+//! * [`netfault`] — seeded drop/duplicate/delay schedules for the wire.
 //!
-//! Delivery is reliable and ordered per sender-receiver pair (std `mpsc`
-//! channels), matching the TCP transport of the original system. The
+//! Delivery is reliable and ordered per sender-receiver pair, matching
+//! the TCP transport of the original system — but the wire underneath
+//! may be lossy: a seeded [`NetFaultPlan`] drops, duplicates, and delays
+//! data frames, and the endpoints mask it with sequence numbers,
+//! cumulative acks, and timed retransmission (see [`fabric`]). Transport
+//! overhead (retransmissions, duplicate drops, acks) is accounted apart
+//! from logical traffic so the paper's byte counts stay exact. The
 //! paper's receiver-paced one-outstanding-package flow control exists to
 //! bound receive-buffer memory; this reproduction sizes buffers analytically
 //! (Eqs. 5–6) and accounts package counts instead of blocking senders,
@@ -23,10 +29,12 @@
 pub mod combine;
 pub mod fabric;
 pub mod flow;
+pub mod netfault;
 pub mod packet;
 pub mod wire;
 
 pub use combine::Combiner;
 pub use fabric::{ControlPlane, Endpoint, Fabric, NetSnapshot, NetStats};
+pub use netfault::{LinkFault, NetFaultPlan};
 pub use packet::Packet;
 pub use wire::{decode_batch, encode_batch, BatchKind, WireStats};

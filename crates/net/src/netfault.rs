@@ -1,0 +1,208 @@
+//! Seeded, deterministic network-fault schedules.
+//!
+//! A [`NetFaultPlan`] decides, per `(sender, receiver, sequence
+//! number)` link event, whether the fabric should drop, duplicate, or
+//! delay a data frame. Decisions are pure functions of the plan's seed
+//! and the frame coordinates, so the same plan replayed against the
+//! same job produces the same fault schedule — the property that makes
+//! network-fault reproductions debuggable, exactly like the worker-kill
+//! schedules in `core::fault`.
+//!
+//! Drops are *bounded*: a frame selected for dropping is dropped for
+//! its first `1 + h % max_extra_drops` transmission attempts and then
+//! delivered, so a retransmitting sender always makes progress without
+//! the plan having to track state. Duplicates and delays apply only to
+//! the first attempt, which keeps retransmissions from amplifying the
+//! fault rate.
+//!
+//! Loopback traffic (`from == to`) never faults: it does not cross the
+//! simulated wire.
+
+use hybridgraph_graph::rng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What the fabric should do with one transmission attempt of a data
+/// frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Deliver the frame normally.
+    Deliver,
+    /// Silently discard this transmission attempt.
+    Drop,
+    /// Deliver the frame and inject one extra copy.
+    Duplicate,
+    /// Deliver the frame after a holdback, so later frames on other
+    /// links can overtake it (reordering).
+    Delay,
+}
+
+/// A seeded schedule of per-link network faults.
+///
+/// Rates are in permille (parts per thousand) of data frames. The
+/// categories are evaluated in drop → duplicate → delay order over
+/// disjoint slices of the hash space, so their probabilities add up.
+#[derive(Debug, Default)]
+pub struct NetFaultPlan {
+    seed: u64,
+    /// Permille of data frames whose first attempt(s) are dropped.
+    drop_permille: u64,
+    /// Upper bound on *extra* drops after the first (>= 1).
+    max_extra_drops: u64,
+    /// Permille of data frames delivered twice.
+    duplicate_permille: u64,
+    /// Permille of data frames held back before delivery.
+    delay_permille: u64,
+    /// Holdback duration for delayed frames, in milliseconds.
+    delay_millis: u64,
+    drops_fired: AtomicU64,
+    duplicates_fired: AtomicU64,
+    delays_fired: AtomicU64,
+}
+
+impl NetFaultPlan {
+    /// An empty plan with the given seed; add faults with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            max_extra_drops: 1,
+            delay_millis: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Drop `permille`/1000 of data frames. Each selected frame is
+    /// dropped for between 1 and `max_extra` consecutive transmission
+    /// attempts before being let through.
+    pub fn with_drops(mut self, permille: u64, max_extra: u64) -> Self {
+        self.drop_permille = permille.min(1000);
+        self.max_extra_drops = max_extra.max(1);
+        self
+    }
+
+    /// Duplicate `permille`/1000 of data frames.
+    pub fn with_duplicates(mut self, permille: u64) -> Self {
+        self.duplicate_permille = permille.min(1000);
+        self
+    }
+
+    /// Delay `permille`/1000 of data frames by `millis` milliseconds.
+    pub fn with_delays(mut self, permille: u64, millis: u64) -> Self {
+        self.delay_permille = permille.min(1000);
+        self.delay_millis = millis.max(1);
+        self
+    }
+
+    /// Holdback duration for delayed frames.
+    pub fn delay_millis(&self) -> u64 {
+        self.delay_millis
+    }
+
+    /// Decide the fate of transmission attempt `attempt` (0-based) of
+    /// the frame `(from, to, seq)`. Pure in everything but the fired
+    /// counters.
+    pub fn decision(&self, from: usize, to: usize, seq: u64, attempt: u32) -> LinkFault {
+        if from == to {
+            return LinkFault::Deliver;
+        }
+        let h = SplitMix64::new(
+            self.seed ^ ((from as u64) << 48) ^ ((to as u64) << 32) ^ seq.wrapping_mul(0x9e37),
+        )
+        .next_u64();
+        let r = h % 1000;
+        if r < self.drop_permille {
+            let drops_for = 1 + (h >> 32) % self.max_extra_drops;
+            if u64::from(attempt) < drops_for {
+                self.drops_fired.fetch_add(1, Ordering::Relaxed);
+                return LinkFault::Drop;
+            }
+            return LinkFault::Deliver;
+        }
+        if attempt > 0 {
+            // Duplicates and delays apply only to the first attempt so
+            // retransmissions do not compound faults.
+            return LinkFault::Deliver;
+        }
+        if r < self.drop_permille + self.duplicate_permille {
+            self.duplicates_fired.fetch_add(1, Ordering::Relaxed);
+            return LinkFault::Duplicate;
+        }
+        if r < self.drop_permille + self.duplicate_permille + self.delay_permille {
+            self.delays_fired.fetch_add(1, Ordering::Relaxed);
+            return LinkFault::Delay;
+        }
+        LinkFault::Deliver
+    }
+
+    /// Number of drop decisions made so far.
+    pub fn drops_fired(&self) -> u64 {
+        self.drops_fired.load(Ordering::Relaxed)
+    }
+
+    /// Number of duplicate decisions made so far.
+    pub fn duplicates_fired(&self) -> u64 {
+        self.duplicates_fired.load(Ordering::Relaxed)
+    }
+
+    /// Number of delay decisions made so far.
+    pub fn delays_fired(&self) -> u64 {
+        self.delays_fired.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_delivers() {
+        let plan = NetFaultPlan::new(7);
+        for seq in 0..2000 {
+            assert_eq!(plan.decision(0, 1, seq, 0), LinkFault::Deliver);
+        }
+        assert_eq!(plan.drops_fired(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = NetFaultPlan::new(42).with_drops(100, 3).with_duplicates(50);
+        let b = NetFaultPlan::new(42).with_drops(100, 3).with_duplicates(50);
+        for seq in 0..500 {
+            assert_eq!(a.decision(1, 2, seq, 0), b.decision(1, 2, seq, 0));
+        }
+    }
+
+    #[test]
+    fn drops_are_bounded_so_retransmission_terminates() {
+        let plan = NetFaultPlan::new(3).with_drops(1000, 4);
+        for seq in 0..200 {
+            let delivered = (0..16).any(|attempt| {
+                matches!(
+                    plan.decision(0, 1, seq, attempt),
+                    LinkFault::Deliver | LinkFault::Duplicate | LinkFault::Delay
+                )
+            });
+            assert!(delivered, "seq {seq} never delivered");
+        }
+        assert!(plan.drops_fired() > 0);
+    }
+
+    #[test]
+    fn loopback_never_faults() {
+        let plan = NetFaultPlan::new(9).with_drops(1000, 2);
+        for seq in 0..100 {
+            assert_eq!(plan.decision(2, 2, seq, 0), LinkFault::Deliver);
+        }
+    }
+
+    #[test]
+    fn rates_roughly_match_permille() {
+        let plan = NetFaultPlan::new(11).with_drops(100, 1);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|&seq| plan.decision(0, 1, seq, 0) == LinkFault::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((0.05..0.2).contains(&rate), "drop rate {rate}");
+    }
+}

@@ -80,6 +80,158 @@ pub enum Packet {
 }
 
 impl Packet {
+    /// Serializes the packet for the sender-side message log.
+    ///
+    /// The encoding is a 1-byte tag followed by the variant fields in
+    /// declaration order, everything little-endian and length-prefixed
+    /// where variable. It exists for confined recovery — logged
+    /// outbound packets must survive a process boundary — not for the
+    /// in-process fabric, which moves [`Packet`] values directly.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        fn put_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+            put_u32(out, b.len() as u32);
+            out.extend_from_slice(b);
+        }
+        match self {
+            Packet::PullRequest { block } => {
+                out.push(0);
+                put_u32(out, block.0);
+            }
+            Packet::Messages {
+                kind,
+                payload,
+                stats,
+                for_block,
+            } => {
+                out.push(1);
+                out.push(match kind {
+                    BatchKind::Plain => 0,
+                    BatchKind::Concatenated => 1,
+                    BatchKind::Combined => 2,
+                });
+                match for_block {
+                    None => out.push(0),
+                    Some(b) => {
+                        out.push(1);
+                        put_u32(out, b.0);
+                    }
+                }
+                put_u64(out, stats.raw_messages);
+                put_u64(out, stats.wire_values);
+                put_u64(out, stats.wire_bytes);
+                put_u64(out, stats.saved_messages);
+                put_bytes(out, payload);
+            }
+            Packet::EndOfResponses { block } => {
+                out.push(2);
+                put_u32(out, block.0);
+            }
+            Packet::DoneSending => out.push(3),
+            Packet::SuperstepDone => out.push(4),
+            Packet::GatherRequests { ids } => {
+                out.push(5);
+                put_bytes(out, ids);
+            }
+            Packet::DoneRequesting => out.push(6),
+            Packet::EndOfGather => out.push(7),
+            Packet::Signals { ids } => {
+                out.push(8);
+                put_bytes(out, ids);
+            }
+            Packet::Abort => out.push(9),
+        }
+    }
+
+    /// Deserializes one packet from `bytes`, returning it and the
+    /// number of bytes consumed. Returns `None` on malformed input
+    /// (truncated log segments must degrade gracefully, not panic).
+    pub fn decode(bytes: &[u8]) -> Option<(Packet, usize)> {
+        fn get_u32(bytes: &[u8], at: usize) -> Option<u32> {
+            Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+        }
+        fn get_u64(bytes: &[u8], at: usize) -> Option<u64> {
+            Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+        }
+        let tag = *bytes.first()?;
+        match tag {
+            0 => Some((
+                Packet::PullRequest {
+                    block: BlockId(get_u32(bytes, 1)?),
+                },
+                5,
+            )),
+            1 => {
+                let kind = match *bytes.get(1)? {
+                    0 => BatchKind::Plain,
+                    1 => BatchKind::Concatenated,
+                    2 => BatchKind::Combined,
+                    _ => return None,
+                };
+                let mut at = 2usize;
+                let for_block = match *bytes.get(at)? {
+                    0 => {
+                        at += 1;
+                        None
+                    }
+                    1 => {
+                        let b = get_u32(bytes, at + 1)?;
+                        at += 5;
+                        Some(BlockId(b))
+                    }
+                    _ => return None,
+                };
+                let stats = WireStats {
+                    raw_messages: get_u64(bytes, at)?,
+                    wire_values: get_u64(bytes, at + 8)?,
+                    wire_bytes: get_u64(bytes, at + 16)?,
+                    saved_messages: get_u64(bytes, at + 24)?,
+                };
+                at += 32;
+                let len = get_u32(bytes, at)? as usize;
+                at += 4;
+                let payload: Arc<[u8]> = bytes.get(at..at + len)?.into();
+                at += len;
+                Some((
+                    Packet::Messages {
+                        kind,
+                        payload,
+                        stats,
+                        for_block,
+                    },
+                    at,
+                ))
+            }
+            2 => Some((
+                Packet::EndOfResponses {
+                    block: BlockId(get_u32(bytes, 1)?),
+                },
+                5,
+            )),
+            3 => Some((Packet::DoneSending, 1)),
+            4 => Some((Packet::SuperstepDone, 1)),
+            5 | 8 => {
+                let len = get_u32(bytes, 1)? as usize;
+                let ids: Arc<[u8]> = bytes.get(5..5 + len)?.into();
+                let p = if tag == 5 {
+                    Packet::GatherRequests { ids }
+                } else {
+                    Packet::Signals { ids }
+                };
+                Some((p, 5 + len))
+            }
+            6 => Some((Packet::DoneRequesting, 1)),
+            7 => Some((Packet::EndOfGather, 1)),
+            9 => Some((Packet::Abort, 1)),
+            _ => None,
+        }
+    }
+
     /// Bytes this packet occupies on the wire.
     pub fn wire_bytes(&self) -> u64 {
         match self {
@@ -111,6 +263,70 @@ mod tests {
         assert!(Packet::DoneSending.is_control());
         assert_eq!(Packet::Abort.wire_bytes(), PACKET_HEADER_BYTES);
         assert!(Packet::Abort.is_control());
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        let packets = vec![
+            Packet::PullRequest { block: BlockId(7) },
+            Packet::Messages {
+                kind: BatchKind::Combined,
+                payload: vec![1u8, 2, 3, 4].into(),
+                stats: WireStats {
+                    raw_messages: 9,
+                    wire_values: 4,
+                    wire_bytes: 4,
+                    saved_messages: 5,
+                },
+                for_block: Some(BlockId(3)),
+            },
+            Packet::Messages {
+                kind: BatchKind::Plain,
+                payload: Vec::new().into(),
+                stats: WireStats::default(),
+                for_block: None,
+            },
+            Packet::EndOfResponses { block: BlockId(1) },
+            Packet::DoneSending,
+            Packet::SuperstepDone,
+            Packet::GatherRequests {
+                ids: vec![5u8, 0, 0, 0].into(),
+            },
+            Packet::DoneRequesting,
+            Packet::EndOfGather,
+            Packet::Signals {
+                ids: vec![9u8, 0, 0, 0].into(),
+            },
+            Packet::Abort,
+        ];
+        let mut blob = Vec::new();
+        for p in &packets {
+            p.encode(&mut blob);
+        }
+        let mut at = 0;
+        for want in &packets {
+            let (got, used) = Packet::decode(&blob[at..]).expect("decode");
+            at += used;
+            assert_eq!(format!("{got:?}"), format!("{want:?}"));
+        }
+        assert_eq!(at, blob.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let mut blob = Vec::new();
+        Packet::Messages {
+            kind: BatchKind::Plain,
+            payload: vec![0u8; 64].into(),
+            stats: WireStats::default(),
+            for_block: None,
+        }
+        .encode(&mut blob);
+        for cut in 0..blob.len() {
+            assert!(Packet::decode(&blob[..cut]).is_none(), "cut at {cut}");
+        }
+        assert!(Packet::decode(&[]).is_none());
+        assert!(Packet::decode(&[200]).is_none());
     }
 
     #[test]

@@ -22,12 +22,16 @@
 //! * [`lru`] — the LRU vertex cache used by the per-vertex pull baseline,
 //! * [`checkpoint`] — superstep-boundary checkpoint framing for the
 //!   engine's fault-tolerance subsystem (classified sequential I/O like
-//!   everything else).
+//!   everything else),
+//! * [`msg_log`] — sender-side outgoing-message log segments enabling
+//!   Pregel-style confined recovery (one classified sequential write per
+//!   superstep).
 
 pub mod adjacency;
 pub mod checkpoint;
 pub mod gather;
 pub mod lru;
+pub mod msg_log;
 pub mod msg_store;
 pub mod profile;
 pub mod record;
@@ -37,6 +41,7 @@ pub mod veblock;
 pub mod vfs;
 
 pub use checkpoint::{CheckpointReader, CheckpointWriter};
+pub use msg_log::{MsgLogReader, MsgLogWriter};
 pub use profile::DeviceProfile;
 pub use record::Record;
 pub use stats::{AccessClass, IoSnapshot, IoStats};

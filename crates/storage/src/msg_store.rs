@@ -125,6 +125,37 @@ impl<M: Record> SpillBuffer<M> {
         Ok(all)
     }
 
+    /// Captures the buffer's current extent so a later
+    /// [`Self::rewind`] can discard everything pushed after it. Valid
+    /// only while no [`Self::drain`] happens in between (draining
+    /// consumes the marked region).
+    pub fn mark(&self) -> SpillMark {
+        SpillMark {
+            mem: self.mem.len(),
+            spilled: self.spilled,
+            total: self.total,
+        }
+    }
+
+    /// Discards every message pushed since `mark` (superstep undo for
+    /// confined recovery): the in-memory tail is dropped and the spill
+    /// file shrinks back to its marked length. Discarding moves no
+    /// data, so nothing is accounted — the pushes that created the tail
+    /// already were, during the (kept) measurement window of the
+    /// abandoned superstep.
+    pub fn rewind(&mut self, mark: &SpillMark) -> io::Result<()> {
+        assert!(
+            mark.mem <= self.mem.len() && mark.spilled <= self.spilled,
+            "rewind past a drain"
+        );
+        self.mem.truncate(mark.mem);
+        self.spill
+            .truncate_to(mark.spilled * Self::message_bytes())?;
+        self.spilled = mark.spilled;
+        self.total = mark.total;
+        Ok(())
+    }
+
     /// Replaces the buffer's entire contents with `pairs` (recovery
     /// restore): the first `capacity` stay in memory, the rest spill,
     /// with the usual accounting.
@@ -138,6 +169,14 @@ impl<M: Record> SpillBuffer<M> {
         }
         Ok(())
     }
+}
+
+/// A point-in-time extent of a [`SpillBuffer`], for [`SpillBuffer::rewind`].
+#[derive(Clone, Copy, Debug)]
+pub struct SpillMark {
+    mem: usize,
+    spilled: u64,
+    total: u64,
 }
 
 /// Messages of one superstep, grouped by destination vertex.
@@ -322,6 +361,31 @@ mod tests {
         c.restore_pending(vec![(VertexId(1), 7)]).unwrap();
         assert_eq!(c.total(), 1);
         assert_eq!(c.drain().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mark_and_rewind_discard_the_tail_unaccounted() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<u32> = SpillBuffer::new(&vfs, "spill", 2).unwrap();
+        b.push(VertexId(0), 1).unwrap();
+        b.push(VertexId(1), 2).unwrap();
+        b.push(VertexId(2), 3).unwrap(); // spilled
+        let mark = b.mark();
+        b.push(VertexId(3), 4).unwrap(); // spilled tail
+        b.push(VertexId(4), 5).unwrap(); // spilled tail
+        let before = vfs.stats().snapshot();
+        b.rewind(&mark).unwrap();
+        assert_eq!(vfs.stats().snapshot(), before, "rewind must be free");
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.spilled(), 1);
+        assert_eq!(b.in_memory(), 2);
+        let d = b.drain().unwrap();
+        let got: Vec<(u32, u32)> = d.iter().map(|(v, m)| (v.0, *m)).collect();
+        assert_eq!(got, vec![(0, 1), (1, 2), (2, 3)]);
+        // A rewind to a no-op mark is fine.
+        let m2 = b.mark();
+        b.rewind(&m2).unwrap();
+        assert_eq!(b.total(), 0);
     }
 
     #[test]

@@ -28,6 +28,8 @@ trait RawFile: Send + Sync {
     /// Appends and returns the offset the data landed at.
     fn append(&self, data: &[u8]) -> io::Result<u64>;
     fn truncate(&self) -> io::Result<()>;
+    /// Shrinks the file to `len` bytes (no-op if already shorter).
+    fn truncate_to(&self, len: u64) -> io::Result<()>;
 }
 
 /// A named file plus the stats sink its accesses are recorded into.
@@ -84,6 +86,15 @@ impl VfsFile {
     /// Truncates the file to zero length (not an accounted access).
     pub fn truncate(&self) -> io::Result<()> {
         self.raw.truncate()
+    }
+
+    /// Shrinks the file to `len` bytes; a no-op if it is already at or
+    /// below that length. Like [`VfsFile::truncate`] this is not an
+    /// accounted access: dropping bytes moves no data. Used by the
+    /// undo path of confined recovery to rewind a spill file to its
+    /// superstep-start length.
+    pub fn truncate_to(&self, len: u64) -> io::Result<()> {
+        self.raw.truncate_to(len)
     }
 
     /// Charges extra modeled bytes without moving data — used by stores
@@ -155,6 +166,14 @@ impl RawFile for MemFile {
 
     fn truncate(&self) -> io::Result<()> {
         self.data.write().unwrap().clear();
+        Ok(())
+    }
+
+    fn truncate_to(&self, len: u64) -> io::Result<()> {
+        let mut data = self.data.write().unwrap();
+        if (len as usize) < data.len() {
+            data.truncate(len as usize);
+        }
         Ok(())
     }
 }
@@ -268,6 +287,15 @@ impl RawFile for DirFile {
     fn truncate(&self) -> io::Result<()> {
         self.file.set_len(0)?;
         *self.len.lock().unwrap() = 0;
+        Ok(())
+    }
+
+    fn truncate_to(&self, new_len: u64) -> io::Result<()> {
+        let mut len = self.len.lock().unwrap();
+        if new_len < *len {
+            self.file.set_len(new_len)?;
+            *len = new_len;
+        }
         Ok(())
     }
 }
@@ -405,6 +433,28 @@ mod tests {
         f.append(AccessClass::SeqWrite, b"abc").unwrap();
         let mut buf = [0u8; 8];
         assert!(f.read_at(AccessClass::SeqRead, 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn truncate_to_shrinks_without_accounting() {
+        let vfs = MemVfs::new();
+        let f = vfs.create("t").unwrap();
+        f.append(AccessClass::SeqWrite, b"0123456789").unwrap();
+        let before = vfs.stats().snapshot();
+        f.truncate_to(4).unwrap();
+        assert_eq!(f.len(), 4);
+        f.truncate_to(100).unwrap(); // no-op: never grows
+        assert_eq!(f.len(), 4);
+        assert_eq!(vfs.stats().snapshot(), before);
+        assert_eq!(f.read_all(AccessClass::SeqRead).unwrap(), b"0123");
+        let dir = std::env::temp_dir().join(format!("hyvfs-tt-{}", std::process::id()));
+        let vfs = DirVfs::new(&dir).unwrap();
+        let f = vfs.create("t").unwrap();
+        f.append(AccessClass::SeqWrite, b"0123456789").unwrap();
+        f.truncate_to(4).unwrap();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.read_all(AccessClass::SeqRead).unwrap(), b"0123");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

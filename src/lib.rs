@@ -50,10 +50,11 @@ pub mod prelude {
     pub use hybridgraph_algos::{Lpa, PageRank, Sa, Sssp, Wcc};
     pub use hybridgraph_core::{
         run_job, CheckpointPolicy, FaultPhase, FaultPlan, GraphInfo, JobConfig, JobError,
-        JobMetrics, JobResult, Mode, RecoveryMetrics, Update, VertexProgram,
+        JobMetrics, JobResult, Mode, NetOverhead, RecoveryMetrics, Update, VertexProgram,
     };
     pub use hybridgraph_graph::{
         Dataset, Edge, Graph, GraphBuilder, Partition, VertexId, WorkerId,
     };
+    pub use hybridgraph_net::{LinkFault, NetFaultPlan};
     pub use hybridgraph_storage::DeviceProfile;
 }

@@ -77,6 +77,8 @@ fn hybrid_pagerank_recovers_bit_identical_after_kill() {
     let rec = &faulted.metrics.recovery;
     assert_eq!(plan.fired(), 1, "the kill order must have fired");
     assert_eq!(rec.rollbacks, 1, "one failure, one rollback");
+    assert_eq!(rec.confined_recoveries, 0, "logging off: global rollback");
+    assert_eq!(rec.checkpoint_restores, 4, "global rollback reloads all 4");
     assert_eq!(rec.failures.len(), 1);
     assert_eq!(rec.failures[0].worker, 2);
     assert_eq!(rec.failures[0].superstep, 5);
@@ -224,6 +226,351 @@ fn adaptive_policy_checkpoints_and_recovers() {
     assert!(faulted.metrics.recovery.checkpoints_taken >= 2);
     assert!(faulted.metrics.recovery.rollbacks >= 1);
     assert_eq!(bits(&clean.values), bits(&faulted.values));
+}
+
+/// Per-superstep byte parity between two runs, stronger than
+/// [`assert_equivalent`]: every cost-model input — semantic bytes,
+/// classified I/O, and all logical network counters — must match to the
+/// byte. Retransmissions, duplicates, and replayed log traffic live in
+/// separate overhead counters and therefore must never perturb these.
+fn assert_byte_parity(clean: &JobMetrics, other: &JobMetrics, label: &str) {
+    assert_eq!(
+        clean.steps.len(),
+        other.steps.len(),
+        "{label}: superstep counts diverged"
+    );
+    for (c, f) in clean.steps.iter().zip(&other.steps) {
+        let s = c.superstep;
+        assert_eq!(c.kind, f.kind, "{label}: superstep {s} kind");
+        assert_eq!(c.sem, f.sem, "{label}: superstep {s} semantic bytes");
+        assert_eq!(c.io, f.io, "{label}: superstep {s} classified I/O");
+        assert_eq!(
+            c.net_out_bytes, f.net_out_bytes,
+            "{label}: superstep {s} remote bytes"
+        );
+        assert_eq!(
+            c.net_local_bytes, f.net_local_bytes,
+            "{label}: superstep {s} loopback bytes"
+        );
+        assert_eq!(
+            c.net_raw_messages, f.net_raw_messages,
+            "{label}: superstep {s} raw messages"
+        );
+        assert_eq!(
+            c.net_wire_values, f.net_wire_values,
+            "{label}: superstep {s} wire values"
+        );
+        assert_eq!(
+            c.net_saved_messages, f.net_saved_messages,
+            "{label}: superstep {s} saved messages (M_co)"
+        );
+        assert_eq!(
+            c.net_requests, f.net_requests,
+            "{label}: superstep {s} pull requests"
+        );
+        assert_eq!(
+            c.cio_push_bytes, f.cio_push_bytes,
+            "{label}: superstep {s} C_io push bytes"
+        );
+        assert_eq!(
+            c.cio_bpull_bytes, f.cio_bpull_bytes,
+            "{label}: superstep {s} C_io b-pull bytes"
+        );
+        assert_eq!(
+            c.q_metric.to_bits(),
+            f.q_metric.to_bits(),
+            "{label}: superstep {s} Q_t"
+        );
+    }
+}
+
+/// Seeded drop/duplicate/delay faults on every link must be fully
+/// absorbed by the ARQ layer: PageRank over push, b-pull, and hybrid
+/// finishes bit-identical to a lossless run, with *zero* deviation in
+/// any cost-model byte counter — the lossy wire shows up only in the
+/// overhead counters.
+#[test]
+fn unreliable_network_matrix_pagerank() {
+    let g = pagerank_graph();
+    let program = PageRank::new(12);
+    for mode in [Mode::Push, Mode::BPull, Mode::Hybrid] {
+        let base = JobConfig::new(mode, 4).with_buffer(256);
+        let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+        for (label, net) in [
+            ("drops", NetFaultPlan::new(0xD201).with_drops(100, 3)),
+            ("dups", NetFaultPlan::new(0xD202).with_duplicates(150)),
+            ("delays", NetFaultPlan::new(0xD203).with_delays(120, 1)),
+            (
+                "mixed",
+                NetFaultPlan::new(0xD204)
+                    .with_drops(60, 2)
+                    .with_duplicates(60)
+                    .with_delays(40, 1),
+            ),
+        ] {
+            let tag = format!("{mode:?}/{label}");
+            let net = Arc::new(net);
+            let plan = Arc::new(FaultPlan::new().with_net(Arc::clone(&net)));
+            let cfg = base.clone().with_fault_plan(plan);
+            let lossy = run_job(Arc::new(program.clone()), &g, cfg).unwrap();
+            assert_eq!(
+                bits(&clean.values),
+                bits(&lossy.values),
+                "{tag}: values diverged under an unreliable network"
+            );
+            assert_byte_parity(&clean.metrics, &lossy.metrics, &tag);
+            let fired = net.drops_fired() + net.duplicates_fired() + net.delays_fired();
+            assert!(fired > 0, "{tag}: the fault schedule never fired");
+            let ov = &lossy.metrics.net_overhead;
+            match label {
+                "drops" => assert!(
+                    ov.dropped_frames > 0 && ov.retransmitted_bytes > 0,
+                    "{tag}: drops must surface as retransmissions"
+                ),
+                "dups" => assert!(
+                    ov.duplicate_drops > 0,
+                    "{tag}: duplicates must be discarded by receivers"
+                ),
+                "delays" => assert!(ov.delayed_frames > 0, "{tag}: delays must fire"),
+                _ => {}
+            }
+            assert_eq!(
+                lossy.metrics.recovery.rollbacks, 0,
+                "{tag}: wire faults alone must never trigger recovery"
+            );
+        }
+    }
+}
+
+/// The same matrix for SSSP's min-combined `f32` distances.
+#[test]
+fn unreliable_network_matrix_sssp() {
+    let g = sssp_graph();
+    let program = Sssp::new(VertexId(0));
+    for mode in [Mode::Push, Mode::BPull, Mode::Hybrid] {
+        let base = JobConfig::new(mode, 3).with_buffer(128);
+        let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+        let net = Arc::new(
+            NetFaultPlan::new(0x55517 + mode as u64)
+                .with_drops(80, 2)
+                .with_duplicates(80)
+                .with_delays(50, 1),
+        );
+        let plan = Arc::new(FaultPlan::new().with_net(net));
+        let lossy = run_job(Arc::new(program.clone()), &g, base.with_fault_plan(plan)).unwrap();
+        assert_eq!(
+            bits32(&clean.values),
+            bits32(&lossy.values),
+            "{mode:?}: distances diverged under an unreliable network"
+        );
+        assert_byte_parity(&clean.metrics, &lossy.metrics, &format!("sssp {mode:?}"));
+    }
+}
+
+/// The PR's acceptance scenario: a seeded schedule dropping a healthy
+/// share of data packets *and* a worker killed mid-job. With message
+/// logging on, the hybrid PageRank run must finish bit-identical to the
+/// fault-free run via *confined* recovery: only the dead worker reloads
+/// a checkpoint, survivors never roll back, and every reported
+/// cost-model byte count matches the lossless run to the byte.
+#[test]
+fn confined_recovery_under_lossy_network_acceptance() {
+    let g = pagerank_graph();
+    let program = PageRank::new(20);
+    let base = JobConfig::new(Mode::Hybrid, 4).with_buffer(256);
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+
+    let net = Arc::new(NetFaultPlan::new(0xACCE97).with_drops(80, 2));
+    let plan = Arc::new(
+        FaultPlan::new()
+            .kill(2, 5, FaultPhase::Compute)
+            .with_net(Arc::clone(&net)),
+    );
+    let cfg = base
+        .with_checkpoint(CheckpointPolicy::EveryK(3))
+        .with_fault_plan(Arc::clone(&plan))
+        .with_message_logging(true);
+    let faulted = run_job(Arc::new(program), &g, cfg).unwrap();
+
+    assert_eq!(
+        bits(&clean.values),
+        bits(&faulted.values),
+        "confined recovery must be value-transparent"
+    );
+    assert_byte_parity(&clean.metrics, &faulted.metrics, "acceptance");
+
+    let rec = &faulted.metrics.recovery;
+    assert_eq!(plan.fired(), 1, "the kill order must have fired");
+    assert!(net.drops_fired() > 0, "the drop schedule must have fired");
+    assert_eq!(rec.confined_recoveries, 1, "exactly one confined recovery");
+    assert_eq!(rec.rollbacks, 0, "survivors must never roll back globally");
+    assert_eq!(
+        rec.checkpoint_restores, 1,
+        "only the dead worker reloads its checkpoint"
+    );
+    // Killed at 5 with the cut at 3: superstep 4 replays from logs, 5
+    // re-executes live.
+    assert_eq!(rec.replayed_supersteps, 1);
+    assert_eq!(rec.recomputed_supersteps, 1);
+    assert!(rec.msg_log_bytes > 0, "logging must have written segments");
+    let ov = &faulted.metrics.net_overhead;
+    assert!(
+        ov.retransmitted_bytes > 0,
+        "drops must cost retransmissions"
+    );
+    assert!(
+        ov.replayed_bytes > 0,
+        "survivors must re-serve logged packets"
+    );
+}
+
+/// Confined recovery in the standalone modes: push (kill at the barrier,
+/// so survivors revert a *completed* superstep) and b-pull (kill before
+/// compute, so survivors unwind an aborted one).
+#[test]
+fn confined_recovery_per_mode() {
+    let g = pagerank_graph();
+    let program = PageRank::new(12);
+    for (mode, phase) in [
+        (Mode::Push, FaultPhase::Barrier),
+        (Mode::BPull, FaultPhase::Compute),
+        (Mode::Push, FaultPhase::Compute),
+        (Mode::BPull, FaultPhase::Barrier),
+    ] {
+        let tag = format!("{mode:?}/{phase:?}");
+        let base = JobConfig::new(mode, 3).with_buffer(128);
+        let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+        let plan = Arc::new(FaultPlan::new().kill(1, 5, phase));
+        let cfg = base
+            .with_checkpoint(CheckpointPolicy::EveryK(3))
+            .with_fault_plan(Arc::clone(&plan))
+            .with_message_logging(true);
+        let faulted = run_job(Arc::new(program.clone()), &g, cfg).unwrap();
+        assert_eq!(plan.fired(), 1, "{tag}: fault did not fire");
+        assert_eq!(
+            bits(&clean.values),
+            bits(&faulted.values),
+            "{tag}: values diverged after confined recovery"
+        );
+        assert_byte_parity(&clean.metrics, &faulted.metrics, &tag);
+        let rec = &faulted.metrics.recovery;
+        assert_eq!(rec.confined_recoveries, 1, "{tag}");
+        assert_eq!(rec.rollbacks, 0, "{tag}");
+        assert_eq!(rec.checkpoint_restores, 1, "{tag}");
+    }
+}
+
+/// SSSP also recovers confined, exercising min-combining over the replay
+/// path.
+#[test]
+fn confined_recovery_sssp() {
+    let g = sssp_graph();
+    let program = Sssp::new(VertexId(0));
+    for mode in [Mode::Push, Mode::BPull, Mode::Hybrid] {
+        let base = JobConfig::new(mode, 3).with_buffer(96);
+        let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+        let plan = Arc::new(FaultPlan::new().kill(0, 3, FaultPhase::Barrier));
+        let cfg = base
+            .with_checkpoint(CheckpointPolicy::EveryK(2))
+            .with_fault_plan(Arc::clone(&plan))
+            .with_message_logging(true);
+        let faulted = run_job(Arc::new(program.clone()), &g, cfg).unwrap();
+        assert_eq!(plan.fired(), 1, "{mode:?}: fault did not fire");
+        assert_eq!(
+            bits32(&clean.values),
+            bits32(&faulted.values),
+            "{mode:?}: distances diverged after confined recovery"
+        );
+        let rec = &faulted.metrics.recovery;
+        assert_eq!(rec.confined_recoveries, 1, "{mode:?}");
+        assert_eq!(rec.rollbacks, 0, "{mode:?}");
+    }
+}
+
+/// The pull baseline's LRU receive state is not undoable in memory, so
+/// even with logging on it must fall back to the global rollback — and
+/// still end bit-identical.
+#[test]
+fn pull_mode_falls_back_to_global_rollback() {
+    let g = sssp_graph();
+    let program = Sssp::new(VertexId(0));
+    let base = JobConfig::new(Mode::Pull, 3).with_buffer(96);
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+    let plan = Arc::new(FaultPlan::new().kill(0, 3, FaultPhase::Barrier));
+    let cfg = base
+        .with_checkpoint(CheckpointPolicy::EveryK(2))
+        .with_fault_plan(Arc::clone(&plan))
+        .with_message_logging(true);
+    let faulted = run_job(Arc::new(program), &g, cfg).unwrap();
+    assert_eq!(plan.fired(), 1);
+    assert_eq!(bits32(&clean.values), bits32(&faulted.values));
+    let rec = &faulted.metrics.recovery;
+    assert_eq!(rec.confined_recoveries, 0, "pull must not go confined");
+    assert_eq!(rec.rollbacks, 1);
+    assert_eq!(rec.checkpoint_restores, 3, "global rollback reloads all 3");
+}
+
+/// Two workers dying in the same superstep exceed what one set of logs
+/// can reconstruct; the master must fall back to the global rollback.
+#[test]
+fn simultaneous_failures_fall_back_to_global_rollback() {
+    let g = pagerank_graph();
+    let program = PageRank::new(12);
+    let base = JobConfig::new(Mode::BPull, 4).with_buffer(256);
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+    let plan = Arc::new(FaultPlan::new().kill(0, 4, FaultPhase::Compute).kill(
+        2,
+        4,
+        FaultPhase::Compute,
+    ));
+    let cfg = base
+        .with_checkpoint(CheckpointPolicy::EveryK(2))
+        .with_fault_plan(Arc::clone(&plan))
+        .with_message_logging(true);
+    let faulted = run_job(Arc::new(program), &g, cfg).unwrap();
+    assert_eq!(plan.fired(), 2, "both kill orders must fire");
+    assert_eq!(bits(&clean.values), bits(&faulted.values));
+    let rec = &faulted.metrics.recovery;
+    assert_eq!(rec.confined_recoveries, 0, "two deaths: not confined");
+    assert_eq!(rec.rollbacks, 1);
+    assert_eq!(rec.checkpoint_restores, 4);
+}
+
+/// Seed-driven stress: a random kill schedule layered over a lossy wire.
+/// `HG_FAULT_SEED` (set by the CI fault-stress job) selects the
+/// schedule; every seed must converge to the fault-free fixed point
+/// bit-identically. The seed is printed so a failure reproduces with
+/// `HG_FAULT_SEED=<n> cargo test --test fault_recovery seeded_stress`.
+#[test]
+fn seeded_stress_survives_kills_and_lossy_wire() {
+    let seed: u64 = std::env::var("HG_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    println!("HG_FAULT_SEED={seed}");
+    let g = pagerank_graph();
+    let program = PageRank::new(14);
+    let base = JobConfig::new(Mode::Hybrid, 3).with_buffer(192);
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+    let net = Arc::new(
+        NetFaultPlan::new(seed ^ 0x9e3779b97f4a7c15)
+            .with_drops(70, 2)
+            .with_duplicates(50)
+            .with_delays(30, 1),
+    );
+    let plan = Arc::new(FaultPlan::random(seed, 3, 10, 2).with_net(net));
+    let cfg = base
+        .with_checkpoint(CheckpointPolicy::EveryK(2))
+        .with_fault_plan(Arc::clone(&plan))
+        .with_message_logging(true);
+    let faulted = run_job(Arc::new(program), &g, cfg)
+        .unwrap_or_else(|e| panic!("seed {seed}: job failed to recover: {e}"));
+    assert_eq!(
+        bits(&clean.values),
+        bits(&faulted.values),
+        "seed {seed}: values diverged after recovery"
+    );
+    assert_byte_parity(&clean.metrics, &faulted.metrics, &format!("seed {seed}"));
 }
 
 /// Exhausting the recovery budget turns the next failure into a typed

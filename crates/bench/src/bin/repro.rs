@@ -1,27 +1,35 @@
 //! The figure/table reproduction harness.
 //!
 //! ```text
-//! repro [--scale N] <experiment> [<experiment> ...]
+//! repro [--scale N] [--trace F] [--metrics F] [--explain-switch] \
+//!       <experiment> [<experiment> ...]
 //! repro all
 //! ```
 //!
 //! Experiments: datasets, fig2, fig7, fig8, fig9, fig10, fig11, fig12,
 //! fig13, fig14, fig15, fig16, fig17, fig18, table5, vblocks (figs
-//! 23–25), fig26, theorems.
+//! 23–25), fig26, theorems, observe.
 //!
 //! `--scale N` generates datasets at 1/N of the paper's sizes
 //! (default 2000). Modeled runtimes are projected back by ×N.
+//!
+//! `--trace F` / `--metrics F` / `--explain-switch` apply to the
+//! `observe` experiment: they write a Chrome Trace Event JSON (open in
+//! Perfetto / `chrome://tracing`), a Prometheus text exposition, and
+//! print the per-superstep `Q_t` decision audit table.
 
 use hybridgraph_bench::experiments as exp;
 use hybridgraph_bench::Scale;
+use std::path::PathBuf;
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "datasets", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "fig17", "fig18", "table5", "vblocks", "fig26", "theorems", "ablation",
+    "observe",
 ];
 
-fn dispatch(name: &str, scale: Scale) -> bool {
+fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bool {
     let t = Instant::now();
     match name {
         "datasets" => exp::datasets::run(scale),
@@ -44,6 +52,7 @@ fn dispatch(name: &str, scale: Scale) -> bool {
         "theorems" | "thm1" | "thm2" => exp::theorems::run(scale),
         "trace" => exp::trace::run(scale),
         "ablation" => exp::ablation::run(scale),
+        "observe" => exp::observe::run(scale, observe),
         _ => return false,
     }
     eprintln!("[{name}: {:.1}s]", t.elapsed().as_secs_f64());
@@ -53,6 +62,7 @@ fn dispatch(name: &str, scale: Scale) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default_scale();
+    let mut observe = exp::observe::ObserveOpts::default();
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -64,6 +74,15 @@ fn main() {
                     .unwrap_or_else(|| usage("missing --scale value"));
                 scale = Scale(n.max(1));
             }
+            "--trace" => {
+                let p = it.next().unwrap_or_else(|| usage("missing --trace path"));
+                observe.trace = Some(PathBuf::from(p));
+            }
+            "--metrics" => {
+                let p = it.next().unwrap_or_else(|| usage("missing --metrics path"));
+                observe.metrics = Some(PathBuf::from(p));
+            }
+            "--explain-switch" => observe.explain_switch = true,
             "all" => targets.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(""),
             other => targets.push(other.to_string()),
@@ -74,7 +93,7 @@ fn main() {
     }
     println!("# HybridGraph reproduction harness — scale 1/{}\n", scale.0);
     for t in targets {
-        if !dispatch(&t, scale) {
+        if !dispatch(&t, scale, &observe) {
             usage(&format!("unknown experiment '{t}'"));
         }
     }
@@ -84,7 +103,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: repro [--scale N] <experiment> [...] | all");
+    eprintln!(
+        "usage: repro [--scale N] [--trace F] [--metrics F] [--explain-switch] \
+         <experiment> [...] | all"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

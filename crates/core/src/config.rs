@@ -131,6 +131,13 @@ pub struct JobConfig {
     /// of rolling back. Without logs (the default), recovery falls back
     /// to a global rollback of every worker.
     pub message_logging: bool,
+    /// Observability sink. When set, the runner and workers record typed
+    /// spans/instants with modeled-time timestamps into per-worker shards
+    /// (plus master/control/net tracks) and the `Switcher` keeps a full
+    /// Q_t decision audit. `None` (the default) records nothing and adds
+    /// no bytes to any I/O class, so `Q_t` inputs are identical with
+    /// tracing on or off.
+    pub trace: Option<Arc<hybridgraph_obs::TraceSink>>,
 }
 
 impl JobConfig {
@@ -160,6 +167,7 @@ impl JobConfig {
             fault_plan: None,
             max_recoveries: 8,
             message_logging: false,
+            trace: None,
         }
     }
 
@@ -197,6 +205,13 @@ impl JobConfig {
     /// Pregel-style confined recovery instead of a global rollback.
     pub fn with_message_logging(mut self, on: bool) -> Self {
         self.message_logging = on;
+        self
+    }
+
+    /// Installs an observability sink; the sink's worker count must match
+    /// `workers` (checked by the runner).
+    pub fn with_trace(mut self, sink: Arc<hybridgraph_obs::TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 

@@ -7,6 +7,7 @@
 //! profile (Figs. 7–9, 15, 25).
 
 use crate::config::Mode;
+use hybridgraph_obs::QtAudit;
 use hybridgraph_storage::{DeviceProfile, IoSnapshot};
 
 /// What a worker executed in one superstep.
@@ -298,6 +299,11 @@ pub struct JobMetrics {
     pub steps: Vec<SuperstepMetrics>,
     /// `(superstep, from, to)` for every hybrid switch taken.
     pub switches: Vec<(u64, Mode, Mode)>,
+    /// One [`QtAudit`] record per [`Switcher`](crate::switch::Switcher)
+    /// evaluation: the full Eq. 11 inputs, the four terms, `Q_t` and the
+    /// verdict. Empty for non-hybrid jobs. Render with
+    /// [`hybridgraph_obs::render_table`].
+    pub qt_audit: Vec<QtAudit>,
     /// Checkpoint and recovery activity.
     pub recovery: RecoveryMetrics,
     /// Reliability-protocol overhead (retransmissions, dup drops, acks,
@@ -420,6 +426,7 @@ mod tests {
             load: LoadReport::default(),
             steps: vec![step(1.0, 100), step(3.0, 200)],
             switches: vec![],
+            qt_audit: vec![],
             recovery: RecoveryMetrics::default(),
             net_overhead: NetOverhead::default(),
             profile: DeviceProfile::local_hdd(),

@@ -95,6 +95,7 @@ pub fn run_bpull_step<P: VertexProgram>(
             issue(w, b, &mut inflight);
         }
     }
+    w.trace_phase("Pull-Request");
 
     let mut my_done = false;
     let mut done_peers = 0usize;
@@ -173,7 +174,9 @@ pub fn run_bpull_step<P: VertexProgram>(
         }
     }
 
+    w.trace_phase("Pull-Respond+update");
     w.flush_staged()?;
+    w.trace_phase("flush");
     w.finish_superstep(&mut rep);
     rep.wall_secs = t0.elapsed().as_secs_f64();
     rep.blocking_secs = blocking;

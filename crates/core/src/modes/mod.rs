@@ -76,6 +76,7 @@ pub(crate) fn run_init_step<P: VertexProgram>(w: &mut Worker<P>) -> io::Result<S
     let t0 = Instant::now();
     let mut rep = StepReport::default();
     init_updates(w, &mut rep)?;
+    w.trace_phase("init");
     w.finish_superstep(&mut rep);
     rep.wall_secs = t0.elapsed().as_secs_f64();
     Ok(rep)

@@ -57,6 +57,7 @@ pub fn run_pull_step<P: VertexProgram>(
         }
         w.signaled.clear_all();
         w.signaled.swap(&mut w.signaled_next);
+        w.trace_phase("init+scatter");
         w.finish_superstep(&mut rep);
         rep.wall_secs = t0.elapsed().as_secs_f64();
         rep.blocking_secs = blocking;
@@ -102,6 +103,7 @@ pub fn run_pull_step<P: VertexProgram>(
     for p in 0..workers {
         w.ep.send(WorkerId::from(p), Packet::DoneRequesting);
     }
+    w.trace_phase("request");
 
     // Event loop: serve gathers, collect responses, update when both
     // directions have quiesced. Responses accumulate per sender and merge
@@ -166,6 +168,7 @@ pub fn run_pull_step<P: VertexProgram>(
 
     w.signaled.clear_all();
     w.signaled.swap(&mut w.signaled_next);
+    w.trace_phase("gather+update");
     w.finish_superstep(&mut rep);
     rep.wall_secs = t0.elapsed().as_secs_f64();
     rep.blocking_secs = blocking;

@@ -57,6 +57,7 @@ pub fn run_push_step<P: VertexProgram>(
     } else {
         drain_inbox(w, &mut rep)?
     };
+    w.trace_phase("load");
 
     // update() + pushRes(), block by block.
     let mut tbuf: ThresholdBuffer<P::Message> =
@@ -111,6 +112,7 @@ pub fn run_push_step<P: VertexProgram>(
         rep.sem.value_update_bytes += vals.len() as u64 * P::Value::BYTES as u64;
         w.values.write_range(r, &vals)?;
     }
+    w.trace_phase(if send { "compute+pushRes" } else { "compute" });
 
     // Exchange phase.
     if send {
@@ -146,6 +148,7 @@ pub fn run_push_step<P: VertexProgram>(
             .map(|s| s.spilled_bytes())
             .unwrap_or_default();
         rep.sem.msg_spill_bytes += spill_after - spill_before;
+        w.trace_phase("exchange");
     }
 
     w.finish_superstep(&mut rep);

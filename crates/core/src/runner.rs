@@ -64,6 +64,7 @@ use crate::worker::{Worker, WorkerLoadReport, WorkerSeed};
 use hybridgraph_graph::{partition::vblock_counts, BlockLayout, Graph, Partition, WorkerId};
 use hybridgraph_net::fabric::{Endpoint, Fabric, NetSnapshot};
 use hybridgraph_net::packet::Packet;
+use hybridgraph_obs::secs_to_us;
 use hybridgraph_storage::msg_log::{self, MsgLogReader};
 use hybridgraph_storage::vfs::{DirVfs, MemVfs, Vfs};
 use hybridgraph_storage::{IoSnapshot, Record};
@@ -136,6 +137,10 @@ enum Cmd {
     Step {
         kind: StepKind,
         superstep: u64,
+        /// Master's modeled clock (µs) when the step was issued; workers
+        /// lay their phase spans from this base so every track shares one
+        /// deterministic timeline.
+        base_us: u64,
     },
     /// Write the checkpoint for `superstep`; optionally prune the one at
     /// `prune` afterwards (retention 1). With message logging on, log
@@ -395,6 +400,31 @@ pub fn run_job<P: VertexProgram>(
                 _ => unreachable!("unexpected message during load"),
             }
         }
+        // ---- Observability ---------------------------------------------
+        // The sink, when installed, is purely additive: it reads counters
+        // the cost model maintains anyway, so tracing on/off changes no
+        // byte count and no Q_t decision. Timestamps are *modeled* time
+        // (DeviceProfile seconds → µs), which makes two same-seed runs
+        // emit byte-identical traces regardless of wall-clock jitter.
+        let sink = cfg.trace.clone();
+        if let Some(s) = &sink {
+            assert_eq!(
+                s.num_workers(),
+                t,
+                "TraceSink was built for a different worker count"
+            );
+        }
+        let net_plan = cfg.fault_plan.as_ref().and_then(|p| p.net_plan()).cloned();
+        // Fault-plan fired counters are deterministic at superstep
+        // barriers (each selected frame fires its drops before the
+        // receiver can complete the step; duplicates/delays fire on the
+        // first attempt only), so their deltas may go into the trace.
+        let fired = |p: &Arc<hybridgraph_net::netfault::NetFaultPlan>| {
+            (p.drops_fired(), p.duplicates_fired(), p.delays_fired())
+        };
+        let mut faults_base = net_plan.as_ref().map(&fired).unwrap_or((0, 0, 0));
+        let mut audit_seen = 0usize;
+
         let fragments: u64 = load_reports.iter().map(|r| r.fragments).sum();
         let b_total: u64 = if cfg.memory_limited() {
             (cfg.buffer_messages as u64).saturating_mul(t as u64)
@@ -424,6 +454,23 @@ pub fn run_job<P: VertexProgram>(
             num_vblocks: layout.num_blocks(),
             initial_mode: initial,
         };
+        if let Some(s) = &sink {
+            // Modeled load time: the slowest worker's classified I/O.
+            let secs = load_reports
+                .iter()
+                .map(|r| r.io.modeled_secs(&cfg.profile))
+                .fold(0.0, f64::max);
+            s.master().span(
+                "load",
+                secs_to_us(secs),
+                vec![
+                    ("fragments", load.fragments.into()),
+                    ("vblocks", (load.num_vblocks as u64).into()),
+                    ("b_lower_bound", load.b_lower_bound.into()),
+                    ("initial_mode", load.initial_mode.label().into()),
+                ],
+            );
+        }
 
         // ---- Superstep loop ---------------------------------------------
         let mut cur = initial;
@@ -454,6 +501,16 @@ pub fn run_job<P: VertexProgram>(
         if cfg.checkpoint != CheckpointPolicy::Never {
             last_ckpt_worker_bytes =
                 checkpoint_all(&cmd_txs, &rep_rx, &vfss, &mut recovery, 0, None)?;
+            if let Some(s) = &sink {
+                s.master().span(
+                    "checkpoint",
+                    secs_to_us(cfg.profile.seq_write_secs(last_ckpt_worker_bytes)),
+                    vec![
+                        ("superstep", 0u64.into()),
+                        ("max_worker_bytes", last_ckpt_worker_bytes.into()),
+                    ],
+                );
+            }
             last_checkpoint = Some(0);
             master_snapshot = Some(MasterSnapshot {
                 switcher: switcher.clone(),
@@ -483,8 +540,14 @@ pub fn run_job<P: VertexProgram>(
                 }),
             };
             let t_step = Instant::now();
+            let base_us = sink.as_ref().map(|s| s.master().clock_us()).unwrap_or(0);
             for tx in &cmd_txs {
-                tx.send(Cmd::Step { kind, superstep }).expect("worker gone");
+                tx.send(Cmd::Step {
+                    kind,
+                    superstep,
+                    base_us,
+                })
+                .expect("worker gone");
             }
             // Collect exactly one terminal response per worker. On the
             // first failure, broadcast an abort so peers blocked on the
@@ -640,6 +703,20 @@ pub fn run_job<P: VertexProgram>(
                     recovery.replayed_supersteps += (superstep - 1).saturating_sub(ck);
                     recovery.recomputed_supersteps += 1;
                     net_base = net_stats.snapshot();
+                    if let Some(p) = &net_plan {
+                        faults_base = fired(p);
+                    }
+                    if let Some(s) = &sink {
+                        s.master().instant(
+                            "recovery.confined",
+                            vec![
+                                ("failed_superstep", superstep.into()),
+                                ("worker", (fi as u64).into()),
+                                ("checkpoint", ck.into()),
+                                ("replayed", (superstep - 1).saturating_sub(ck).into()),
+                            ],
+                        );
+                    }
                     superstep -= 1;
                     continue;
                 }
@@ -724,6 +801,23 @@ pub fn run_job<P: VertexProgram>(
                 recovery.recomputed_supersteps += superstep - ck;
                 accum_step_secs = 0.0;
                 net_base = net_stats.snapshot();
+                if let Some(p) = &net_plan {
+                    faults_base = fired(p);
+                }
+                if let Some(s) = &sink {
+                    s.master().instant(
+                        "recovery.rollback",
+                        vec![
+                            ("failed_superstep", superstep.into()),
+                            ("checkpoint", ck.into()),
+                            ("restores", (t as u64).into()),
+                        ],
+                    );
+                    // The switcher rewound to the cut; audit records past
+                    // it will be regenerated (and re-emitted) as the
+                    // supersteps re-execute.
+                    audit_seen = audit_seen.min(switcher.audit().len());
+                }
                 superstep = ck;
                 continue;
             }
@@ -752,6 +846,55 @@ pub fn run_job<P: VertexProgram>(
             let pending = metrics.pending_messages;
             let responders = metrics.responders;
             let step_secs = metrics.modeled_secs;
+            if let Some(s) = &sink {
+                let m = s.master();
+                let dur = secs_to_us(step_secs);
+                let end_us = m.clock_us() + dur;
+                m.span(
+                    kind.label(),
+                    dur,
+                    vec![
+                        ("superstep", superstep.into()),
+                        ("q_metric", metrics.q_metric.into()),
+                        ("updated", metrics.updated.into()),
+                        ("messages", metrics.messages_produced.into()),
+                        ("io_bytes", metrics.io.total_bytes().into()),
+                    ],
+                );
+                m.instant("barrier", vec![("superstep", superstep.into())]);
+                let nsh = s.net();
+                nsh.counter_at(
+                    end_us,
+                    "net.bytes",
+                    vec![
+                        ("remote", metrics.net_out_bytes.into()),
+                        ("local", metrics.net_local_bytes.into()),
+                    ],
+                );
+                if let Some(p) = &net_plan {
+                    let now = fired(p);
+                    let d = (
+                        now.0 - faults_base.0,
+                        now.1 - faults_base.1,
+                        now.2 - faults_base.2,
+                    );
+                    faults_base = now;
+                    if d.0 + d.1 + d.2 > 0 {
+                        nsh.instant_at(
+                            end_us,
+                            "arq.faults",
+                            vec![
+                                ("superstep", superstep.into()),
+                                ("drops", d.0.into()),
+                                ("duplicates", d.1.into()),
+                                ("delays", d.2.into()),
+                            ],
+                        );
+                    }
+                }
+            } else if let Some(p) = &net_plan {
+                faults_base = fired(p);
+            }
             steps.push(metrics);
 
             if pending == 0 && responders == 0 {
@@ -769,6 +912,40 @@ pub fn run_job<P: VertexProgram>(
                     });
                     cur = new_mode;
                     switches.push((superstep + 1, from, new_mode));
+                    if let Some(s) = &sink {
+                        s.control().instant_at(
+                            s.master().clock_us(),
+                            "switch",
+                            vec![
+                                ("at_superstep", (superstep + 1).into()),
+                                ("from", from.label().into()),
+                                ("to", new_mode.label().into()),
+                            ],
+                        );
+                    }
+                }
+            }
+            // Every Switcher evaluation (including holds and too-early
+            // refusals) lands on the control track as one audit instant.
+            if let Some(s) = &sink {
+                let audits = switcher.audit();
+                if audit_seen < audits.len() {
+                    let ts = s.master().clock_us();
+                    let c = s.control();
+                    for a in &audits[audit_seen..] {
+                        c.instant_at(
+                            ts,
+                            "qt",
+                            vec![
+                                ("superstep", a.superstep.into()),
+                                ("q", a.q.into()),
+                                ("verdict", a.verdict.label().into()),
+                                ("mode_before", a.mode_before.into()),
+                                ("mode_after", a.mode_after.into()),
+                            ],
+                        );
+                    }
+                    audit_seen = audits.len();
                 }
             }
 
@@ -795,6 +972,16 @@ pub fn run_job<P: VertexProgram>(
                     superstep,
                     last_checkpoint,
                 )?;
+                if let Some(s) = &sink {
+                    s.master().span(
+                        "checkpoint",
+                        secs_to_us(cfg.profile.seq_write_secs(last_ckpt_worker_bytes)),
+                        vec![
+                            ("superstep", superstep.into()),
+                            ("max_worker_bytes", last_ckpt_worker_bytes.into()),
+                        ],
+                    );
+                }
                 last_checkpoint = Some(superstep);
                 master_snapshot = Some(MasterSnapshot {
                     switcher: switcher.clone(),
@@ -859,6 +1046,7 @@ pub fn run_job<P: VertexProgram>(
                 load,
                 steps,
                 switches,
+                qt_audit: switcher.audit().to_vec(),
                 profile: cfg.profile,
                 recovery,
                 net_overhead,
@@ -951,7 +1139,12 @@ fn worker_main<P: VertexProgram>(
             Err(RecvTimeoutError::Disconnected) => return,
         };
         match cmd {
-            Cmd::Step { kind, superstep } => {
+            Cmd::Step {
+                kind,
+                superstep,
+                base_us,
+            } => {
+                worker.step_base_us = base_us;
                 if injected(superstep, FaultPhase::Compute) {
                     fail!(format!(
                         "injected fault: killed before compute of superstep {superstep}"

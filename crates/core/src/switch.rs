@@ -15,6 +15,7 @@
 //!   supersteps") and requests a switch when the sign flips.
 
 use crate::config::Mode;
+use hybridgraph_obs::{QtAudit, QtInputs, QtTerms, QtVerdict};
 use hybridgraph_storage::DeviceProfile;
 
 const MB: f64 = 1024.0 * 1024.0;
@@ -50,12 +51,35 @@ pub struct CostInputs {
 ///                                        (sequential-read difference)
 /// ```
 pub fn q_metric(profile: &DeviceProfile, c: &CostInputs) -> f64 {
-    let net = (c.mco as f64 * c.bytes_per_saved as f64) / (profile.snet * MB);
-    let rw = c.io_mdisk as f64 / (profile.srw * MB);
-    let rr = c.io_vrr as f64 / (profile.srr * MB);
-    let sr = (c.io_e_push as f64 + c.io_mdisk as f64 - c.io_e_bpull as f64 - c.io_f as f64)
-        / (profile.ssr * MB);
-    net + rw - rr + sr
+    let t = q_terms(profile, c);
+    t.net + t.rw - t.rr + t.sr
+}
+
+/// The four Eq. 11 terms individually (seconds), for the audit log:
+/// `Q_t = net + rw − rr + sr`.
+pub fn q_terms(profile: &DeviceProfile, c: &CostInputs) -> QtTerms {
+    QtTerms {
+        net: (c.mco as f64 * c.bytes_per_saved as f64) / (profile.snet * MB),
+        rw: c.io_mdisk as f64 / (profile.srw * MB),
+        rr: c.io_vrr as f64 / (profile.srr * MB),
+        sr: (c.io_e_push as f64 + c.io_mdisk as f64 - c.io_e_bpull as f64 - c.io_f as f64)
+            / (profile.ssr * MB),
+    }
+}
+
+impl CostInputs {
+    /// The plain-number mirror of this struct recorded in audit artifacts.
+    pub fn to_audit(&self) -> QtInputs {
+        QtInputs {
+            mco: self.mco,
+            bytes_per_saved: self.bytes_per_saved,
+            io_mdisk: self.io_mdisk,
+            io_vrr: self.io_vrr,
+            io_e_push: self.io_e_push,
+            io_e_bpull: self.io_e_bpull,
+            io_f: self.io_f,
+        }
+    }
 }
 
 /// Theorem 2 — `B⊥ = |E|/2 − f` in messages. If the cluster-wide message
@@ -90,6 +114,11 @@ pub struct Switcher {
     /// superstep), used to estimate `M_co` while running push.
     rco: Option<f64>,
     history: Vec<(u64, f64)>,
+    /// One record per `decide` call: the full Eq. 11 evaluation and the
+    /// verdict. Cloned with the switcher, so a recovery rollback that
+    /// restores an earlier `MasterSnapshot` also rewinds the audit to the
+    /// consistent cut.
+    audit: Vec<QtAudit>,
 }
 
 impl Switcher {
@@ -104,6 +133,7 @@ impl Switcher {
             threshold: threshold.max(0.0),
             rco: None,
             history: Vec::new(),
+            audit: Vec::new(),
         }
     }
 
@@ -140,6 +170,11 @@ impl Switcher {
         &self.history
     }
 
+    /// The full decision audit: one record per `decide` call.
+    pub fn audit(&self) -> &[QtAudit] {
+        &self.audit
+    }
+
     /// Feeds the quantities of superstep `t`; returns `Some(new_mode)` if
     /// the engine should switch for superstep `t + 1`.
     ///
@@ -154,20 +189,37 @@ impl Switcher {
         inputs: &CostInputs,
         step_secs: f64,
     ) -> Option<Mode> {
-        let q = q_metric(profile, inputs);
+        let terms = q_terms(profile, inputs);
+        let q = terms.net + terms.rw - terms.rr + terms.sr;
         self.history.push((t, q));
-        if t < 2 || t - self.last_decision < self.interval {
-            return None;
-        }
-        let want = if q >= 0.0 { Mode::BPull } else { Mode::Push };
-        if want != self.current && q.abs() >= self.threshold * step_secs.max(0.0) {
-            self.last_decision = t;
-            self.current = want;
-            Some(want)
+        let before = self.current;
+        let too_early = t < 2 || t - self.last_decision < self.interval;
+        let (verdict, switched) = if too_early {
+            (QtVerdict::TooEarly, None)
         } else {
+            let want = if q >= 0.0 { Mode::BPull } else { Mode::Push };
             self.last_decision = t;
-            None
-        }
+            if want == self.current {
+                (QtVerdict::Hold, None)
+            } else if q.abs() < self.threshold * step_secs.max(0.0) {
+                (QtVerdict::BelowThreshold, None)
+            } else {
+                self.current = want;
+                (QtVerdict::Switch, Some(want))
+            }
+        };
+        self.audit.push(QtAudit {
+            superstep: t,
+            inputs: inputs.to_audit(),
+            terms,
+            q,
+            step_secs,
+            threshold: self.threshold,
+            mode_before: before.label(),
+            mode_after: self.current.label(),
+            verdict,
+        });
+        switched
     }
 }
 
@@ -289,6 +341,158 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.decide(4, &hdd(), &big, 10.0), Some(Mode::Push));
+    }
+
+    /// Each Eq. 11 input flipped on alone must pull `Q_t` in its
+    /// documented direction: `mco`/`io_mdisk`/`io_e_push` favour b-pull
+    /// (positive), `io_vrr`/`io_e_bpull`/`io_f` favour push (negative).
+    #[test]
+    fn q_sign_flip_per_term() {
+        let p = hdd();
+        assert_eq!(q_metric(&p, &CostInputs::default()), 0.0);
+        let one_mb = 1024 * 1024;
+        let cases: [(CostInputs, f64); 6] = [
+            (
+                CostInputs {
+                    mco: 1000,
+                    bytes_per_saved: 12,
+                    ..Default::default()
+                },
+                1.0,
+            ),
+            (
+                CostInputs {
+                    io_mdisk: one_mb,
+                    ..Default::default()
+                },
+                1.0, // both the rw and sr terms gain
+            ),
+            (
+                CostInputs {
+                    io_e_push: one_mb,
+                    ..Default::default()
+                },
+                1.0,
+            ),
+            (
+                CostInputs {
+                    io_vrr: one_mb,
+                    ..Default::default()
+                },
+                -1.0,
+            ),
+            (
+                CostInputs {
+                    io_e_bpull: one_mb,
+                    ..Default::default()
+                },
+                -1.0,
+            ),
+            (
+                CostInputs {
+                    io_f: one_mb,
+                    ..Default::default()
+                },
+                -1.0,
+            ),
+        ];
+        for (c, sign) in &cases {
+            let q = q_metric(&p, c);
+            assert_eq!(q.signum(), *sign, "inputs {c:?} produced q = {q}");
+            // And the term decomposition always reassembles the metric.
+            let t = q_terms(&p, c);
+            assert_eq!(t.net + t.rw - t.rr + t.sr, q);
+        }
+    }
+
+    /// Theorem 2 boundary: at exactly `B = |E|/2 − f` the initial mode is
+    /// b-pull (the bound is inclusive); one message more tips to push.
+    #[test]
+    fn theorem2_exact_boundary() {
+        let (edges, frags) = (2000u64, 3u64);
+        let b = b_lower_bound(edges, frags);
+        assert_eq!(b, 997);
+        assert_eq!(initial_mode(b as u64, edges, frags), Mode::BPull);
+        assert_eq!(initial_mode(b as u64 + 1, edges, frags), Mode::Push);
+        // Odd |E| truncates: 7/2 − 1 = 2.
+        assert_eq!(b_lower_bound(7, 1), 2);
+        assert_eq!(initial_mode(2, 7, 1), Mode::BPull);
+        assert_eq!(initial_mode(3, 7, 1), Mode::Push);
+    }
+
+    /// Golden hand-computed Eq. 11 example on an exact-arithmetic profile
+    /// (all throughputs and byte counts powers of two, so every division
+    /// is exact in f64):
+    ///
+    /// ```text
+    /// net = 1 MiB msgs × 4 B  / (4 MiB/s) = 1 s
+    /// rw  = 2 MiB            / (1 MiB/s) = 2 s
+    /// rr  = 1 MiB            / (1 MiB/s) = 1 s
+    /// sr  = (4 + 2 − 1 − 1) MiB / (2 MiB/s) = 2 s
+    /// Q   = 1 + 2 − 1 + 2 = 4 s
+    /// ```
+    #[test]
+    fn q_golden_value() {
+        let p = DeviceProfile {
+            srr: 1.0,
+            srw: 1.0,
+            ssr: 2.0,
+            ssw: 2.0,
+            snet: 4.0,
+        };
+        let mib = 1024 * 1024;
+        let c = CostInputs {
+            mco: mib,
+            bytes_per_saved: 4,
+            io_mdisk: 2 * mib,
+            io_vrr: mib,
+            io_e_push: 4 * mib,
+            io_e_bpull: mib,
+            io_f: mib,
+        };
+        let t = q_terms(&p, &c);
+        assert_eq!(t.net, 1.0);
+        assert_eq!(t.rw, 2.0);
+        assert_eq!(t.rr, 1.0);
+        assert_eq!(t.sr, 2.0);
+        assert_eq!(q_metric(&p, &c), 4.0);
+    }
+
+    /// Every `decide` call leaves exactly one audit record whose terms
+    /// reassemble `q` and whose verdict matches the returned value.
+    #[test]
+    fn decide_records_audit() {
+        let mut s = Switcher::new(Mode::BPull, 2, 0.5);
+        let push_favoring = CostInputs {
+            io_vrr: 1024 * 1024 * 1024,
+            ..Default::default()
+        };
+        let tiny_push = CostInputs {
+            io_vrr: 1024,
+            ..Default::default()
+        };
+        assert_eq!(s.decide(1, &hdd(), &push_favoring, 0.0), None);
+        assert_eq!(s.decide(2, &hdd(), &tiny_push, 10.0), None);
+        assert_eq!(s.decide(4, &hdd(), &push_favoring, 10.0), Some(Mode::Push));
+        assert_eq!(s.decide(6, &hdd(), &push_favoring, 10.0), None);
+        let audit = s.audit();
+        assert_eq!(audit.len(), 4);
+        use hybridgraph_obs::QtVerdict;
+        assert_eq!(audit[0].verdict, QtVerdict::TooEarly);
+        assert_eq!(audit[1].verdict, QtVerdict::BelowThreshold);
+        assert_eq!(audit[2].verdict, QtVerdict::Switch);
+        assert_eq!(audit[2].mode_before, "b-pull");
+        assert_eq!(audit[2].mode_after, "push");
+        assert_eq!(audit[3].verdict, QtVerdict::Hold);
+        for a in audit {
+            let t = &a.terms;
+            assert_eq!(t.net + t.rw - t.rr + t.sr, a.q);
+            assert!(a.inputs.io_vrr > 0);
+        }
+        // Cloning (as `MasterSnapshot` does for rollback) preserves the
+        // audit prefix, so restoring an earlier clone rewinds the log.
+        let snap = Switcher::new(Mode::BPull, 2, 0.5);
+        assert!(snap.audit().is_empty());
     }
 
     #[test]

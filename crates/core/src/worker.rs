@@ -16,6 +16,7 @@ use hybridgraph_graph::{BlockLayout, Graph, Partition, VertexId, WorkerId};
 use hybridgraph_net::fabric::{Endpoint, Envelope};
 use hybridgraph_net::packet::Packet;
 use hybridgraph_net::wire::BatchKind;
+use hybridgraph_obs::TraceShard;
 use hybridgraph_storage::adjacency::AdjacencyStore;
 use hybridgraph_storage::checkpoint::{CheckpointReader, CheckpointWriter};
 use hybridgraph_storage::gather::GatherStore;
@@ -26,7 +27,7 @@ use hybridgraph_storage::record::{decode_slice, encode_slice};
 use hybridgraph_storage::value_store::ValueStore;
 use hybridgraph_storage::veblock::VeBlockStore;
 use hybridgraph_storage::vfs::Vfs;
-use hybridgraph_storage::{IoSnapshot, Record};
+use hybridgraph_storage::{AccessClass, IoSnapshot, Record};
 use std::collections::HashMap;
 use std::io;
 use std::ops::Range;
@@ -323,6 +324,17 @@ pub struct Worker<P: VertexProgram> {
     /// survivors' message logs instead of live flow control (b-pull
     /// issues every block request up-front in this state).
     pub replay: bool,
+
+    /// This worker's trace shard (from [`JobConfig::trace`]), if tracing.
+    pub shard: Option<Arc<TraceShard>>,
+    /// Modeled-time base (µs since job start) of the current superstep,
+    /// handed down by the master with each step command.
+    pub step_base_us: u64,
+    /// Phase boundaries recorded by the mode executors during the current
+    /// superstep: `(phase name, I/O snapshot at the phase's end)`.
+    /// Converted into per-phase spans (and per-class VFS events) at
+    /// [`Worker::finish_superstep`]. Always empty when not tracing.
+    phase_marks: Vec<(&'static str, IoSnapshot)>,
 }
 
 impl<P: VertexProgram> Worker<P> {
@@ -445,6 +457,7 @@ impl<P: VertexProgram> Worker<P> {
         report.wall_secs = t0.elapsed().as_secs_f64();
         report.io = vfs.stats().snapshot();
 
+        let shard = cfg.trace.as_ref().map(|t| t.worker(id.index()));
         let worker = Worker {
             id,
             program,
@@ -475,6 +488,9 @@ impl<P: VertexProgram> Worker<P> {
             mem_peak: 0,
             undo: None,
             replay: false,
+            shard,
+            step_base_us: 0,
+            phase_marks: Vec::new(),
         };
         Ok((worker, report))
     }
@@ -513,6 +529,7 @@ impl<P: VertexProgram> Worker<P> {
         self.superstep = superstep;
         self.io_baseline = self.vfs.stats().snapshot();
         self.mem_peak = 0;
+        self.phase_marks.clear();
         self.block_res = self
             .layout
             .blocks_of_worker(self.id)
@@ -600,11 +617,73 @@ impl<P: VertexProgram> Worker<P> {
         self.note_memory(self.standing_memory_bytes());
         report.memory_bytes = self.mem_peak;
         report.io = self.vfs.stats().snapshot().delta(&self.io_baseline);
+        self.emit_phase_trace();
         if let Some(s) = &self.spill {
             report.pending_messages = s.total();
         }
         if let Some(h) = &self.hotset {
             report.pending_messages += h.acc.iter().flatten().count() as u64;
+        }
+    }
+
+    /// Marks the end of an executor phase (`load`, `compute+pushRes`,
+    /// `Pull-Request`, ...): records the phase name and the I/O counters
+    /// at this boundary. Costs one atomic-counter snapshot when tracing
+    /// and nothing at all otherwise; never touches the VFS, so the phase
+    /// boundaries themselves add zero bytes to any I/O class.
+    ///
+    /// Phase *I/O snapshots at deterministic boundaries* are what makes
+    /// the trace reproducible: the per-operation event order inside an
+    /// exchange/serve phase depends on packet arrival, but the aggregate
+    /// per-class deltas between boundaries do not.
+    #[inline]
+    pub fn trace_phase(&mut self, name: &'static str) {
+        if self.shard.is_some() && !self.replay {
+            self.phase_marks.push((name, self.vfs.stats().snapshot()));
+        }
+    }
+
+    /// Converts the recorded phase marks of the finished superstep into
+    /// per-phase spans (modeled-time durations laid out sequentially from
+    /// [`Worker::step_base_us`]) plus one per-I/O-class VFS event per
+    /// phase. Replayed supersteps (confined recovery) emit nothing: their
+    /// original execution already did.
+    fn emit_phase_trace(&mut self) {
+        if self.replay || self.shard.is_none() {
+            self.phase_marks.clear();
+            return;
+        }
+        let marks = std::mem::take(&mut self.phase_marks);
+        let shard = self.shard.as_ref().expect("checked above");
+        shard.set_clock_us(self.step_base_us);
+        let mut prev = self.io_baseline;
+        for (name, snap) in marks {
+            let d = snap.delta(&prev);
+            let dur_us = hybridgraph_obs::secs_to_us(d.modeled_secs(&self.cfg.profile));
+            let start = shard.clock_us();
+            for class in AccessClass::ALL {
+                let bytes = d.bytes(class);
+                if bytes > 0 {
+                    shard.instant_at(
+                        start,
+                        format!("vfs.{}", class.label()),
+                        vec![
+                            ("bytes", bytes.into()),
+                            ("ops", d.ops(class).into()),
+                            ("phase", name.into()),
+                        ],
+                    );
+                }
+            }
+            shard.span(
+                name,
+                dur_us,
+                vec![
+                    ("superstep", self.superstep.into()),
+                    ("io_bytes", d.total_bytes().into()),
+                ],
+            );
+            prev = snap;
         }
     }
 

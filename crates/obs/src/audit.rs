@@ -1,0 +1,171 @@
+//! The Q_t decision audit log.
+//!
+//! Every `Switcher::decide` call records one [`QtAudit`]: the full Eq. 11
+//! inputs, the four cost terms, the predicted `Q_{t+2}` and the verdict.
+//! The record carries only plain numbers and static strings so any mode
+//! flip is explainable from the artifact alone — no re-run needed.
+
+use std::fmt::Write as _;
+
+/// Raw Eq. 11 inputs (bytes/counts of one superstep), mirroring the
+/// engine's `CostInputs` without depending on it.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct QtInputs {
+    pub mco: u64,
+    pub bytes_per_saved: u64,
+    pub io_mdisk: u64,
+    pub io_vrr: u64,
+    pub io_e_push: u64,
+    pub io_e_bpull: u64,
+    pub io_f: u64,
+}
+
+/// The four Eq. 11 terms in seconds: `Q = net + rw − rr + sr`.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct QtTerms {
+    /// `M_co·Byte_m / s_net` — push's extra network volume.
+    pub net: f64,
+    /// `IO(M_disk) / s_rw` — push's message spill writes.
+    pub rw: f64,
+    /// `IO(V_rr) / s_rr` — b-pull's random svertex reads (subtracted).
+    pub rr: f64,
+    /// `(IO(Ē)+IO(M_disk)−IO(E)−IO(F)) / s_sr` — sequential-read diff.
+    pub sr: f64,
+}
+
+/// What the switcher concluded from this evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QtVerdict {
+    /// `t < 2` or within the Δt interval of the last decision: no
+    /// evaluation took place beyond recording `Q_t`.
+    TooEarly,
+    /// Evaluated; predicted mode equals the current mode.
+    Hold,
+    /// Sign favoured the other mode but `|Q|` did not clear the
+    /// threshold·step_secs gate.
+    BelowThreshold,
+    /// Switch taken for superstep `t + 1`.
+    Switch,
+}
+
+impl QtVerdict {
+    pub fn label(&self) -> &'static str {
+        match self {
+            QtVerdict::TooEarly => "too-early",
+            QtVerdict::Hold => "hold",
+            QtVerdict::BelowThreshold => "below-threshold",
+            QtVerdict::Switch => "SWITCH",
+        }
+    }
+}
+
+/// One audited `Switcher::decide` evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QtAudit {
+    /// Superstep `t` whose measurements fed the prediction.
+    pub superstep: u64,
+    pub inputs: QtInputs,
+    pub terms: QtTerms,
+    /// Predicted `Q_{t+2}` in seconds (positive favours b-pull).
+    pub q: f64,
+    /// Modeled time of superstep `t`, the threshold denominator.
+    pub step_secs: f64,
+    /// Relative-gain threshold in force.
+    pub threshold: f64,
+    /// Mode while superstep `t` ran ("push" / "b-pull").
+    pub mode_before: &'static str,
+    /// Mode for superstep `t + 1` after the verdict.
+    pub mode_after: &'static str,
+    pub verdict: QtVerdict,
+}
+
+fn fmt_secs(v: f64) -> String {
+    format!("{v:+.6}")
+}
+
+/// Render the audit log as the human-readable `--explain-switch` table.
+pub fn render_table(audits: &[QtAudit]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Q_t decision audit (Eq. 11; positive favours b-pull; Δt prediction horizon = 2)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9} | {:<7} -> {:<7} verdict",
+        "t", "M_co", "B_m", "IO(Mdisk)", "IO(Vrr)", "IO(E_psh)", "IO(E_bpl)", "IO(F)",
+        "net_s", "rw_s", "-rr_s", "sr_s", "Q_t+2", "step_s", "before", "after"
+    );
+    for a in audits {
+        let _ = writeln!(
+            out,
+            "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9.3} | {:<7} -> {:<7} {}",
+            a.superstep,
+            a.inputs.mco,
+            a.inputs.bytes_per_saved,
+            a.inputs.io_mdisk,
+            a.inputs.io_vrr,
+            a.inputs.io_e_push,
+            a.inputs.io_e_bpull,
+            a.inputs.io_f,
+            fmt_secs(a.terms.net),
+            fmt_secs(a.terms.rw),
+            fmt_secs(-a.terms.rr),
+            fmt_secs(a.terms.sr),
+            fmt_secs(a.q),
+            a.step_secs,
+            a.mode_before,
+            a.mode_after,
+            a.verdict.label(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_every_record() {
+        let audits = vec![
+            QtAudit {
+                superstep: 1,
+                inputs: QtInputs::default(),
+                terms: QtTerms::default(),
+                q: 0.0,
+                step_secs: 0.5,
+                threshold: 0.1,
+                mode_before: "b-pull",
+                mode_after: "b-pull",
+                verdict: QtVerdict::TooEarly,
+            },
+            QtAudit {
+                superstep: 2,
+                inputs: QtInputs {
+                    mco: 10,
+                    bytes_per_saved: 12,
+                    io_vrr: 4096,
+                    ..Default::default()
+                },
+                terms: QtTerms {
+                    net: 0.001,
+                    rw: 0.0,
+                    rr: 0.01,
+                    sr: -0.002,
+                },
+                q: -0.011,
+                step_secs: 0.2,
+                threshold: 0.1,
+                mode_before: "b-pull",
+                mode_after: "push",
+                verdict: QtVerdict::Switch,
+            },
+        ];
+        let table = render_table(&audits);
+        assert!(table.contains("too-early"));
+        assert!(table.contains("SWITCH"));
+        assert!(table.contains("b-pull  -> push"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Typed trace events with deterministic modeled-time timestamps.
+//!
+//! Timestamps are **modeled microseconds**, not wall-clock: they are derived
+//! from `DeviceProfile`-converted byte counts upstream, so a trace is a pure
+//! function of (graph, config, seed) and is bit-reproducible across runs and
+//! machines. Nothing in this module reads a clock.
+
+/// A value attached to an event's `args` map.
+///
+/// Only exactly-representable value kinds are allowed; floats are carried as
+/// `F64` and formatted with a deterministic shortest-roundtrip style by the
+/// exporters (Rust's `{}` for f64 is shortest-roundtrip and stable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What shape of event this is, mapping onto Chrome Trace Event phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A complete span (`"ph":"X"`) with a modeled duration.
+    Span { dur_us: u64 },
+    /// A point-in-time marker (`"ph":"i"`).
+    Instant,
+    /// A counter sample (`"ph":"C"`); args carry the series values.
+    Counter,
+}
+
+/// One recorded event on one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Modeled timestamp in microseconds since job start.
+    pub ts_us: u64,
+    /// Track (thread id in the Chrome trace): one per simulated worker,
+    /// plus master/control/net tracks allocated by [`crate::TraceSink`].
+    pub track: u32,
+    /// Event name; static in practice but owned so callers may format.
+    pub name: String,
+    pub kind: EventKind,
+    /// Small ordered key/value list; insertion order is preserved in export.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    pub fn span(ts_us: u64, dur_us: u64, track: u32, name: impl Into<String>) -> Self {
+        TraceEvent {
+            ts_us,
+            track,
+            name: name.into(),
+            kind: EventKind::Span { dur_us },
+            args: Vec::new(),
+        }
+    }
+
+    pub fn instant(ts_us: u64, track: u32, name: impl Into<String>) -> Self {
+        TraceEvent {
+            ts_us,
+            track,
+            name: name.into(),
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    pub fn counter(ts_us: u64, track: u32, name: impl Into<String>) -> Self {
+        TraceEvent {
+            ts_us,
+            track,
+            name: name.into(),
+            kind: EventKind::Counter,
+            args: Vec::new(),
+        }
+    }
+
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+}

@@ -1,0 +1,228 @@
+//! Prometheus text-exposition exporter built from the same event stream as
+//! the Chrome trace, plus caller-supplied extra gauges.
+//!
+//! Span events become `_span_count` / `_span_modeled_us_total` counters and
+//! a fixed-bucket duration histogram; instant events become `_total`
+//! counters; counter events contribute their numeric args as `_total` sums.
+//! Output lines are ordered by `BTreeMap` so the exposition is deterministic
+//! for deterministic inputs. (Unlike the Chrome trace, this file may also
+//! carry wall-clock/overhead gauges supplied via `extras`, so it is *not*
+//! covered by the byte-identical guarantee.)
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{ArgValue, EventKind};
+use crate::sink::TraceSink;
+
+/// Histogram bucket upper bounds for span durations, in modeled µs.
+const BUCKETS_US: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_us: u64,
+    buckets: [u64; BUCKETS_US.len()],
+}
+
+/// An extra gauge to append verbatim (name, label pairs, value).
+pub struct ExtraMetric {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl ExtraMetric {
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        ExtraMetric {
+            name: name.into(),
+            labels: Vec::new(),
+            value,
+        }
+    }
+
+    pub fn label(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.labels.push((k.into(), v.into()));
+        self
+    }
+}
+
+fn label_str(track_name: &str, extra: &[(String, String)]) -> String {
+    let mut parts = vec![format!("track=\"{track_name}\"")];
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Render the sink (plus extra gauges) as Prometheus text exposition.
+pub fn export_prometheus(sink: &TraceSink, extras: &[ExtraMetric]) -> String {
+    // (metric_name, label_str) -> aggregation
+    let mut spans: BTreeMap<(String, String), SpanAgg> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for shard in sink.shards() {
+        let track_name = sink.track_name(shard.track());
+        for ev in shard.events() {
+            let base = sanitize(&ev.name);
+            match ev.kind {
+                EventKind::Span { dur_us } => {
+                    let key = (base, label_str(&track_name, &[]));
+                    let agg = spans.entry(key).or_default();
+                    agg.count += 1;
+                    agg.total_us += dur_us;
+                    for (i, ub) in BUCKETS_US.iter().enumerate() {
+                        if dur_us <= *ub {
+                            agg.buckets[i] += 1;
+                        }
+                    }
+                }
+                EventKind::Instant => {
+                    let key = (base, label_str(&track_name, &[]));
+                    *counts.entry(key).or_default() += 1;
+                }
+                EventKind::Counter => {
+                    for (k, v) in &ev.args {
+                        let val = match v {
+                            ArgValue::U64(n) => *n as f64,
+                            ArgValue::I64(n) => *n as f64,
+                            ArgValue::F64(f) => *f,
+                            ArgValue::Str(_) => continue,
+                        };
+                        let labels = label_str(&track_name, &[("series".to_string(), sanitize(k))]);
+                        let key = (base.clone(), labels);
+                        *sums.entry(key).or_default() += val;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let prefix = "hybridgraph";
+
+    // `# TYPE` must appear once per metric name, before all its series;
+    // the BTreeMap sorts by name first, so emit it on name transitions.
+    let mut last: Option<&str> = None;
+    for ((name, labels), agg) in &spans {
+        let m = format!("{prefix}_{name}_span");
+        if last != Some(name.as_str()) {
+            let _ = writeln!(out, "# TYPE {m}_count counter");
+            let _ = writeln!(out, "# TYPE {m}_modeled_us_total counter");
+            let _ = writeln!(out, "# TYPE {m}_modeled_us histogram");
+            last = Some(name.as_str());
+        }
+        let _ = writeln!(out, "{m}_count{labels} {}", agg.count);
+        let _ = writeln!(out, "{m}_modeled_us_total{labels} {}", agg.total_us);
+        let inner = labels.trim_start_matches('{').trim_end_matches('}');
+        for (i, ub) in BUCKETS_US.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{m}_modeled_us_bucket{{{inner},le=\"{ub}\"}} {}",
+                agg.buckets[i]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{m}_modeled_us_bucket{{{inner},le=\"+Inf\"}} {}",
+            agg.count
+        );
+        let _ = writeln!(out, "{m}_modeled_us_sum{labels} {}", agg.total_us);
+        let _ = writeln!(out, "{m}_modeled_us_count{labels} {}", agg.count);
+    }
+
+    let mut last: Option<&str> = None;
+    for ((name, labels), n) in &counts {
+        let m = format!("{prefix}_{name}_total");
+        if last != Some(name.as_str()) {
+            let _ = writeln!(out, "# TYPE {m} counter");
+            last = Some(name.as_str());
+        }
+        let _ = writeln!(out, "{m}{labels} {n}");
+    }
+
+    let mut last: Option<&str> = None;
+    for ((name, labels), v) in &sums {
+        let m = format!("{prefix}_{name}_total");
+        if last != Some(name.as_str()) {
+            let _ = writeln!(out, "# TYPE {m} counter");
+            last = Some(name.as_str());
+        }
+        let _ = writeln!(out, "{m}{labels} {v}");
+    }
+
+    let mut extra_sorted: Vec<&ExtraMetric> = extras.iter().collect();
+    extra_sorted.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+    for e in extra_sorted {
+        let m = format!("{prefix}_{}", sanitize(&e.name));
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        if e.labels.is_empty() {
+            let _ = writeln!(out, "{m} {}", e.value);
+        } else {
+            let pairs: Vec<String> = e
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), v))
+                .collect();
+            let _ = writeln!(out, "{m}{{{}}} {}", pairs.join(","), e.value);
+        }
+    }
+
+    let _ = writeln!(out, "# TYPE {prefix}_trace_events_dropped gauge");
+    let _ = writeln!(
+        out,
+        "{prefix}_trace_events_dropped {}",
+        sink.total_dropped()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_aggregates_and_orders() {
+        let sink = TraceSink::new(1);
+        sink.worker(0).span("compute", 500, vec![]);
+        sink.worker(0).span("compute", 1500, vec![]);
+        sink.worker(0).instant("barrier", vec![]);
+        sink.net()
+            .counter_at(0, "traffic", vec![("bytes", 100u64.into())]);
+        sink.net()
+            .counter_at(1, "traffic", vec![("bytes", 50u64.into())]);
+        let text = export_prometheus(
+            &sink,
+            &[ExtraMetric::new("wall_secs", 1.5).label("phase", "total")],
+        );
+        assert!(text.contains("hybridgraph_compute_span_count{track=\"worker-0\"} 2"));
+        assert!(text.contains("hybridgraph_compute_span_modeled_us_total{track=\"worker-0\"} 2000"));
+        assert!(text.contains("le=\"1000\"} 1"));
+        assert!(text.contains("hybridgraph_barrier_total{track=\"worker-0\"} 1"));
+        assert!(text.contains("hybridgraph_traffic_total{track=\"net\",series=\"bytes\"} 150"));
+        assert!(text.contains("hybridgraph_wall_secs{phase=\"total\"} 1.5"));
+        assert!(text.contains("hybridgraph_trace_events_dropped 0"));
+    }
+}

@@ -1,0 +1,160 @@
+//! ARQ observation tap for the network fabric.
+//!
+//! `net::fabric` cannot depend on the trace sink's policy decisions (which
+//! ARQ events are deterministic enough for the Chrome trace vs. metrics
+//! only), so it just reports everything through this trait and the runner
+//! decides what to surface where. [`ArqCounters`] is the standard
+//! implementation: lock-free atomic tallies that the master snapshots at
+//! deterministic phase boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One ARQ-level occurrence on a link.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ArqEvent {
+    /// A data frame was retransmitted (RTO expiry or fault-forced),
+    /// carrying `bytes` of payload again.
+    Retransmit { bytes: u64 },
+    /// A cumulative ack frame was emitted.
+    AckSent,
+    /// The receiver discarded an already-delivered duplicate.
+    DupDrop,
+    /// The fault plan swallowed this transmission attempt.
+    FaultDrop,
+    /// The fault plan injected a duplicate delivery.
+    FaultDuplicate,
+    /// The fault plan delayed this frame's delivery.
+    FaultDelay,
+}
+
+/// Observer interface installed on fabric endpoints.
+///
+/// Implementations must be cheap and thread-safe: `transmit` paths call
+/// this with locks held on hot paths.
+pub trait FabricTap: Send + Sync {
+    fn arq(&self, from: usize, to: usize, event: ArqEvent);
+}
+
+/// Snapshot of [`ArqCounters`] at one instant.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArqSnapshot {
+    pub retransmits: u64,
+    pub retransmitted_bytes: u64,
+    pub acks_sent: u64,
+    pub dup_drops: u64,
+    pub fault_drops: u64,
+    pub fault_duplicates: u64,
+    pub fault_delays: u64,
+}
+
+impl ArqSnapshot {
+    /// Componentwise `self − earlier` (saturating).
+    pub fn delta(&self, earlier: &ArqSnapshot) -> ArqSnapshot {
+        ArqSnapshot {
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+            retransmitted_bytes: self
+                .retransmitted_bytes
+                .saturating_sub(earlier.retransmitted_bytes),
+            acks_sent: self.acks_sent.saturating_sub(earlier.acks_sent),
+            dup_drops: self.dup_drops.saturating_sub(earlier.dup_drops),
+            fault_drops: self.fault_drops.saturating_sub(earlier.fault_drops),
+            fault_duplicates: self
+                .fault_duplicates
+                .saturating_sub(earlier.fault_duplicates),
+            fault_delays: self.fault_delays.saturating_sub(earlier.fault_delays),
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == ArqSnapshot::default()
+    }
+}
+
+/// Atomic tally of ARQ events across all links.
+///
+/// The *fault-plan-driven* components (`fault_drops`, `fault_duplicates`,
+/// `fault_delays`) are deterministic per superstep — the seeded plan's
+/// decisions depend only on `(from, to, seq, attempt)` and the per-link
+/// send counts are order-independent — so their deltas may appear in the
+/// Chrome trace. The *timing-driven* components (`retransmits`, `acks`,
+/// `dup_drops`) depend on thread scheduling and belong in metrics only.
+#[derive(Default)]
+pub struct ArqCounters {
+    retransmits: AtomicU64,
+    retransmitted_bytes: AtomicU64,
+    acks_sent: AtomicU64,
+    dup_drops: AtomicU64,
+    fault_drops: AtomicU64,
+    fault_duplicates: AtomicU64,
+    fault_delays: AtomicU64,
+}
+
+impl ArqCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> ArqSnapshot {
+        ArqSnapshot {
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            retransmitted_bytes: self.retransmitted_bytes.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            dup_drops: self.dup_drops.load(Ordering::Relaxed),
+            fault_drops: self.fault_drops.load(Ordering::Relaxed),
+            fault_duplicates: self.fault_duplicates.load(Ordering::Relaxed),
+            fault_delays: self.fault_delays.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl FabricTap for ArqCounters {
+    fn arq(&self, _from: usize, _to: usize, event: ArqEvent) {
+        match event {
+            ArqEvent::Retransmit { bytes } => {
+                self.retransmits.fetch_add(1, Ordering::Relaxed);
+                self.retransmitted_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            ArqEvent::AckSent => {
+                self.acks_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            ArqEvent::DupDrop => {
+                self.dup_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            ArqEvent::FaultDrop => {
+                self.fault_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            ArqEvent::FaultDuplicate => {
+                self.fault_duplicates.fetch_add(1, Ordering::Relaxed);
+            }
+            ArqEvent::FaultDelay => {
+                self.fault_delays.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tally_and_delta() {
+        let c = ArqCounters::new();
+        c.arq(0, 1, ArqEvent::Retransmit { bytes: 100 });
+        c.arq(0, 1, ArqEvent::FaultDrop);
+        c.arq(1, 0, ArqEvent::AckSent);
+        let s1 = c.snapshot();
+        assert_eq!(s1.retransmits, 1);
+        assert_eq!(s1.retransmitted_bytes, 100);
+        assert_eq!(s1.fault_drops, 1);
+        assert_eq!(s1.acks_sent, 1);
+        c.arq(0, 1, ArqEvent::FaultDrop);
+        c.arq(0, 1, ArqEvent::DupDrop);
+        let d = c.snapshot().delta(&s1);
+        assert_eq!(d.fault_drops, 1);
+        assert_eq!(d.dup_drops, 1);
+        assert_eq!(d.retransmits, 0);
+        assert!(!d.is_zero());
+        assert!(s1.delta(&s1).is_zero());
+    }
+}

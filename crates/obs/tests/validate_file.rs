@@ -1,0 +1,30 @@
+//! Validates an on-disk Chrome trace file with the in-repo JSON checker.
+//!
+//! Driven by the CI `trace-validate` job: point `HG_TRACE_FILE` at a file
+//! produced by `repro … --trace <path> observe` and the test parses it
+//! end to end. Without the variable the test is a no-op, so plain
+//! `cargo test` never depends on build artifacts.
+
+use hybridgraph_obs::validate_json;
+
+#[test]
+fn validates_trace_file_from_env() {
+    let Some(path) = std::env::var_os("HG_TRACE_FILE") else {
+        eprintln!("HG_TRACE_FILE not set; skipping on-disk trace validation");
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.to_string_lossy()));
+    validate_json(&text).unwrap_or_else(|e| {
+        panic!("{} is not valid JSON: {e}", path.to_string_lossy());
+    });
+    assert!(
+        text.contains("\"traceEvents\""),
+        "file does not look like a Chrome trace"
+    );
+    println!(
+        "validated {} ({} bytes)",
+        path.to_string_lossy(),
+        text.len()
+    );
+}

@@ -54,6 +54,17 @@ impl AccessClass {
         AccessClass::RandRead,
         AccessClass::RandWrite,
     ];
+
+    /// Stable short name, used to label per-class trace events and
+    /// metrics series (`vfs.seq_read` etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessClass::SeqRead => "seq_read",
+            AccessClass::SeqWrite => "seq_write",
+            AccessClass::RandRead => "rand_read",
+            AccessClass::RandWrite => "rand_write",
+        }
+    }
 }
 
 /// Thread-safe I/O counters: bytes and operation counts per access class.

@@ -34,15 +34,16 @@
 //! );
 //! ```
 //!
-//! The crates compose bottom-up: [`graph`] (model + generators +
-//! partitioning), [`storage`] (simulated disk, VE-BLOCK), [`net`]
-//! (simulated fabric), [`core`] (the engine), [`algos`] (PageRank, SSSP,
-//! LPA, SA, WCC).
+//! The crates compose bottom-up: [`obs`] (tracing/metrics sink),
+//! [`graph`] (model + generators + partitioning), [`storage`] (simulated
+//! disk, VE-BLOCK), [`net`] (simulated fabric), [`core`] (the engine),
+//! [`algos`] (PageRank, SSSP, LPA, SA, WCC).
 
 pub use hybridgraph_algos as algos;
 pub use hybridgraph_core as core;
 pub use hybridgraph_graph as graph;
 pub use hybridgraph_net as net;
+pub use hybridgraph_obs as obs;
 pub use hybridgraph_storage as storage;
 
 /// The common imports for applications.
@@ -56,5 +57,8 @@ pub mod prelude {
         Dataset, Edge, Graph, GraphBuilder, Partition, VertexId, WorkerId,
     };
     pub use hybridgraph_net::{LinkFault, NetFaultPlan};
+    pub use hybridgraph_obs::{
+        export_chrome_trace, export_prometheus, render_table, validate_json, TraceSink,
+    };
     pub use hybridgraph_storage::DeviceProfile;
 }

@@ -1,17 +1,20 @@
 //! The figure/table reproduction harness.
 //!
 //! ```text
-//! repro [--scale N] [--trace F] [--metrics F] [--explain-switch] \
-//!       <experiment> [<experiment> ...]
+//! repro [--scale N] [--codec C] [--trace F] [--metrics F] \
+//!       [--explain-switch] <experiment> [<experiment> ...]
 //! repro all
 //! ```
 //!
 //! Experiments: datasets, fig2, fig7, fig8, fig9, fig10, fig11, fig12,
 //! fig13, fig14, fig15, fig16, fig17, fig18, table5, vblocks (figs
-//! 23–25), fig26, theorems, observe.
+//! 23–25), fig26, theorems, observe, io_compress.
 //!
 //! `--scale N` generates datasets at 1/N of the paper's sizes
 //! (default 2000). Modeled runtimes are projected back by ×N.
+//!
+//! `--codec C` (none | gaps | block | auto) sets the on-disk codec for
+//! the `observe` experiment; `io_compress` sweeps all four regardless.
 //!
 //! `--trace F` / `--metrics F` / `--explain-switch` apply to the
 //! `observe` experiment: they write a Chrome Trace Event JSON (open in
@@ -24,9 +27,27 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
-    "datasets", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "fig18", "table5", "vblocks", "fig26", "theorems", "ablation",
+    "datasets",
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "table5",
+    "vblocks",
+    "fig26",
+    "theorems",
+    "ablation",
     "observe",
+    "io_compress",
 ];
 
 fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bool {
@@ -53,6 +74,7 @@ fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bo
         "trace" => exp::trace::run(scale),
         "ablation" => exp::ablation::run(scale),
         "observe" => exp::observe::run(scale, observe),
+        "io_compress" => exp::io_compress::run(scale),
         _ => return false,
     }
     eprintln!("[{name}: {:.1}s]", t.elapsed().as_secs_f64());
@@ -82,6 +104,12 @@ fn main() {
                 let p = it.next().unwrap_or_else(|| usage("missing --metrics path"));
                 observe.metrics = Some(PathBuf::from(p));
             }
+            "--codec" => {
+                let c = it.next().unwrap_or_else(|| usage("missing --codec value"));
+                observe.codec = c
+                    .parse()
+                    .unwrap_or_else(|_| usage("--codec takes none | gaps | block | auto"));
+            }
             "--explain-switch" => observe.explain_switch = true,
             "all" => targets.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(""),
@@ -104,8 +132,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--scale N] [--trace F] [--metrics F] [--explain-switch] \
-         <experiment> [...] | all"
+        "usage: repro [--scale N] [--codec C] [--trace F] [--metrics F] \
+         [--explain-switch] <experiment> [...] | all"
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -21,6 +21,7 @@ use hybridgraph_graph::Dataset;
 use hybridgraph_obs::{
     export_chrome_trace, export_prometheus, render_table, validate_json, ExtraMetric, TraceSink,
 };
+use hybridgraph_storage::CodecChoice;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -34,6 +35,10 @@ pub struct ObserveOpts {
     pub metrics: Option<PathBuf>,
     /// Print the `Q_t` audit table to stdout.
     pub explain_switch: bool,
+    /// On-disk codec for the run (`--codec`; defaults to none). The
+    /// Chrome trace stays deterministic per codec choice: two runs with
+    /// the same codec emit byte-identical files.
+    pub codec: CodecChoice,
 }
 
 /// Runs the instrumented job and writes the requested artifacts.
@@ -44,13 +49,17 @@ pub fn run(scale: Scale, opts: &ObserveOpts) {
     let sink = Arc::new(TraceSink::new(workers));
     let mut cfg = JobConfig::new(Mode::Hybrid, workers)
         .with_buffer(buffer_for(d, scale))
-        .with_trace(Arc::clone(&sink));
+        .with_trace(Arc::clone(&sink))
+        .with_codec(opts.codec);
     // Start in push even where Theorem 2 would pick b-pull, so the demo
     // exercises the Q_t evaluation *and* an actual switch superstep.
     cfg.initial_mode_override = Some(Mode::Push);
     let m = run_algo(Algo::PageRank, &g, cfg);
 
-    println!("## observe: instrumented hybrid PageRank on {d:?}");
+    println!(
+        "## observe: instrumented hybrid PageRank on {d:?} (codec {})",
+        opts.codec.label()
+    );
     println!(
         "supersteps={} switches={} qt_evaluations={} trace_events={} dropped={}",
         m.supersteps(),
@@ -83,6 +92,9 @@ pub fn run(scale: Scale, opts: &ObserveOpts) {
             gauge("arq_dropped_frames", no.dropped_frames as f64),
             gauge("arq_delayed_frames", no.delayed_frames as f64),
             gauge("arq_acks_sent", no.acks_sent as f64),
+            gauge("job_io_physical_bytes", m.total_io_bytes() as f64),
+            gauge("job_io_logical_bytes", m.total_io_logical_bytes() as f64),
+            gauge("job_io_compression_ratio", m.io_compression_ratio()),
         ];
         let text = export_prometheus(&sink, &extras);
         write_artifact(path, &text);

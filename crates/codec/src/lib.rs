@@ -1,0 +1,411 @@
+//! # hybridgraph-codec
+//!
+//! Deterministic compression for HybridGraph's on-disk structures.
+//!
+//! The paper's whole analysis (Eqs. 4–11, the `Q_t` switch metric) is in
+//! *bytes per I/O class*, so shrinking on-device bytes is the most direct
+//! lever on modeled runtime. This crate provides the codecs; the storage
+//! crate decides where to apply them and accounts the result as *logical*
+//! (uncompressed) vs *physical* (on-device) bytes.
+//!
+//! Two codec families:
+//!
+//! * [`gaps`] — structure-aware: zig-zag delta-gap coding for sorted
+//!   neighbour-id lists (WebGraph-style) plus bit-packed weight columns.
+//!   Applied to VE-BLOCK eblocks, adjacency runs, and gather fragments.
+//! * [`block`] — general-purpose bytes: run-length encoding plus a fixed
+//!   greedy LZ pass. Applied to checkpoint bodies, message spill chunks,
+//!   and msg-log segments.
+//!
+//! Everything is deterministic (no RNG, no timestamps) and every coded
+//! extent can fall back to raw bytes via a leading tag, so incompressible
+//! data never blows up. [`CodecChoice::None`] is special: stores bypass
+//! this crate entirely and their on-disk bytes stay byte-for-byte what
+//! they were before compression existed.
+
+pub mod block;
+pub mod gaps;
+pub mod varint;
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from decoding corrupted or truncated coded bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended inside an encoding.
+    Truncated,
+    /// Structurally invalid input.
+    Corrupt(&'static str),
+    /// Decoded length disagrees with the recorded logical length.
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "coded input truncated"),
+            CodecError::Corrupt(why) => write!(f, "coded input corrupt: {why}"),
+            CodecError::LengthMismatch { expected, got } => {
+                write!(f, "decoded {got} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Which codec a job applies to its disk-resident structures.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CodecChoice {
+    /// No codec anywhere: on-disk bytes and every I/O counter are
+    /// byte-for-byte identical to a build without compression.
+    #[default]
+    None,
+    /// Delta-gap + bit-packed coding for adjacency-structured data;
+    /// blob structures (spills, checkpoints, msg logs) stay raw.
+    Gaps,
+    /// The general RLE+LZ byte codec everywhere.
+    Block,
+    /// Per extent, the smallest of raw / gaps / block.
+    Auto,
+}
+
+impl CodecChoice {
+    /// All choices, for sweeps.
+    pub const ALL: [CodecChoice; 4] = [
+        CodecChoice::None,
+        CodecChoice::Gaps,
+        CodecChoice::Block,
+        CodecChoice::Auto,
+    ];
+
+    /// Stable lowercase name (CLI value and metric label).
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecChoice::None => "none",
+            CodecChoice::Gaps => "gaps",
+            CodecChoice::Block => "block",
+            CodecChoice::Auto => "auto",
+        }
+    }
+
+    /// True if stores should bypass coding entirely.
+    pub fn is_none(self) -> bool {
+        self == CodecChoice::None
+    }
+}
+
+impl FromStr for CodecChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(CodecChoice::None),
+            "gaps" => Ok(CodecChoice::Gaps),
+            "block" => Ok(CodecChoice::Block),
+            "auto" => Ok(CodecChoice::Auto),
+            other => Err(format!(
+                "unknown codec '{other}' (expected none|gaps|block|auto)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for CodecChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A reversible byte transform with a stable identity tag.
+///
+/// The two provided implementations are [`block`] (via [`BlockCodec`])
+/// and the identity ([`RawCodec`]); gap coding is exposed through
+/// [`encode_extent`] instead because it needs to know the record
+/// structure, not just the bytes.
+pub trait Codec: Send + Sync {
+    /// The tag written in front of extents coded by this codec.
+    fn tag(&self) -> u8;
+    /// Stable name for metrics.
+    fn name(&self) -> &'static str;
+    /// Encodes `raw`; may return more bytes than it was given.
+    fn encode(&self, raw: &[u8]) -> Vec<u8>;
+    /// Decodes into exactly `logical_len` bytes.
+    fn decode(&self, coded: &[u8], logical_len: usize) -> Result<Vec<u8>, CodecError>;
+}
+
+/// Identity codec: encode and decode are copies.
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    fn tag(&self) -> u8 {
+        TAG_RAW
+    }
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+    fn encode(&self, raw: &[u8]) -> Vec<u8> {
+        raw.to_vec()
+    }
+    fn decode(&self, coded: &[u8], logical_len: usize) -> Result<Vec<u8>, CodecError> {
+        if coded.len() != logical_len {
+            return Err(CodecError::LengthMismatch {
+                expected: logical_len,
+                got: coded.len(),
+            });
+        }
+        Ok(coded.to_vec())
+    }
+}
+
+/// The RLE+LZ byte codec as a [`Codec`].
+pub struct BlockCodec;
+
+impl Codec for BlockCodec {
+    fn tag(&self) -> u8 {
+        TAG_BLOCK
+    }
+    fn name(&self) -> &'static str {
+        "block"
+    }
+    fn encode(&self, raw: &[u8]) -> Vec<u8> {
+        block::compress(raw)
+    }
+    fn decode(&self, coded: &[u8], logical_len: usize) -> Result<Vec<u8>, CodecError> {
+        block::decompress(coded, logical_len)
+    }
+}
+
+/// Extent tag: raw bytes follow.
+pub const TAG_RAW: u8 = 0;
+/// Extent tag: gap-coded adjacency data follows.
+pub const TAG_GAPS: u8 = 1;
+/// Extent tag: RLE+LZ coded bytes follow.
+pub const TAG_BLOCK: u8 = 2;
+
+/// The record structure inside an adjacency extent, which decides how
+/// gap coding parses the raw bytes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExtentKind {
+    /// `svertex | count | edges…` fragment stream (VE-BLOCK eblocks,
+    /// gather fragments).
+    Fragments,
+    /// Bare `(id, weight)` pair list (AdjacencyStore runs).
+    Edges,
+}
+
+/// Encodes one adjacency-structured extent under `choice`, returning the
+/// tagged physical bytes to store. Must not be called with
+/// [`CodecChoice::None`] — the raw, untagged path belongs to the caller.
+///
+/// Candidates are tried per the choice and the smallest wins; ties keep
+/// the earlier of raw → gaps → block, so output is deterministic.
+pub fn encode_extent(choice: CodecChoice, kind: ExtentKind, raw: &[u8]) -> Vec<u8> {
+    debug_assert!(!choice.is_none(), "None bypasses extent framing");
+    let gaps_coded = match choice {
+        CodecChoice::Gaps | CodecChoice::Auto => match kind {
+            ExtentKind::Fragments => gaps::fragments_from_raw(raw).ok(),
+            ExtentKind::Edges => gaps::edges_from_raw(raw).ok(),
+        },
+        _ => None,
+    };
+    let block_coded = match choice {
+        CodecChoice::Block | CodecChoice::Auto => Some(block::compress(raw)),
+        _ => None,
+    };
+    let mut best_tag = TAG_RAW;
+    let mut best: &[u8] = raw;
+    if let Some(g) = gaps_coded.as_deref() {
+        if g.len() < best.len() {
+            best_tag = TAG_GAPS;
+            best = g;
+        }
+    }
+    if let Some(b) = block_coded.as_deref() {
+        if b.len() < best.len() {
+            best_tag = TAG_BLOCK;
+            best = b;
+        }
+    }
+    let mut out = Vec::with_capacity(best.len() + 1);
+    out.push(best_tag);
+    out.extend_from_slice(best);
+    out
+}
+
+/// Decodes an extent produced by [`encode_extent`] back into its raw
+/// `logical_len` bytes.
+pub fn decode_extent(
+    kind: ExtentKind,
+    coded: &[u8],
+    logical_len: usize,
+) -> Result<Vec<u8>, CodecError> {
+    let (&tag, body) = coded.split_first().ok_or(CodecError::Truncated)?;
+    let raw = match tag {
+        TAG_RAW => RawCodec.decode(body, logical_len)?,
+        TAG_GAPS => match kind {
+            ExtentKind::Fragments => gaps::raw_from_fragments(body)?,
+            ExtentKind::Edges => gaps::raw_from_edges(body)?,
+        },
+        TAG_BLOCK => block::decompress(body, logical_len)?,
+        _ => return Err(CodecError::Corrupt("unknown extent tag")),
+    };
+    if raw.len() != logical_len {
+        return Err(CodecError::LengthMismatch {
+            expected: logical_len,
+            got: raw.len(),
+        });
+    }
+    Ok(raw)
+}
+
+/// Encodes a self-describing blob frame:
+/// `tag u8 | logical varint | payload_len varint | payload`.
+///
+/// Blobs have no adjacency structure, so gaps never applies; under
+/// [`CodecChoice::Gaps`] the payload stays raw (only framed). Must not be
+/// called with [`CodecChoice::None`].
+pub fn encode_blob_frame(choice: CodecChoice, raw: &[u8]) -> Vec<u8> {
+    debug_assert!(!choice.is_none(), "None bypasses blob framing");
+    let block_coded = match choice {
+        CodecChoice::Block | CodecChoice::Auto => Some(block::compress(raw)),
+        _ => None,
+    };
+    let (tag, payload): (u8, &[u8]) = match block_coded.as_deref() {
+        Some(b) if b.len() < raw.len() => (TAG_BLOCK, b),
+        _ => (TAG_RAW, raw),
+    };
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.push(tag);
+    varint::write_u64(&mut out, raw.len() as u64);
+    varint::write_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one blob frame at `*pos`, advancing past it; returns the raw
+/// payload bytes.
+pub fn decode_blob_frame(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
+    let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    let logical = varint::read_u64(buf, pos)? as usize;
+    let payload_len = varint::read_u64(buf, pos)? as usize;
+    if payload_len > buf.len() - *pos {
+        return Err(CodecError::Truncated);
+    }
+    let payload = &buf[*pos..*pos + payload_len];
+    *pos += payload_len;
+    match tag {
+        TAG_RAW => RawCodec.decode(payload, logical),
+        TAG_BLOCK => block::decompress(payload, logical),
+        _ => Err(CodecError::Corrupt("unknown blob frame tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_edges(n: u32) -> Vec<u8> {
+        let mut raw = Vec::new();
+        for i in 0..n {
+            raw.extend_from_slice(&(10 + 2 * i).to_le_bytes());
+            raw.extend_from_slice(&1.0f32.to_le_bytes());
+        }
+        raw
+    }
+
+    #[test]
+    fn choice_parses_and_labels() {
+        for c in CodecChoice::ALL {
+            assert_eq!(c.label().parse::<CodecChoice>().unwrap(), c);
+        }
+        assert!("zstd".parse::<CodecChoice>().is_err());
+        assert_eq!(CodecChoice::default(), CodecChoice::None);
+    }
+
+    #[test]
+    fn extent_roundtrips_all_choices_and_kinds() {
+        let edges = raw_edges(200);
+        let mut frags = Vec::new();
+        frags.extend_from_slice(&3u32.to_le_bytes());
+        frags.extend_from_slice(&200u32.to_le_bytes());
+        frags.extend_from_slice(&edges);
+        for choice in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            for (kind, raw) in [(ExtentKind::Edges, &edges), (ExtentKind::Fragments, &frags)] {
+                let coded = encode_extent(choice, kind, raw);
+                assert_eq!(
+                    &decode_extent(kind, &coded, raw.len()).unwrap(),
+                    raw,
+                    "{choice:?}/{kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_extent_beats_raw_on_sorted_edges() {
+        let raw = raw_edges(1000);
+        let coded = encode_extent(CodecChoice::Gaps, ExtentKind::Edges, &raw);
+        assert!(
+            coded.len() * 3 < raw.len(),
+            "{} vs {}",
+            coded.len(),
+            raw.len()
+        );
+        assert_eq!(coded[0], TAG_GAPS);
+    }
+
+    #[test]
+    fn empty_extent_roundtrips() {
+        for choice in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            let coded = encode_extent(choice, ExtentKind::Edges, &[]);
+            assert_eq!(decode_extent(ExtentKind::Edges, &coded, 0).unwrap(), vec![]);
+        }
+    }
+
+    #[test]
+    fn incompressible_extent_falls_back_to_raw() {
+        // Not a valid edge-list length and with no byte structure, so both
+        // gaps (error) and block (bigger) lose to raw.
+        let raw = vec![0xA7u8, 0x13, 0x55];
+        let coded = encode_extent(CodecChoice::Auto, ExtentKind::Edges, &raw);
+        assert_eq!(coded[0], TAG_RAW);
+        assert_eq!(decode_extent(ExtentKind::Edges, &coded, 3).unwrap(), raw);
+    }
+
+    #[test]
+    fn blob_frames_roundtrip_and_concatenate() {
+        let a = vec![7u8; 4096];
+        let b: Vec<u8> = (0..255u8).collect();
+        for choice in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            let mut stream = encode_blob_frame(choice, &a);
+            stream.extend(encode_blob_frame(choice, &b));
+            let mut pos = 0;
+            assert_eq!(decode_blob_frame(&stream, &mut pos).unwrap(), a);
+            assert_eq!(decode_blob_frame(&stream, &mut pos).unwrap(), b);
+            assert_eq!(pos, stream.len());
+        }
+        // Block mode actually shrinks the run-heavy payload.
+        let framed = encode_blob_frame(CodecChoice::Block, &a);
+        assert!(framed.len() < 64, "{}", framed.len());
+    }
+
+    #[test]
+    fn blob_frame_truncation_errors() {
+        let frame = encode_blob_frame(CodecChoice::Block, &[1u8; 100]);
+        let mut pos = 0;
+        assert!(decode_blob_frame(&frame[..frame.len() - 1], &mut pos).is_err());
+    }
+
+    #[test]
+    fn codec_trait_objects() {
+        let codecs: [&dyn Codec; 2] = [&RawCodec, &BlockCodec];
+        let data = b"abababababababab".to_vec();
+        for c in codecs {
+            let coded = c.encode(&data);
+            assert_eq!(c.decode(&coded, data.len()).unwrap(), data, "{}", c.name());
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Job configuration.
 
 use crate::fault::FaultPlan;
-use hybridgraph_storage::DeviceProfile;
+use hybridgraph_storage::{CodecChoice, DeviceProfile};
 use std::sync::Arc;
 
 /// Which message-handling strategy a job runs.
@@ -138,6 +138,13 @@ pub struct JobConfig {
     /// no bytes to any I/O class, so `Q_t` inputs are identical with
     /// tracing on or off.
     pub trace: Option<Arc<hybridgraph_obs::TraceSink>>,
+    /// On-disk compression for adjacency/VE-BLOCK extents, message
+    /// spills, checkpoints and message logs. [`CodecChoice::None`] (the
+    /// default) leaves every byte and counter exactly as uncompressed
+    /// runs produce them; any other choice shrinks *physical* I/O while
+    /// logical byte accounting — and the computed vertex values — stay
+    /// identical.
+    pub codec: CodecChoice,
 }
 
 impl JobConfig {
@@ -168,6 +175,7 @@ impl JobConfig {
             max_recoveries: 8,
             message_logging: false,
             trace: None,
+            codec: CodecChoice::None,
         }
     }
 
@@ -212,6 +220,12 @@ impl JobConfig {
     /// `workers` (checked by the runner).
     pub fn with_trace(mut self, sink: Arc<hybridgraph_obs::TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Sets the on-disk compression codec.
+    pub fn with_codec(mut self, codec: CodecChoice) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -278,6 +292,14 @@ mod tests {
         assert!(!c.message_logging, "logging is opt-in");
         let c = c.with_message_logging(true);
         assert!(c.message_logging);
+    }
+
+    #[test]
+    fn codec_defaults_to_none() {
+        let c = JobConfig::new(Mode::Hybrid, 2);
+        assert!(c.codec.is_none());
+        let c = c.with_codec(CodecChoice::Gaps);
+        assert_eq!(c.codec, CodecChoice::Gaps);
     }
 
     #[test]

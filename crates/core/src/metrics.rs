@@ -329,9 +329,27 @@ impl JobMetrics {
         self.steps.iter().map(|s| s.wall_secs).sum()
     }
 
-    /// Total I/O bytes over the whole job (Fig. 10's quantity).
+    /// Total physical I/O bytes over the whole job (Fig. 10's quantity).
     pub fn total_io_bytes(&self) -> u64 {
         self.steps.iter().map(|s| s.io.total_bytes()).sum()
+    }
+
+    /// Total logical (pre-compression) I/O bytes over the whole job.
+    /// Equal to [`total_io_bytes`](Self::total_io_bytes) when the job ran
+    /// with [`CodecChoice::None`](hybridgraph_storage::CodecChoice::None).
+    pub fn total_io_logical_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.io.total_logical_bytes()).sum()
+    }
+
+    /// Physical / logical bytes over the whole job — the on-disk
+    /// compression ratio (1.0 without a codec, smaller is better).
+    pub fn io_compression_ratio(&self) -> f64 {
+        let logical = self.total_io_logical_bytes();
+        if logical == 0 {
+            1.0
+        } else {
+            self.total_io_bytes() as f64 / logical as f64
+        }
     }
 
     /// Total remote network bytes.

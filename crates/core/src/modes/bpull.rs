@@ -204,8 +204,11 @@ fn serve_pull<P: VertexProgram>(
         }
         let info = *ve.eblock_info(j, block);
         let frags = ve.scan_eblock(j, block)?;
-        rep.sem.bpull_edge_bytes += info.edge_bytes;
-        rep.sem.fragment_aux_bytes += info.aux_bytes;
+        // Physical stored bytes (== logical without a codec), split
+        // proportionally into edge and fragment-auxiliary shares.
+        let (stored_edge, stored_aux) = info.stored_split();
+        rep.sem.bpull_edge_bytes += stored_edge;
+        rep.sem.fragment_aux_bytes += stored_aux;
         for frag in frags {
             let local = w.local(frag.src);
             if !w.respond.get(local) {
@@ -312,7 +315,7 @@ fn update_block<P: VertexProgram>(
                     .as_ref()
                     .expect("hybrid keeps the adjacency store");
                 let edges = adj.edges_of(v, AccessClass::SeqRead)?;
-                rep.sem.push_edge_bytes += edges.len() as u64 * 8;
+                rep.sem.push_edge_bytes += adj.stored_bytes_of(v);
                 let outd = w.out_degrees[local];
                 for e in &edges {
                     if let Some(m) = program.message(v, &upd.value, outd, e) {

@@ -189,7 +189,7 @@ fn scatter_signals<P: VertexProgram>(w: &mut Worker<P>, rep: &mut StepReport) ->
             .as_ref()
             .expect("pull scatter needs the adjacency store");
         let edges = adj.edges_of(v, hybridgraph_storage::AccessClass::SeqRead)?;
-        rep.sem.push_edge_bytes += edges.len() as u64 * 8;
+        rep.sem.push_edge_bytes += adj.stored_bytes_of(v);
         for e in &edges {
             let p = w.partition.worker_of(e.dst).index();
             bufs[p].extend_from_slice(&e.dst.0.to_le_bytes());
@@ -233,7 +233,13 @@ pub(crate) fn cached_value<P: VertexProgram>(
     let width = P::Value::BYTES as u64;
     w.vfs.stats().record(AccessClass::RandRead, seek_pad(width));
     rep.sem.svertex_rand_bytes += scattered_cost(width);
-    if let Some((k, old, dirty)) = w.lru.as_mut().unwrap().insert(v.0, val.clone(), false) {
+    let evicted = w.lru.as_mut().unwrap().insert_weighted(
+        v.0,
+        val.clone(),
+        false,
+        Worker::<P>::lru_entry_weight(),
+    );
+    for (k, old, dirty) in evicted {
         if dirty {
             write_back(w, VertexId(k), &old)?;
         }
@@ -333,7 +339,13 @@ fn update_cached<P: VertexProgram>(
             let local = w.local(v);
             w.respond_next.set(local);
         }
-        if let Some((k, old, dirty)) = w.lru.as_mut().unwrap().insert(vg, upd.value, true) {
+        let evicted = w.lru.as_mut().unwrap().insert_weighted(
+            vg,
+            upd.value,
+            true,
+            Worker::<P>::lru_entry_weight(),
+        );
+        for (k, old, dirty) in evicted {
             if dirty {
                 write_back(w, VertexId(k), &old)?;
             }

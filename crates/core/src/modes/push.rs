@@ -90,7 +90,9 @@ pub fn run_push_step<P: VertexProgram>(
             // computed vertex (Giraph), whether or not it responds.
             let adj = w.adjacency.as_ref().expect("push needs adjacency store");
             let edges = adj.edges_of(v, AccessClass::SeqRead)?;
-            rep.sem.push_edge_bytes += edges.len() as u64 * 8;
+            // Physical bytes (== logical without a codec): the cost-model
+            // inputs charge what the device actually moves.
+            rep.sem.push_edge_bytes += adj.stored_bytes_of(v);
             if upd.respond {
                 let outd = w.out_degrees[local];
                 for e in &edges {

@@ -846,6 +846,16 @@ pub fn run_job<P: VertexProgram>(
             let pending = metrics.pending_messages;
             let responders = metrics.responders;
             let step_secs = metrics.modeled_secs;
+            // Physical/logical ratio of this superstep's classified I/O,
+            // recorded alongside every Q_t audit entry (1.0 with no codec).
+            let step_io_ratio = {
+                let logical = metrics.io.total_logical_bytes();
+                if logical == 0 {
+                    1.0
+                } else {
+                    metrics.io.total_bytes() as f64 / logical as f64
+                }
+            };
             if let Some(s) = &sink {
                 let m = s.master();
                 let dur = secs_to_us(step_secs);
@@ -902,7 +912,7 @@ pub fn run_job<P: VertexProgram>(
             }
             if cfg.mode == Mode::Hybrid && superstep + 1 < max_steps {
                 if let Some(new_mode) =
-                    switcher.decide(superstep, &cfg.profile, &q_inputs, step_secs)
+                    switcher.decide(superstep, &cfg.profile, &q_inputs, step_secs, step_io_ratio)
                 {
                     let from = cur;
                     pending_kind = Some(match new_mode {

@@ -181,13 +181,17 @@ impl Switcher {
     /// Decisions are taken at most every `interval` supersteps, never
     /// before superstep 2 (superstep 1 exchanges no messages), and only
     /// when the predicted per-superstep gain |Q| clears the threshold
-    /// relative to the superstep's modeled time `step_secs`.
+    /// relative to the superstep's modeled time `step_secs`. `io_ratio`
+    /// is the superstep's physical/logical classified-I/O ratio (1.0
+    /// without a codec); it is recorded in the audit, not used by the
+    /// decision — the byte inputs are already physical.
     pub fn decide(
         &mut self,
         t: u64,
         profile: &DeviceProfile,
         inputs: &CostInputs,
         step_secs: f64,
+        io_ratio: f64,
     ) -> Option<Mode> {
         let terms = q_terms(profile, inputs);
         let q = terms.net + terms.rw - terms.rr + terms.sr;
@@ -214,6 +218,7 @@ impl Switcher {
             terms,
             q,
             step_secs,
+            io_ratio,
             threshold: self.threshold,
             mode_before: before.label(),
             mode_after: self.current.label(),
@@ -299,17 +304,23 @@ mod tests {
             ..Default::default()
         };
         // t = 1: too early.
-        assert_eq!(s.decide(1, &hdd(), &push_favoring, 0.0), None);
+        assert_eq!(s.decide(1, &hdd(), &push_favoring, 0.0, 1.0), None);
         // t = 2: interval satisfied, sign negative -> switch to push.
-        assert_eq!(s.decide(2, &hdd(), &push_favoring, 0.0), Some(Mode::Push));
+        assert_eq!(
+            s.decide(2, &hdd(), &push_favoring, 0.0, 1.0),
+            Some(Mode::Push)
+        );
         // t = 3: within interval of last decision, no re-evaluation.
         let bpull_favoring = CostInputs {
             io_mdisk: 100 * 1024 * 1024,
             ..Default::default()
         };
-        assert_eq!(s.decide(3, &hdd(), &bpull_favoring, 0.0), None);
+        assert_eq!(s.decide(3, &hdd(), &bpull_favoring, 0.0, 1.0), None);
         // t = 4: switches back.
-        assert_eq!(s.decide(4, &hdd(), &bpull_favoring, 0.0), Some(Mode::BPull));
+        assert_eq!(
+            s.decide(4, &hdd(), &bpull_favoring, 0.0, 1.0),
+            Some(Mode::BPull)
+        );
         assert_eq!(s.current(), Mode::BPull);
         assert_eq!(s.history().len(), 4);
     }
@@ -321,8 +332,8 @@ mod tests {
             io_mdisk: 1024 * 1024,
             ..Default::default()
         };
-        assert_eq!(s.decide(2, &hdd(), &c, 0.0), None);
-        assert_eq!(s.decide(4, &hdd(), &c, 0.0), None);
+        assert_eq!(s.decide(2, &hdd(), &c, 0.0, 1.0), None);
+        assert_eq!(s.decide(4, &hdd(), &c, 0.0, 1.0), None);
         assert_eq!(s.current(), Mode::BPull);
     }
 
@@ -334,13 +345,17 @@ mod tests {
             io_vrr: 1024, // |Q| ~ 1e-6 s
             ..Default::default()
         };
-        assert_eq!(s.decide(2, &hdd(), &c, 10.0), None, "gain below threshold");
+        assert_eq!(
+            s.decide(2, &hdd(), &c, 10.0, 1.0),
+            None,
+            "gain below threshold"
+        );
         // Same sign but now the gain dominates the superstep time.
         let big = CostInputs {
             io_vrr: 1024 * 1024 * 1024,
             ..Default::default()
         };
-        assert_eq!(s.decide(4, &hdd(), &big, 10.0), Some(Mode::Push));
+        assert_eq!(s.decide(4, &hdd(), &big, 10.0, 1.0), Some(Mode::Push));
     }
 
     /// Each Eq. 11 input flipped on alone must pull `Q_t` in its
@@ -471,10 +486,13 @@ mod tests {
             io_vrr: 1024,
             ..Default::default()
         };
-        assert_eq!(s.decide(1, &hdd(), &push_favoring, 0.0), None);
-        assert_eq!(s.decide(2, &hdd(), &tiny_push, 10.0), None);
-        assert_eq!(s.decide(4, &hdd(), &push_favoring, 10.0), Some(Mode::Push));
-        assert_eq!(s.decide(6, &hdd(), &push_favoring, 10.0), None);
+        assert_eq!(s.decide(1, &hdd(), &push_favoring, 0.0, 1.0), None);
+        assert_eq!(s.decide(2, &hdd(), &tiny_push, 10.0, 1.0), None);
+        assert_eq!(
+            s.decide(4, &hdd(), &push_favoring, 10.0, 1.0),
+            Some(Mode::Push)
+        );
+        assert_eq!(s.decide(6, &hdd(), &push_favoring, 10.0, 1.0), None);
         let audit = s.audit();
         assert_eq!(audit.len(), 4);
         use hybridgraph_obs::QtVerdict;

@@ -379,7 +379,8 @@ impl<P: VertexProgram> Worker<P> {
 
         let adjacency = if needs_adj {
             let t = Instant::now();
-            let s = AdjacencyStore::build(vfs.as_ref(), "adj", graph, range.clone())?;
+            let s =
+                AdjacencyStore::build_with(vfs.as_ref(), "adj", graph, range.clone(), cfg.codec)?;
             report.adj_secs = t.elapsed().as_secs_f64();
             Some(s)
         } else {
@@ -388,7 +389,7 @@ impl<P: VertexProgram> Worker<P> {
 
         let veblock = if needs_ve {
             let t = Instant::now();
-            let s = VeBlockStore::build(vfs.as_ref(), graph, &layout, id)?;
+            let s = VeBlockStore::build_with(vfs.as_ref(), graph, &layout, id, cfg.codec)?;
             report.veblock_secs = t.elapsed().as_secs_f64();
             report.fragments = s.total_fragments();
             report.vblocks = s.local_blocks();
@@ -399,11 +400,12 @@ impl<P: VertexProgram> Worker<P> {
         };
 
         let gather = if needs_gather {
-            Some(GatherStore::build(
+            Some(GatherStore::build_with(
                 vfs.as_ref(),
                 "gather",
                 graph,
                 range.clone(),
+                cfg.codec,
             )?)
         } else {
             None
@@ -431,10 +433,11 @@ impl<P: VertexProgram> Worker<P> {
         };
 
         let spill = if matches!(cfg.mode, Mode::Push | Mode::PushM | Mode::Hybrid) {
-            Some(SpillBuffer::new(
+            Some(SpillBuffer::with_codec(
                 vfs.as_ref(),
                 "spill",
                 cfg.buffer_messages,
+                cfg.codec,
             )?)
         } else {
             None
@@ -449,7 +452,7 @@ impl<P: VertexProgram> Worker<P> {
         };
 
         let lru = if needs_gather {
-            Some(LruCache::new(cfg.effective_lru_capacity().min(1 << 28)))
+            Some(Self::new_value_lru(&cfg))
         } else {
             None
         };
@@ -493,6 +496,21 @@ impl<P: VertexProgram> Worker<P> {
             phase_marks: Vec::new(),
         };
         Ok((worker, report))
+    }
+
+    /// Byte weight one cached vertex value charges against the LRU
+    /// budget: key + value payload + slab/link overhead.
+    pub fn lru_entry_weight() -> usize {
+        4 + P::Value::BYTES + 16
+    }
+
+    /// A fresh pull-mode vertex cache. The configured capacity is in
+    /// *entries* (the paper's `B_i`); internally entries charge their
+    /// byte weight against an equivalent byte budget, so uniform-size
+    /// values evict exactly as an entry-count cache would.
+    fn new_value_lru(cfg: &JobConfig) -> LruCache<u32, P::Value> {
+        let entries = cfg.effective_lru_capacity().min(1 << 28);
+        LruCache::new(entries.saturating_mul(Self::lru_entry_weight()))
     }
 
     /// Local index of a local vertex.
@@ -569,7 +587,7 @@ impl<P: VertexProgram> Worker<P> {
             m += h.memory_bytes() + h.hot.memory_bytes();
         }
         if let Some(l) = &self.lru {
-            m += l.len() as u64 * (4 + P::Value::BYTES as u64 + 16);
+            m += l.used_weight() as u64;
         }
         m += self.staged.len() as u64 * (4 + P::Value::BYTES as u64);
         m
@@ -580,10 +598,23 @@ impl<P: VertexProgram> Worker<P> {
     pub fn finish_superstep(&mut self, report: &mut StepReport) {
         report.responders = self.respond_next.count() as u64;
 
-        // Next-superstep estimates for the hybrid predictor.
+        // Next-superstep estimates for the hybrid predictor, in *physical*
+        // bytes (what the device would move). Without a codec these equal
+        // the logical sizes exactly.
         let mut edge_bytes = 0u64;
-        for i in self.respond_next.ones() {
-            edge_bytes += self.out_degrees[i] as u64 * 8;
+        match &self.adjacency {
+            Some(adj) => {
+                for i in self.respond_next.ones() {
+                    edge_bytes += adj.stored_bytes_of(VertexId(self.range.start + i as u32));
+                }
+            }
+            // Pure b-pull builds no adjacency store; the logical size is
+            // the (upper-bound) estimate, as before.
+            None => {
+                for i in self.respond_next.ones() {
+                    edge_bytes += self.out_degrees[i] as u64 * 8;
+                }
+            }
         }
         report.next_push_edge_bytes = edge_bytes;
         if let Some(ve) = &self.veblock {
@@ -595,7 +626,7 @@ impl<P: VertexProgram> Worker<P> {
                     .respond_next
                     .any_in_range(self.rel(r.start)..self.rel(r.end))
                 {
-                    let (e, a) = ve.block_scan_bytes(b);
+                    let (e, a) = ve.block_scan_stored_bytes(b);
                     scan_edge += e;
                     scan_aux += a;
                 }
@@ -669,6 +700,7 @@ impl<P: VertexProgram> Worker<P> {
                         format!("vfs.{}", class.label()),
                         vec![
                             ("bytes", bytes.into()),
+                            ("logical_bytes", d.logical_bytes(class).into()),
                             ("ops", d.ops(class).into()),
                             ("phase", name.into()),
                         ],
@@ -754,7 +786,7 @@ impl<P: VertexProgram> Worker<P> {
                 }
             }
             for (k, v, _) in entries.into_iter().rev() {
-                lru.insert(k, v, false);
+                lru.insert_weighted(k, v, false, Self::lru_entry_weight());
             }
         }
         let vals = self.values.read_range(self.range.clone())?;
@@ -785,7 +817,7 @@ impl<P: VertexProgram> Worker<P> {
             }
             None => w.put_u8(0),
         }
-        w.commit(self.vfs.as_ref())
+        w.commit_with(self.vfs.as_ref(), self.cfg.codec)
     }
 
     /// Restores this worker's recoverable state from the checkpoint taken
@@ -840,9 +872,7 @@ impl<P: VertexProgram> Worker<P> {
             _ => return Err(mismatch("hot set presence")),
         }
         if self.lru.is_some() {
-            self.lru = Some(LruCache::new(
-                self.cfg.effective_lru_capacity().min(1 << 28),
-            ));
+            self.lru = Some(Self::new_value_lru(&self.cfg));
         }
         self.staged.clear();
         self.superstep = superstep;
@@ -924,7 +954,7 @@ impl<P: VertexProgram> Worker<P> {
             packet.encode(&mut blob);
             w.push(to.index() as u32, &blob);
         }
-        w.commit(self.vfs.as_ref())
+        w.commit_with(self.vfs.as_ref(), self.cfg.codec)
     }
 }
 

@@ -70,6 +70,12 @@ pub struct QtAudit {
     pub q: f64,
     /// Modeled time of superstep `t`, the threshold denominator.
     pub step_secs: f64,
+    /// Physical / logical bytes of superstep `t`'s classified I/O — the
+    /// on-disk compression ratio feeding the byte inputs above (1.0 when
+    /// no codec is configured). Eq. 11 consumes *physical* bytes, so the
+    /// codec legitimately moves `Q_t`; this records by how much the
+    /// superstep's I/O shrank.
+    pub io_ratio: f64,
     /// Relative-gain threshold in force.
     pub threshold: f64,
     /// Mode while superstep `t` ran ("push" / "b-pull").
@@ -92,14 +98,14 @@ pub fn render_table(audits: &[QtAudit]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9} | {:<7} -> {:<7} verdict",
+        "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9} {:>6} | {:<7} -> {:<7} verdict",
         "t", "M_co", "B_m", "IO(Mdisk)", "IO(Vrr)", "IO(E_psh)", "IO(E_bpl)", "IO(F)",
-        "net_s", "rw_s", "-rr_s", "sr_s", "Q_t+2", "step_s", "before", "after"
+        "net_s", "rw_s", "-rr_s", "sr_s", "Q_t+2", "step_s", "p/l", "before", "after"
     );
     for a in audits {
         let _ = writeln!(
             out,
-            "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9.3} | {:<7} -> {:<7} {}",
+            "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9.3} {:>6.3} | {:<7} -> {:<7} {}",
             a.superstep,
             a.inputs.mco,
             a.inputs.bytes_per_saved,
@@ -114,6 +120,7 @@ pub fn render_table(audits: &[QtAudit]) -> String {
             fmt_secs(a.terms.sr),
             fmt_secs(a.q),
             a.step_secs,
+            a.io_ratio,
             a.mode_before,
             a.mode_after,
             a.verdict.label(),
@@ -135,6 +142,7 @@ mod tests {
                 terms: QtTerms::default(),
                 q: 0.0,
                 step_secs: 0.5,
+                io_ratio: 1.0,
                 threshold: 0.1,
                 mode_before: "b-pull",
                 mode_after: "b-pull",
@@ -156,6 +164,7 @@ mod tests {
                 },
                 q: -0.011,
                 step_secs: 0.2,
+                io_ratio: 0.62,
                 threshold: 0.1,
                 mode_before: "b-pull",
                 mode_after: "push",
@@ -166,6 +175,7 @@ mod tests {
         assert!(table.contains("too-early"));
         assert!(table.contains("SWITCH"));
         assert!(table.contains("b-pull  -> push"));
+        assert!(table.contains("0.620"), "compression ratio column rendered");
         assert_eq!(table.lines().count(), 4);
     }
 }

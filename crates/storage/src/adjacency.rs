@@ -11,6 +11,7 @@
 use crate::record::Record;
 use crate::stats::AccessClass;
 use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_codec::{decode_extent, encode_extent, CodecChoice, ExtentKind};
 use hybridgraph_graph::{Edge, Graph, VertexId};
 use std::io;
 use std::ops::Range;
@@ -37,23 +38,46 @@ impl Record for Edge {
 pub struct AdjacencyStore {
     file: VfsFile,
     base: u32,
-    /// `offsets[i]..offsets[i + 1]` is the byte extent of vertex
-    /// `base + i`'s edge run; length `count + 1`.
+    /// `offsets[i]..offsets[i + 1]` is the *physical* byte extent of
+    /// vertex `base + i`'s edge run in the file; length `count + 1`.
+    /// Without a codec, physical extents equal logical edge bytes.
     offsets: Vec<u64>,
+    /// Per-vertex out-degrees, kept only when a codec is active (the
+    /// physical extents no longer encode the edge counts then).
+    degrees: Option<Vec<u32>>,
+    /// Total logical edge bytes (`Σ out_degree · 8`).
+    total_logical: u64,
+    codec: CodecChoice,
 }
 
 impl AdjacencyStore {
-    /// Builds the store for the vertices in `range`, writing their edge
-    /// runs sequentially (this is the `adj` loading path of Fig. 16).
+    /// Builds the store without compression; see
+    /// [`AdjacencyStore::build_with`].
     pub fn build(
         vfs: &dyn Vfs,
         name: &str,
         graph: &Graph,
         range: Range<u32>,
     ) -> io::Result<AdjacencyStore> {
+        AdjacencyStore::build_with(vfs, name, graph, range, CodecChoice::None)
+    }
+
+    /// Builds the store for the vertices in `range`, writing their edge
+    /// runs sequentially (this is the `adj` loading path of Fig. 16).
+    /// With a codec, each run is one coded extent — CSR rows are
+    /// dst-sorted, so delta-gap coding applies.
+    pub fn build_with(
+        vfs: &dyn Vfs,
+        name: &str,
+        graph: &Graph,
+        range: Range<u32>,
+        codec: CodecChoice,
+    ) -> io::Result<AdjacencyStore> {
         let file = vfs.create(name)?;
         let mut offsets = Vec::with_capacity(range.len() + 1);
         offsets.push(0u64);
+        let mut degrees = (!codec.is_none()).then(|| Vec::with_capacity(range.len()));
+        let mut total_logical = 0u64;
         let mut buf = Vec::new();
         for v in range.clone() {
             let edges = graph.out_edges(VertexId(v));
@@ -61,15 +85,29 @@ impl AdjacencyStore {
             for e in edges {
                 e.append_to(&mut buf);
             }
-            if !buf.is_empty() {
-                file.append(AccessClass::SeqWrite, &buf)?;
+            total_logical += buf.len() as u64;
+            if let Some(degrees) = degrees.as_mut() {
+                degrees.push(edges.len() as u32);
             }
-            offsets.push(offsets.last().unwrap() + buf.len() as u64);
+            let stored = if buf.is_empty() {
+                0
+            } else if codec.is_none() {
+                file.append(AccessClass::SeqWrite, &buf)?;
+                buf.len() as u64
+            } else {
+                let coded = encode_extent(codec, ExtentKind::Edges, &buf);
+                file.append_coded(AccessClass::SeqWrite, &coded, buf.len() as u64)?;
+                coded.len() as u64
+            };
+            offsets.push(offsets.last().unwrap() + stored);
         }
         Ok(AdjacencyStore {
             file,
             base: range.start,
             offsets,
+            degrees,
+            total_logical,
+            codec,
         })
     }
 
@@ -97,21 +135,40 @@ impl AdjacencyStore {
         (v.0 - self.base) as usize
     }
 
-    /// Out-degree of `v` (from the in-memory offset index; no I/O).
+    /// Out-degree of `v` (from the in-memory index; no I/O).
     pub fn out_degree(&self, v: VertexId) -> usize {
         let i = self.local(v);
-        ((self.offsets[i + 1] - self.offsets[i]) / Edge::BYTES as u64) as usize
+        match &self.degrees {
+            Some(d) => d[i] as usize,
+            Option::None => ((self.offsets[i + 1] - self.offsets[i]) / Edge::BYTES as u64) as usize,
+        }
     }
 
-    /// Edge bytes of `v` (no I/O).
+    /// Logical edge bytes of `v` (`out_degree · 8`; no I/O).
     pub fn edge_bytes_of(&self, v: VertexId) -> u64 {
+        self.out_degree(v) as u64 * Edge::BYTES as u64
+    }
+
+    /// Physical bytes `v`'s edge run occupies on disk (no I/O). Equal to
+    /// [`AdjacencyStore::edge_bytes_of`] without a codec.
+    pub fn stored_bytes_of(&self, v: VertexId) -> u64 {
         let i = self.local(v);
         self.offsets[i + 1] - self.offsets[i]
     }
 
-    /// Total edge bytes in the store.
+    /// Total logical edge bytes in the store.
     pub fn total_edge_bytes(&self) -> u64 {
+        self.total_logical
+    }
+
+    /// Total physical bytes the store's file occupies.
+    pub fn total_stored_bytes(&self) -> u64 {
         *self.offsets.last().unwrap()
+    }
+
+    /// The codec the store was built with.
+    pub fn codec(&self) -> CodecChoice {
+        self.codec
     }
 
     /// Reads the out-edges of `v`.
@@ -124,7 +181,16 @@ impl AdjacencyStore {
         if start == end {
             return Ok(Vec::new());
         }
-        let bytes = self.file.read_vec(class, start, (end - start) as usize)?;
+        let bytes = if self.codec.is_none() {
+            self.file.read_vec(class, start, (end - start) as usize)?
+        } else {
+            let logical = self.edge_bytes_of(v);
+            let coded = self
+                .file
+                .read_vec_coded(class, start, (end - start) as usize, logical)?;
+            decode_extent(ExtentKind::Edges, &coded, logical as usize)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        };
         Ok(crate::record::decode_slice(&bytes))
     }
 }
@@ -178,6 +244,37 @@ mod tests {
         s.edges_of(VertexId(5), AccessClass::SeqRead).unwrap();
         let d = vfs.stats().snapshot().delta(&before);
         assert_eq!(d.seq_read_bytes, s.edge_bytes_of(VertexId(5)));
+    }
+
+    #[test]
+    fn coded_store_reads_back_identically() {
+        let g = gen::uniform(80, 1200, 5);
+        let vfs = MemVfs::new();
+        let plain = AdjacencyStore::build(&vfs, "adj", &g, 0..80).unwrap();
+        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            let cvfs = MemVfs::new();
+            let s = AdjacencyStore::build_with(&cvfs, "adj", &g, 0..80, codec).unwrap();
+            assert_eq!(s.total_edge_bytes(), plain.total_edge_bytes());
+            for v in 0..80u32 {
+                let v = VertexId(v);
+                assert_eq!(s.out_degree(v), g.out_degree(v), "{codec:?}");
+                assert_eq!(s.edge_bytes_of(v), plain.edge_bytes_of(v));
+                assert_eq!(s.edges_of(v, AccessClass::SeqRead).unwrap(), g.out_edges(v));
+            }
+        }
+        // Gaps shrinks the file and the coded read accounts both sides.
+        let cvfs = MemVfs::new();
+        let s = AdjacencyStore::build_with(&cvfs, "adj", &g, 0..80, CodecChoice::Gaps).unwrap();
+        assert!(s.total_stored_bytes() * 2 < s.total_edge_bytes());
+        let wsnap = cvfs.stats().snapshot();
+        assert_eq!(wsnap.seq_write_bytes, s.total_stored_bytes());
+        assert_eq!(wsnap.seq_write_logical_bytes, s.total_edge_bytes());
+        let v = VertexId(7);
+        let before = cvfs.stats().snapshot();
+        s.edges_of(v, AccessClass::RandRead).unwrap();
+        let d = cvfs.stats().snapshot().delta(&before);
+        assert_eq!(d.rand_read_bytes, s.stored_bytes_of(v));
+        assert_eq!(d.rand_read_logical_bytes, s.edge_bytes_of(v));
     }
 
     #[test]

@@ -27,12 +27,15 @@
 
 use crate::stats::AccessClass;
 use crate::vfs::Vfs;
+use hybridgraph_codec::{decode_blob_frame, encode_blob_frame, CodecChoice};
 use std::io;
 
 /// File magic: `HGCK` little-endian.
 pub const CHECKPOINT_MAGIC: u32 = 0x4b43_4748;
-/// Current format version.
+/// Format version for plain (uncompressed) checkpoints.
 pub const CHECKPOINT_VERSION: u32 = 1;
+/// Format version when the field body is wrapped in one codec blob frame.
+pub const CHECKPOINT_VERSION_CODED: u32 = 2;
 
 const HEADER_BYTES: usize = 4 + 4 + 8;
 
@@ -117,20 +120,41 @@ impl CheckpointWriter {
     /// Writes the checkpoint to `vfs` as one sequential write and returns
     /// the total bytes written. Any prior checkpoint for the same
     /// superstep is truncated.
-    pub fn commit(mut self, vfs: &dyn Vfs) -> io::Result<u64> {
-        // Trailing length word: lets the reader detect truncation.
-        let total = self.buf.len() as u64 + 8;
-        let len = total;
-        self.buf.extend_from_slice(&len.to_le_bytes());
+    pub fn commit(self, vfs: &dyn Vfs) -> io::Result<u64> {
+        self.commit_with(vfs, CodecChoice::None)
+    }
+
+    /// Like [`CheckpointWriter::commit`], but with a codec the field body
+    /// is wrapped in one blob frame (format version 2) and the write is
+    /// accounted physical-vs-logical. Returns the physical bytes written.
+    pub fn commit_with(mut self, vfs: &dyn Vfs, codec: CodecChoice) -> io::Result<u64> {
         let file = vfs.create(&checkpoint_file_name(self.superstep))?;
-        file.append(AccessClass::SeqWrite, &self.buf)?;
+        if codec.is_none() {
+            // Trailing length word: lets the reader detect truncation.
+            let total = self.buf.len() as u64 + 8;
+            self.buf.extend_from_slice(&total.to_le_bytes());
+            file.append(AccessClass::SeqWrite, &self.buf)?;
+            return Ok(total);
+        }
+        let logical = self.buf.len() as u64 + 8; // what version 1 would write
+        let body = &self.buf[HEADER_BYTES..];
+        let mut out = Vec::with_capacity(HEADER_BYTES + body.len() / 2 + 16);
+        out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CHECKPOINT_VERSION_CODED.to_le_bytes());
+        out.extend_from_slice(&self.superstep.to_le_bytes());
+        out.extend_from_slice(&encode_blob_frame(codec, body));
+        let total = out.len() as u64 + 8;
+        out.extend_from_slice(&total.to_le_bytes());
+        file.append_coded(AccessClass::SeqWrite, &out, logical)?;
         Ok(total)
     }
 }
 
 /// Reads back a committed checkpoint, verifying framing as it goes.
+/// Accepts both plain (v1) and coded (v2) files — the file itself says
+/// which, so no codec configuration is needed to restore.
 pub struct CheckpointReader {
-    data: Vec<u8>,
+    body: Vec<u8>,
     pos: usize,
     superstep: u64,
 }
@@ -149,7 +173,7 @@ impl CheckpointReader {
             return Err(corrupt("bad magic"));
         }
         let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
-        if version != CHECKPOINT_VERSION {
+        if version != CHECKPOINT_VERSION && version != CHECKPOINT_VERSION_CODED {
             return Err(corrupt("unsupported version"));
         }
         let ss = u64::from_le_bytes(data[8..16].try_into().unwrap());
@@ -160,9 +184,27 @@ impl CheckpointReader {
         if trailer != data.len() as u64 {
             return Err(corrupt("length trailer mismatch (truncated write?)"));
         }
+        let body = if version == CHECKPOINT_VERSION {
+            data[HEADER_BYTES..data.len() - 8].to_vec()
+        } else {
+            let mut pos = HEADER_BYTES;
+            let raw = decode_blob_frame(&data[..data.len() - 8], &mut pos)
+                .map_err(|e| corrupt(&e.to_string()))?;
+            if pos != data.len() - 8 {
+                return Err(corrupt("coded body length mismatch"));
+            }
+            // The whole-file read above charged logical == physical; top
+            // up to the decoded (v1-equivalent) logical size.
+            let logical = (HEADER_BYTES + raw.len() + 8) as u64;
+            vfs.stats().record_logical(
+                AccessClass::SeqRead,
+                logical.saturating_sub(data.len() as u64),
+            );
+            raw
+        };
         Ok(CheckpointReader {
-            data,
-            pos: HEADER_BYTES,
+            body,
+            pos: 0,
             superstep,
         })
     }
@@ -173,11 +215,12 @@ impl CheckpointReader {
     }
 
     fn take(&mut self, n: usize) -> io::Result<&[u8]> {
-        // The last 8 bytes are the trailer; fields must not read into it.
-        if self.pos + n > self.data.len() - 8 {
+        // `n` comes from on-disk data: compare without `pos + n`, which a
+        // corrupt length near `usize::MAX` would overflow.
+        if n > self.body.len() - self.pos {
             return Err(corrupt("field past end"));
         }
-        let s = &self.data[self.pos..self.pos + n];
+        let s = &self.body[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
@@ -299,6 +342,56 @@ mod tests {
         f.append(AccessClass::SeqWrite, &full[..full.len() - 10])
             .unwrap();
         assert!(CheckpointReader::open(&vfs, 2).is_err());
+    }
+
+    #[test]
+    fn coded_commit_roundtrips_and_accounts_both_sides() {
+        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            let vfs = MemVfs::new();
+            let mut w = CheckpointWriter::new(11);
+            w.put_u8(9);
+            w.put_f64(2.5);
+            w.put_bytes(&[42u8; 4096]); // highly compressible body
+            w.put_words(&[5; 100]);
+            let logical = w.payload_bytes() + 8;
+            let physical = w.commit_with(&vfs, codec).unwrap();
+            // Gaps is structure-aware only: its blob frames stay raw.
+            if !matches!(codec, CodecChoice::Gaps) {
+                assert!(physical < logical, "{codec:?} must shrink this body");
+            }
+            let wsnap = vfs.stats().snapshot();
+            assert_eq!(wsnap.seq_write_bytes, physical);
+            assert_eq!(wsnap.seq_write_logical_bytes, logical);
+
+            let mut r = CheckpointReader::open(&vfs, 11).unwrap();
+            assert_eq!(r.get_u8().unwrap(), 9);
+            assert_eq!(r.get_f64().unwrap(), 2.5);
+            assert_eq!(r.get_bytes().unwrap(), vec![42u8; 4096]);
+            assert_eq!(r.get_words().unwrap(), vec![5; 100]);
+            assert!(r.get_u8().is_err(), "no fields past the body");
+            let rsnap = vfs.stats().snapshot();
+            assert_eq!(rsnap.seq_read_bytes, physical);
+            // The whole-file read charges logical == physical up front,
+            // then tops up — so read logical is max(physical, v1 size).
+            assert_eq!(rsnap.seq_read_logical_bytes, logical.max(physical));
+        }
+    }
+
+    #[test]
+    fn coded_truncated_file_rejected() {
+        let vfs = MemVfs::new();
+        let mut w = CheckpointWriter::new(8);
+        w.put_bytes(&[1u8; 500]);
+        w.commit_with(&vfs, CodecChoice::Block).unwrap();
+        let full = vfs
+            .open(&checkpoint_file_name(8))
+            .unwrap()
+            .read_all(AccessClass::SeqRead)
+            .unwrap();
+        let f = vfs.create(&checkpoint_file_name(8)).unwrap();
+        f.append(AccessClass::SeqWrite, &full[..full.len() - 12])
+            .unwrap();
+        assert!(CheckpointReader::open(&vfs, 8).is_err());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod veblock;
 pub mod vfs;
 
 pub use checkpoint::{CheckpointReader, CheckpointWriter};
+pub use hybridgraph_codec::{Codec, CodecChoice, CodecError};
 pub use msg_log::{MsgLogReader, MsgLogWriter};
 pub use profile::DeviceProfile;
 pub use record::Record;

@@ -5,6 +5,12 @@
 //! The per-vertex `pull` baseline in this reproduction uses the same
 //! scheme: a hit is free, a miss costs one random value read, and evicting
 //! a dirty entry costs one random value write.
+//!
+//! Capacity is expressed as an abstract *weight* budget. The classic
+//! entry-count cache is the weight-1 special case ([`LruCache::insert`]);
+//! callers that know their payload sizes charge actual bytes per entry
+//! through [`LruCache::insert_weighted`], so a byte budget is honored
+//! regardless of how large individual entries are.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -12,36 +18,43 @@ use std::hash::Hash;
 /// Entry index inside the slab; `NONE` marks list ends.
 const NONE: usize = usize::MAX;
 
-/// A fixed-capacity LRU map with dirty tracking.
+/// A fixed-capacity LRU map with dirty tracking and weighted entries.
 pub struct LruCache<K: Eq + Hash + Copy, V> {
     map: HashMap<K, usize>,
     /// Slot payloads; `None` for free slots.
     entries: Vec<Option<(K, V, bool)>>,
+    /// Weight charged per occupied slot.
+    weights: Vec<usize>,
     /// `(prev, next)` recency links per slot.
     links: Vec<(usize, usize)>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
+    used: usize,
     hits: u64,
     misses: u64,
 }
 
 impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
-    /// A cache holding at most `capacity` entries.
+    /// A cache holding entries of at most `capacity` total weight
+    /// (entries, with [`Self::insert`]; bytes, with
+    /// [`Self::insert_weighted`] and byte weights).
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         LruCache {
-            map: HashMap::with_capacity(capacity),
-            entries: Vec::with_capacity(capacity),
-            links: Vec::with_capacity(capacity),
+            map: HashMap::new(),
+            entries: Vec::new(),
+            weights: Vec::new(),
+            links: Vec::new(),
             free: Vec::new(),
             head: NONE,
             tail: NONE,
             capacity,
+            used: 0,
             hits: 0,
             misses: 0,
         }
@@ -57,9 +70,14 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
         self.map.is_empty()
     }
 
-    /// Capacity in entries.
+    /// Capacity in total weight.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Total weight of the cached entries.
+    pub fn used_weight(&self) -> usize {
+        self.used
     }
 
     /// Cache hits observed by [`Self::get`] / [`Self::get_mut`].
@@ -136,11 +154,41 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
         self.map.contains_key(key)
     }
 
-    /// Inserts `key → value`, evicting the LRU entry if full.
+    /// Inserts `key → value` at weight 1, evicting the LRU entry if full.
     ///
     /// Returns the evicted `(key, value, dirty)` if an eviction happened —
     /// a dirty eviction is the caller's signal to write the value back.
+    /// (With uniform weight 1 at most one entry can ever be displaced.)
     pub fn insert(&mut self, key: K, value: V, dirty: bool) -> Option<(K, V, bool)> {
+        self.insert_weighted(key, value, dirty, 1).pop()
+    }
+
+    fn evict_tail(&mut self) -> (K, V, bool) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NONE);
+        self.detach(idx);
+        let entry = self.entries[idx].take().unwrap();
+        self.used -= self.weights[idx];
+        self.map.remove(&entry.0);
+        self.free.push(idx);
+        entry
+    }
+
+    /// Inserts `key → value` charged at `weight`, evicting LRU entries
+    /// until the total weight fits `capacity`. Evictions are returned
+    /// LRU-first; dirty ones are the caller's signal to write back.
+    ///
+    /// An entry heavier than the whole capacity still goes in (after
+    /// evicting everything else) — refusing it would make the hot vertex
+    /// uncacheable, which is worse than a transient overshoot.
+    pub fn insert_weighted(
+        &mut self,
+        key: K,
+        value: V,
+        dirty: bool,
+        weight: usize,
+    ) -> Vec<(K, V, bool)> {
+        let mut evicted = Vec::new();
         if let Some(&idx) = self.map.get(&key) {
             // Replace in place; dirtiness is sticky.
             self.detach(idx);
@@ -148,30 +196,32 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
             let entry = self.entries[idx].as_mut().unwrap();
             entry.1 = value;
             entry.2 = entry.2 || dirty;
-            return None;
+            self.used = self.used - self.weights[idx] + weight;
+            self.weights[idx] = weight;
+            // A heavier replacement may push others out (never itself —
+            // it is the head now).
+            while self.used > self.capacity && self.tail != idx {
+                evicted.push(self.evict_tail());
+            }
+            return evicted;
         }
-        let evicted = if self.map.len() >= self.capacity {
-            let idx = self.tail;
-            debug_assert_ne!(idx, NONE);
-            self.detach(idx);
-            let (old_key, old_value, old_dirty) = self.entries[idx].take().unwrap();
-            self.map.remove(&old_key);
-            self.free.push(idx);
-            Some((old_key, old_value, old_dirty))
-        } else {
-            None
-        };
+        while self.used + weight > self.capacity && self.tail != NONE {
+            evicted.push(self.evict_tail());
+        }
         let idx = match self.free.pop() {
             Some(idx) => {
                 self.entries[idx] = Some((key, value, dirty));
+                self.weights[idx] = weight;
                 idx
             }
             None => {
                 self.entries.push(Some((key, value, dirty)));
+                self.weights.push(weight);
                 self.links.push((NONE, NONE));
                 self.entries.len() - 1
             }
         };
+        self.used += weight;
         self.map.insert(key, idx);
         self.attach_front(idx);
         evicted
@@ -189,10 +239,12 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
         }
         self.map.clear();
         self.entries.clear();
+        self.weights.clear();
         self.links.clear();
         self.free.clear();
         self.head = NONE;
         self.tail = NONE;
+        self.used = 0;
         out
     }
 }
@@ -294,5 +346,74 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: LruCache<u32, u32> = LruCache::new(0);
+    }
+
+    #[test]
+    fn byte_weights_bound_total_not_count() {
+        let mut c: LruCache<u32, Vec<u8>> = LruCache::new(100);
+        assert!(c.insert_weighted(1, vec![0; 40], false, 40).is_empty());
+        assert!(c.insert_weighted(2, vec![0; 40], false, 40).is_empty());
+        assert_eq!(c.used_weight(), 80);
+        // 40 more does not fit: the LRU entry (1) goes.
+        let ev = c.insert_weighted(3, vec![0; 40], true, 40);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].0, 1);
+        assert_eq!(c.used_weight(), 80);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn one_heavy_insert_evicts_many() {
+        let mut c: LruCache<u32, u32> = LruCache::new(10);
+        for i in 0..5 {
+            c.insert_weighted(i, i, i % 2 == 0, 2);
+        }
+        assert_eq!(c.used_weight(), 10);
+        let ev = c.insert_weighted(9, 90, false, 9);
+        // LRU-first: 0, 1, 2, 3 must go (8 weight freed) plus 4.
+        let keys: Vec<u32> = ev.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.used_weight(), 9);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_still_cached_after_clearing() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert_weighted(1, 10, false, 2);
+        let ev = c.insert_weighted(2, 20, false, 100);
+        assert_eq!(ev.len(), 1);
+        assert!(c.contains(&2));
+        assert_eq!(c.used_weight(), 100);
+        // Next insert displaces the oversized one again.
+        let ev = c.insert_weighted(3, 30, false, 1);
+        assert_eq!(ev[0].0, 2);
+        assert_eq!(c.used_weight(), 1);
+    }
+
+    #[test]
+    fn reweighting_replacement_shrinks_others() {
+        let mut c: LruCache<u32, u32> = LruCache::new(10);
+        c.insert_weighted(1, 10, false, 4);
+        c.insert_weighted(2, 20, false, 4);
+        // Re-inserting 2 at a heavier weight pushes 1 out, never itself.
+        let ev = c.insert_weighted(2, 21, false, 9);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].0, 1);
+        assert_eq!(c.get(&2), Some(&21));
+        assert_eq!(c.used_weight(), 9);
+    }
+
+    #[test]
+    fn hit_miss_counters_survive_weighted_use() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        c.insert_weighted(1, 1, false, 3);
+        c.get(&1);
+        c.get(&2);
+        c.insert_weighted(2, 2, false, 5);
+        c.get_mut(&2);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.used_weight(), 8);
     }
 }

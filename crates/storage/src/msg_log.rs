@@ -35,12 +35,15 @@
 
 use crate::stats::AccessClass;
 use crate::vfs::Vfs;
+use hybridgraph_codec::{decode_blob_frame, encode_blob_frame, CodecChoice};
 use std::io;
 
 /// File magic: `HGML` little-endian.
 pub const MSG_LOG_MAGIC: u32 = 0x4c4d_4748;
-/// Current format version.
+/// Format version for plain (uncompressed) segments.
 pub const MSG_LOG_VERSION: u32 = 1;
+/// Format version when the entry body is wrapped in one codec blob frame.
+pub const MSG_LOG_VERSION_CODED: u32 = 2;
 
 const HEADER_BYTES: usize = 4 + 4 + 8 + 8;
 
@@ -117,19 +120,42 @@ impl MsgLogWriter {
     /// the total bytes written. Any prior segment for the same
     /// superstep is truncated (re-execution after a rollback regenerates
     /// bit-identical traffic, so overwriting is safe).
-    pub fn commit(mut self, vfs: &dyn Vfs) -> io::Result<u64> {
+    pub fn commit(self, vfs: &dyn Vfs) -> io::Result<u64> {
+        self.commit_with(vfs, CodecChoice::None)
+    }
+
+    /// Like [`MsgLogWriter::commit`], but with a codec the entry body is
+    /// wrapped in one blob frame (format version 2) and the write is
+    /// accounted physical-vs-logical. Returns the physical bytes written.
+    pub fn commit_with(mut self, vfs: &dyn Vfs, codec: CodecChoice) -> io::Result<u64> {
         self.buf[16..24].copy_from_slice(&self.count.to_le_bytes());
-        let total = self.buf.len() as u64 + 8;
-        self.buf.extend_from_slice(&total.to_le_bytes());
         let file = vfs.create(&msg_log_file_name(self.superstep))?;
-        file.append(AccessClass::SeqWrite, &self.buf)?;
+        if codec.is_none() {
+            let total = self.buf.len() as u64 + 8;
+            self.buf.extend_from_slice(&total.to_le_bytes());
+            file.append(AccessClass::SeqWrite, &self.buf)?;
+            return Ok(total);
+        }
+        let logical = self.buf.len() as u64 + 8; // what version 1 would write
+        let body = &self.buf[HEADER_BYTES..];
+        let mut out = Vec::with_capacity(HEADER_BYTES + body.len() / 2 + 16);
+        out.extend_from_slice(&MSG_LOG_MAGIC.to_le_bytes());
+        out.extend_from_slice(&MSG_LOG_VERSION_CODED.to_le_bytes());
+        out.extend_from_slice(&self.superstep.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&encode_blob_frame(codec, body));
+        let total = out.len() as u64 + 8;
+        out.extend_from_slice(&total.to_le_bytes());
+        file.append_coded(AccessClass::SeqWrite, &out, logical)?;
         Ok(total)
     }
 }
 
 /// Reads back a committed log segment, verifying framing as it goes.
+/// Accepts both plain (v1) and coded (v2) segments — the file itself
+/// says which, so replay needs no codec configuration.
 pub struct MsgLogReader {
-    data: Vec<u8>,
+    body: Vec<u8>,
     pos: usize,
     remaining: u64,
     superstep: u64,
@@ -150,7 +176,7 @@ impl MsgLogReader {
             return Err(corrupt("bad magic"));
         }
         let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
-        if version != MSG_LOG_VERSION {
+        if version != MSG_LOG_VERSION && version != MSG_LOG_VERSION_CODED {
             return Err(corrupt("unsupported version"));
         }
         let ss = u64::from_le_bytes(data[8..16].try_into().unwrap());
@@ -162,9 +188,27 @@ impl MsgLogReader {
         if trailer != data.len() as u64 {
             return Err(corrupt("length trailer mismatch (truncated write?)"));
         }
+        let body = if version == MSG_LOG_VERSION {
+            data[HEADER_BYTES..data.len() - 8].to_vec()
+        } else {
+            let mut pos = HEADER_BYTES;
+            let raw = decode_blob_frame(&data[..data.len() - 8], &mut pos)
+                .map_err(|e| corrupt(&e.to_string()))?;
+            if pos != data.len() - 8 {
+                return Err(corrupt("coded body length mismatch"));
+            }
+            // The whole-file read above charged logical == physical; top
+            // up to the decoded (v1-equivalent) logical size.
+            let logical = (HEADER_BYTES + raw.len() + 8) as u64;
+            vfs.stats().record_logical(
+                AccessClass::SeqRead,
+                logical.saturating_sub(data.len() as u64),
+            );
+            raw
+        };
         Ok(MsgLogReader {
-            data,
-            pos: HEADER_BYTES,
+            body,
+            pos: 0,
             remaining: count,
             superstep,
         })
@@ -187,18 +231,20 @@ impl MsgLogReader {
         if self.remaining == 0 {
             return Ok(None);
         }
-        let end = self.data.len() - 8;
+        let end = self.body.len();
         if self.pos + 12 > end {
             return Err(corrupt("entry header past end"));
         }
-        let dest = u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap());
+        let dest = u32::from_le_bytes(self.body[self.pos..self.pos + 4].try_into().unwrap());
         let len =
-            u64::from_le_bytes(self.data[self.pos + 4..self.pos + 12].try_into().unwrap()) as usize;
+            u64::from_le_bytes(self.body[self.pos + 4..self.pos + 12].try_into().unwrap()) as usize;
         self.pos += 12;
-        if self.pos + len > end {
+        // `len` comes from on-disk data: compare without `pos + len`,
+        // which a corrupt length near `usize::MAX` would overflow.
+        if len > end - self.pos {
             return Err(corrupt("entry body past end"));
         }
-        let blob = self.data[self.pos..self.pos + len].to_vec();
+        let blob = self.body[self.pos..self.pos + len].to_vec();
         self.pos += len;
         self.remaining -= 1;
         Ok(Some((dest, blob)))
@@ -296,6 +342,52 @@ mod tests {
             .append(AccessClass::SeqWrite, &data)
             .unwrap();
         assert!(MsgLogReader::open(&vfs, 6).is_err());
+    }
+
+    #[test]
+    fn coded_segment_roundtrips_and_accounts_both_sides() {
+        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            let vfs = MemVfs::new();
+            let mut w = MsgLogWriter::new(7);
+            for i in 0..40u32 {
+                w.push(i % 3, &[b'x'; 200]);
+            }
+            let physical = w.commit_with(&vfs, codec).unwrap();
+            let wsnap = vfs.stats().snapshot();
+            // Gaps is structure-aware only: its blob frames stay raw.
+            if !matches!(codec, CodecChoice::Gaps) {
+                assert!(physical < wsnap.seq_write_logical_bytes, "{codec:?}");
+            }
+            assert_eq!(wsnap.seq_write_bytes, physical);
+
+            let mut r = MsgLogReader::open(&vfs, 7).unwrap();
+            assert_eq!(r.remaining(), 40);
+            let all = r.read_all_entries().unwrap();
+            assert_eq!(all.len(), 40);
+            for (i, (dest, blob)) in all.iter().enumerate() {
+                assert_eq!(*dest, i as u32 % 3);
+                assert_eq!(blob, &vec![b'x'; 200]);
+            }
+            let rsnap = vfs.stats().snapshot();
+            assert_eq!(rsnap.seq_read_bytes, physical);
+            // Read logical is max(physical, v1 size): the whole-file read
+            // charges logical == physical up front, then tops up.
+            assert_eq!(
+                rsnap.seq_read_logical_bytes,
+                wsnap.seq_write_logical_bytes.max(physical)
+            );
+        }
+    }
+
+    #[test]
+    fn coded_empty_segment_still_committed() {
+        let vfs = MemVfs::new();
+        MsgLogWriter::new(9)
+            .commit_with(&vfs, CodecChoice::Auto)
+            .unwrap();
+        let mut r = MsgLogReader::open(&vfs, 9).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(r.next_entry().unwrap().is_none());
     }
 
     #[test]

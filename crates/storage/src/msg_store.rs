@@ -12,9 +12,15 @@
 use crate::record::Record;
 use crate::stats::AccessClass;
 use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_codec::{decode_blob_frame, encode_blob_frame, CodecChoice};
 use hybridgraph_graph::VertexId;
 use std::io;
 use std::marker::PhantomData;
+
+/// Messages per compressed spill chunk when a codec is active. Each full
+/// chunk is framed and appended as one coded random write; the chunk
+/// being assembled stays in memory until it fills (or the buffer drains).
+const SPILL_CHUNK_MSGS: u64 = 256;
 
 /// A bounded in-memory message buffer that spills overflow to disk.
 pub struct SpillBuffer<M: Record> {
@@ -23,19 +29,42 @@ pub struct SpillBuffer<M: Record> {
     spill: VfsFile,
     spilled: u64,
     total: u64,
+    codec: CodecChoice,
+    /// Raw encoding of spill-bound messages not yet flushed as a chunk
+    /// (always empty without a codec).
+    chunk: Vec<u8>,
+    /// Physical bytes currently in the spill file (coded path only).
+    file_bytes: u64,
+    /// Logical bytes behind `file_bytes`.
+    file_logical: u64,
     _marker: PhantomData<M>,
 }
 
 impl<M: Record> SpillBuffer<M> {
     /// Creates a buffer holding at most `capacity` messages in memory;
-    /// overflow goes to the spill file `name` in `vfs`.
+    /// overflow goes to the spill file `name` in `vfs`, uncompressed.
     pub fn new(vfs: &dyn Vfs, name: &str, capacity: usize) -> io::Result<SpillBuffer<M>> {
+        SpillBuffer::with_codec(vfs, name, capacity, CodecChoice::None)
+    }
+
+    /// Like [`SpillBuffer::new`], but spilled messages are framed into
+    /// coded chunks of [`SPILL_CHUNK_MSGS`] when `codec` is active.
+    pub fn with_codec(
+        vfs: &dyn Vfs,
+        name: &str,
+        capacity: usize,
+        codec: CodecChoice,
+    ) -> io::Result<SpillBuffer<M>> {
         Ok(SpillBuffer {
             mem: Vec::new(),
             capacity,
             spill: vfs.create(name)?,
             spilled: 0,
             total: 0,
+            codec,
+            chunk: Vec::new(),
+            file_bytes: 0,
+            file_logical: 0,
             _marker: PhantomData,
         })
     }
@@ -46,17 +75,67 @@ impl<M: Record> SpillBuffer<M> {
         4 + M::BYTES as u64
     }
 
+    /// Flushes the pending chunk as one coded frame (coded path only).
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.chunk.is_empty() {
+            return Ok(());
+        }
+        let frame = encode_blob_frame(self.codec, &self.chunk);
+        self.spill
+            .append_coded(AccessClass::RandWrite, &frame, self.chunk.len() as u64)?;
+        self.file_bytes += frame.len() as u64;
+        self.file_logical += self.chunk.len() as u64;
+        self.chunk.clear();
+        Ok(())
+    }
+
+    /// Decodes every message currently in the spill file (coded path),
+    /// reading the file as one sequential scan, then the pending chunk.
+    fn decode_spilled_coded(&self, into: &mut Vec<(VertexId, M)>) -> io::Result<()> {
+        let width = Self::message_bytes() as usize;
+        let mut decode_raw = |raw: &[u8]| {
+            for chunk in raw.chunks_exact(width) {
+                let dst = VertexId::read_from(&chunk[..4]);
+                let msg = M::read_from(&chunk[4..]);
+                into.push((dst, msg));
+            }
+        };
+        if self.file_bytes > 0 {
+            let bytes = self.spill.read_vec_coded(
+                AccessClass::SeqRead,
+                0,
+                self.file_bytes as usize,
+                self.file_logical,
+            )?;
+            let mut pos = 0usize;
+            while pos < bytes.len() {
+                let raw = decode_blob_frame(&bytes, &mut pos)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                decode_raw(&raw);
+            }
+        }
+        decode_raw(&self.chunk);
+        Ok(())
+    }
+
     /// Accepts one message for `dst`.
     pub fn push(&mut self, dst: VertexId, msg: M) -> io::Result<()> {
         self.total += 1;
         if self.mem.len() < self.capacity {
             self.mem.push((dst, msg));
-        } else {
+        } else if self.codec.is_none() {
             let mut buf = Vec::with_capacity(Self::message_bytes() as usize);
             dst.append_to(&mut buf);
             msg.append_to(&mut buf);
             self.spill.append(AccessClass::RandWrite, &buf)?;
             self.spilled += 1;
+        } else {
+            dst.append_to(&mut self.chunk);
+            msg.append_to(&mut self.chunk);
+            self.spilled += 1;
+            if self.chunk.len() as u64 >= SPILL_CHUNK_MSGS * Self::message_bytes() {
+                self.flush_chunk()?;
+            }
         }
         Ok(())
     }
@@ -71,9 +150,15 @@ impl<M: Record> SpillBuffer<M> {
         self.spilled
     }
 
-    /// Spilled bytes currently on disk.
+    /// Spill bytes the overflow currently occupies: physical file bytes
+    /// plus the raw pending chunk. Without a codec this is exactly
+    /// `spilled · message_bytes`.
     pub fn spilled_bytes(&self) -> u64 {
-        self.spilled * Self::message_bytes()
+        if self.codec.is_none() {
+            self.spilled * Self::message_bytes()
+        } else {
+            self.file_bytes + self.chunk.len() as u64
+        }
     }
 
     /// Messages currently buffered in memory.
@@ -81,9 +166,10 @@ impl<M: Record> SpillBuffer<M> {
         self.mem.len()
     }
 
-    /// In-memory footprint in bytes (for the memory-usage curves).
+    /// In-memory footprint in bytes (for the memory-usage curves),
+    /// including any spill chunk still being assembled.
     pub fn memory_bytes(&self) -> u64 {
-        self.mem.len() as u64 * Self::message_bytes()
+        self.mem.len() as u64 * Self::message_bytes() + self.chunk.len() as u64
     }
 
     /// Ends the receive phase: reads back any spilled messages (sequential
@@ -93,17 +179,24 @@ impl<M: Record> SpillBuffer<M> {
     pub fn drain(&mut self) -> io::Result<DeliveredMessages<M>> {
         let mut all = std::mem::take(&mut self.mem);
         if self.spilled > 0 {
-            let bytes = self.spill.read_all(AccessClass::SeqRead)?;
-            let width = Self::message_bytes() as usize;
-            for chunk in bytes.chunks_exact(width) {
-                let dst = VertexId::read_from(&chunk[..4]);
-                let msg = M::read_from(&chunk[4..]);
-                all.push((dst, msg));
+            if self.codec.is_none() {
+                let bytes = self.spill.read_all(AccessClass::SeqRead)?;
+                let width = Self::message_bytes() as usize;
+                for chunk in bytes.chunks_exact(width) {
+                    let dst = VertexId::read_from(&chunk[..4]);
+                    let msg = M::read_from(&chunk[4..]);
+                    all.push((dst, msg));
+                }
+            } else {
+                self.decode_spilled_coded(&mut all)?;
             }
             self.spill.truncate()?;
         }
         self.spilled = 0;
         self.total = 0;
+        self.chunk.clear();
+        self.file_bytes = 0;
+        self.file_logical = 0;
         all.sort_by_key(|(dst, _)| *dst);
         Ok(DeliveredMessages { sorted: all })
     }
@@ -114,12 +207,16 @@ impl<M: Record> SpillBuffer<M> {
     pub fn snapshot_pending(&self) -> io::Result<Vec<(VertexId, M)>> {
         let mut all = self.mem.clone();
         if self.spilled > 0 {
-            let bytes = self.spill.read_all(AccessClass::SeqRead)?;
-            let width = Self::message_bytes() as usize;
-            for chunk in bytes.chunks_exact(width) {
-                let dst = VertexId::read_from(&chunk[..4]);
-                let msg = M::read_from(&chunk[4..]);
-                all.push((dst, msg));
+            if self.codec.is_none() {
+                let bytes = self.spill.read_all(AccessClass::SeqRead)?;
+                let width = Self::message_bytes() as usize;
+                for chunk in bytes.chunks_exact(width) {
+                    let dst = VertexId::read_from(&chunk[..4]);
+                    let msg = M::read_from(&chunk[4..]);
+                    all.push((dst, msg));
+                }
+            } else {
+                self.decode_spilled_coded(&mut all)?;
             }
         }
         Ok(all)
@@ -134,6 +231,9 @@ impl<M: Record> SpillBuffer<M> {
             mem: self.mem.len(),
             spilled: self.spilled,
             total: self.total,
+            file_bytes: self.file_bytes,
+            file_logical: self.file_logical,
+            chunk: self.chunk.clone(),
         }
     }
 
@@ -149,8 +249,16 @@ impl<M: Record> SpillBuffer<M> {
             "rewind past a drain"
         );
         self.mem.truncate(mark.mem);
-        self.spill
-            .truncate_to(mark.spilled * Self::message_bytes())?;
+        if self.codec.is_none() {
+            self.spill
+                .truncate_to(mark.spilled * Self::message_bytes())?;
+        } else {
+            self.spill.truncate_to(mark.file_bytes)?;
+            self.file_bytes = mark.file_bytes;
+            self.file_logical = mark.file_logical;
+            self.chunk.clear();
+            self.chunk.extend_from_slice(&mark.chunk);
+        }
         self.spilled = mark.spilled;
         self.total = mark.total;
         Ok(())
@@ -164,6 +272,9 @@ impl<M: Record> SpillBuffer<M> {
         self.spill.truncate()?;
         self.spilled = 0;
         self.total = 0;
+        self.chunk.clear();
+        self.file_bytes = 0;
+        self.file_logical = 0;
         for (dst, msg) in pairs {
             self.push(dst, msg)?;
         }
@@ -172,11 +283,17 @@ impl<M: Record> SpillBuffer<M> {
 }
 
 /// A point-in-time extent of a [`SpillBuffer`], for [`SpillBuffer::rewind`].
-#[derive(Clone, Copy, Debug)]
+/// With a codec the mark also carries a copy of the pending spill chunk
+/// (bounded by [`SPILL_CHUNK_MSGS`] messages), since later pushes may have
+/// flushed it into the file.
+#[derive(Clone, Debug)]
 pub struct SpillMark {
     mem: usize,
     spilled: u64,
     total: u64,
+    file_bytes: u64,
+    file_logical: u64,
+    chunk: Vec<u8>,
 }
 
 /// Messages of one superstep, grouped by destination vertex.
@@ -386,6 +503,86 @@ mod tests {
         let m2 = b.mark();
         b.rewind(&m2).unwrap();
         assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn coded_spill_roundtrips_and_shrinks() {
+        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            let vfs = MemVfs::new();
+            let mut b: SpillBuffer<f64> = SpillBuffer::with_codec(&vfs, "spill", 4, codec).unwrap();
+            // Enough overflow to flush several chunks plus a partial one.
+            let n = 3 * SPILL_CHUNK_MSGS + 77;
+            for i in 0..n {
+                b.push(VertexId((i % 13) as u32), i as f64).unwrap();
+            }
+            assert_eq!(b.total(), n);
+            assert_eq!(b.spilled(), n - 4);
+            let snap = vfs.stats().snapshot();
+            if !matches!(codec, CodecChoice::Gaps) {
+                // Block/Auto compress the highly regular spill stream.
+                assert!(
+                    snap.rand_write_bytes < snap.rand_write_logical_bytes,
+                    "{codec:?} should shrink spills"
+                );
+            }
+            assert!(b.spilled_bytes() > 0);
+            let mut got: Vec<(u32, u64)> = b
+                .drain()
+                .unwrap()
+                .iter()
+                .map(|(v, m)| (v.0, m.to_bits()))
+                .collect();
+            got.sort();
+            let mut want: Vec<(u32, u64)> = (0..n)
+                .map(|i| ((i % 13) as u32, (i as f64).to_bits()))
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "{codec:?}");
+            assert_eq!(b.spilled_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn coded_snapshot_and_restore() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<u32> =
+            SpillBuffer::with_codec(&vfs, "spill", 1, CodecChoice::Block).unwrap();
+        let n = SPILL_CHUNK_MSGS + 9;
+        for i in 0..n {
+            b.push(VertexId(i as u32), i as u32 * 3).unwrap();
+        }
+        let snap = b.snapshot_pending().unwrap();
+        assert_eq!(snap.len() as u64, n);
+        assert_eq!(b.total(), n, "snapshot must not disturb the buffer");
+
+        let vfs2 = MemVfs::new();
+        let mut c: SpillBuffer<u32> =
+            SpillBuffer::with_codec(&vfs2, "spill", 1, CodecChoice::Block).unwrap();
+        c.restore_pending(snap).unwrap();
+        assert_eq!(c.total(), n);
+        assert_eq!(c.drain().unwrap().len() as u64, n);
+    }
+
+    #[test]
+    fn coded_mark_and_rewind_survive_chunk_flushes() {
+        let vfs = MemVfs::new();
+        let mut b: SpillBuffer<u32> =
+            SpillBuffer::with_codec(&vfs, "spill", 0, CodecChoice::Block).unwrap();
+        // Leave a partial chunk pending, mark, then push past a flush.
+        for i in 0..10u32 {
+            b.push(VertexId(i), i).unwrap();
+        }
+        let mark = b.mark();
+        for i in 10..(SPILL_CHUNK_MSGS as u32 + 40) {
+            b.push(VertexId(i), i).unwrap();
+        }
+        let before = vfs.stats().snapshot();
+        b.rewind(&mark).unwrap();
+        assert_eq!(vfs.stats().snapshot(), before, "rewind must be free");
+        assert_eq!(b.total(), 10);
+        assert_eq!(b.spilled(), 10);
+        let got: Vec<u32> = b.drain().unwrap().iter().map(|(_, m)| *m).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -68,12 +68,25 @@ impl AccessClass {
 }
 
 /// Thread-safe I/O counters: bytes and operation counts per access class.
+///
+/// Each class keeps *two* byte counters. The **physical** counter is the
+/// bytes that actually crossed the (simulated) device — what the cost
+/// model (`modeled_secs`) and the `Q_t` switch inputs consume. The
+/// **logical** counter is the uncompressed application bytes the access
+/// represents. Without a codec they track each other (every access
+/// records both equal), so physical counters are byte-for-byte what they
+/// were before compression existed; with a codec the gap between them is
+/// the compression win.
 #[derive(Debug, Default)]
 pub struct IoStats {
     seq_read_bytes: AtomicU64,
     seq_write_bytes: AtomicU64,
     rand_read_bytes: AtomicU64,
     rand_write_bytes: AtomicU64,
+    seq_read_logical_bytes: AtomicU64,
+    seq_write_logical_bytes: AtomicU64,
+    rand_read_logical_bytes: AtomicU64,
+    rand_write_logical_bytes: AtomicU64,
     seq_read_ops: AtomicU64,
     seq_write_ops: AtomicU64,
     rand_read_ops: AtomicU64,
@@ -86,17 +99,65 @@ impl IoStats {
         IoStats::default()
     }
 
-    /// Records one access of `bytes` bytes in `class`.
+    #[inline]
+    fn counters(&self, class: AccessClass) -> (&AtomicU64, &AtomicU64, &AtomicU64) {
+        match class {
+            AccessClass::SeqRead => (
+                &self.seq_read_bytes,
+                &self.seq_read_logical_bytes,
+                &self.seq_read_ops,
+            ),
+            AccessClass::SeqWrite => (
+                &self.seq_write_bytes,
+                &self.seq_write_logical_bytes,
+                &self.seq_write_ops,
+            ),
+            AccessClass::RandRead => (
+                &self.rand_read_bytes,
+                &self.rand_read_logical_bytes,
+                &self.rand_read_ops,
+            ),
+            AccessClass::RandWrite => (
+                &self.rand_write_bytes,
+                &self.rand_write_logical_bytes,
+                &self.rand_write_ops,
+            ),
+        }
+    }
+
+    /// Records one uncoded access of `bytes` bytes in `class`
+    /// (physical == logical).
     #[inline]
     pub fn record(&self, class: AccessClass, bytes: u64) {
-        let (b, o) = match class {
-            AccessClass::SeqRead => (&self.seq_read_bytes, &self.seq_read_ops),
-            AccessClass::SeqWrite => (&self.seq_write_bytes, &self.seq_write_ops),
-            AccessClass::RandRead => (&self.rand_read_bytes, &self.rand_read_ops),
-            AccessClass::RandWrite => (&self.rand_write_bytes, &self.rand_write_ops),
-        };
+        self.record_coded(class, bytes, bytes);
+    }
+
+    /// Records one coded access: `physical` bytes crossed the device for
+    /// `logical` application bytes.
+    #[inline]
+    pub fn record_coded(&self, class: AccessClass, physical: u64, logical: u64) {
+        let (b, l, o) = self.counters(class);
+        b.fetch_add(physical, Ordering::Relaxed);
+        l.fetch_add(logical, Ordering::Relaxed);
+        o.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records modeled device bytes that carry no application data (seek
+    /// padding for scattered accesses): physical only, no logical bytes.
+    #[inline]
+    pub fn record_physical(&self, class: AccessClass, bytes: u64) {
+        let (b, _, o) = self.counters(class);
         b.fetch_add(bytes, Ordering::Relaxed);
         o.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tops up the logical byte count of an access already recorded (no
+    /// extra op, no physical bytes). Used when the logical size only
+    /// becomes known after a coded payload is read back and decoded.
+    #[inline]
+    pub fn record_logical(&self, class: AccessClass, bytes: u64) {
+        let (_, l, _) = self.counters(class);
+        l.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counters.
@@ -106,6 +167,10 @@ impl IoStats {
             seq_write_bytes: self.seq_write_bytes.load(Ordering::Relaxed),
             rand_read_bytes: self.rand_read_bytes.load(Ordering::Relaxed),
             rand_write_bytes: self.rand_write_bytes.load(Ordering::Relaxed),
+            seq_read_logical_bytes: self.seq_read_logical_bytes.load(Ordering::Relaxed),
+            seq_write_logical_bytes: self.seq_write_logical_bytes.load(Ordering::Relaxed),
+            rand_read_logical_bytes: self.rand_read_logical_bytes.load(Ordering::Relaxed),
+            rand_write_logical_bytes: self.rand_write_logical_bytes.load(Ordering::Relaxed),
             seq_read_ops: self.seq_read_ops.load(Ordering::Relaxed),
             seq_write_ops: self.seq_write_ops.load(Ordering::Relaxed),
             rand_read_ops: self.rand_read_ops.load(Ordering::Relaxed),
@@ -119,6 +184,10 @@ impl IoStats {
         self.seq_write_bytes.store(0, Ordering::Relaxed);
         self.rand_read_bytes.store(0, Ordering::Relaxed);
         self.rand_write_bytes.store(0, Ordering::Relaxed);
+        self.seq_read_logical_bytes.store(0, Ordering::Relaxed);
+        self.seq_write_logical_bytes.store(0, Ordering::Relaxed);
+        self.rand_read_logical_bytes.store(0, Ordering::Relaxed);
+        self.rand_write_logical_bytes.store(0, Ordering::Relaxed);
         self.seq_read_ops.store(0, Ordering::Relaxed);
         self.seq_write_ops.store(0, Ordering::Relaxed);
         self.rand_read_ops.store(0, Ordering::Relaxed);
@@ -127,12 +196,21 @@ impl IoStats {
 }
 
 /// An immutable copy of [`IoStats`] counters; supports deltas.
+///
+/// The unqualified `*_bytes` fields are **physical** (on-device) bytes —
+/// the quantity [`IoSnapshot::modeled_secs`] and the `Q_t` inputs use.
+/// The `*_logical_bytes` fields are the uncompressed application bytes
+/// behind those accesses; `physical / logical` is the compression ratio.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
     pub seq_read_bytes: u64,
     pub seq_write_bytes: u64,
     pub rand_read_bytes: u64,
     pub rand_write_bytes: u64,
+    pub seq_read_logical_bytes: u64,
+    pub seq_write_logical_bytes: u64,
+    pub rand_read_logical_bytes: u64,
+    pub rand_write_logical_bytes: u64,
     pub seq_read_ops: u64,
     pub seq_write_ops: u64,
     pub rand_read_ops: u64,
@@ -140,13 +218,23 @@ pub struct IoSnapshot {
 }
 
 impl IoSnapshot {
-    /// Bytes in `class`.
+    /// Physical (on-device) bytes in `class`.
     pub fn bytes(&self, class: AccessClass) -> u64 {
         match class {
             AccessClass::SeqRead => self.seq_read_bytes,
             AccessClass::SeqWrite => self.seq_write_bytes,
             AccessClass::RandRead => self.rand_read_bytes,
             AccessClass::RandWrite => self.rand_write_bytes,
+        }
+    }
+
+    /// Logical (uncompressed application) bytes in `class`.
+    pub fn logical_bytes(&self, class: AccessClass) -> u64 {
+        match class {
+            AccessClass::SeqRead => self.seq_read_logical_bytes,
+            AccessClass::SeqWrite => self.seq_write_logical_bytes,
+            AccessClass::RandRead => self.rand_read_logical_bytes,
+            AccessClass::RandWrite => self.rand_write_logical_bytes,
         }
     }
 
@@ -160,9 +248,17 @@ impl IoSnapshot {
         }
     }
 
-    /// Total bytes across all classes (what Fig. 10 reports).
+    /// Total physical bytes across all classes (what Fig. 10 reports).
     pub fn total_bytes(&self) -> u64 {
         self.seq_read_bytes + self.seq_write_bytes + self.rand_read_bytes + self.rand_write_bytes
+    }
+
+    /// Total logical bytes across all classes.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.seq_read_logical_bytes
+            + self.seq_write_logical_bytes
+            + self.rand_read_logical_bytes
+            + self.rand_write_logical_bytes
     }
 
     /// Counter-wise difference `self - earlier`.
@@ -176,6 +272,11 @@ impl IoSnapshot {
             seq_write_bytes: self.seq_write_bytes - earlier.seq_write_bytes,
             rand_read_bytes: self.rand_read_bytes - earlier.rand_read_bytes,
             rand_write_bytes: self.rand_write_bytes - earlier.rand_write_bytes,
+            seq_read_logical_bytes: self.seq_read_logical_bytes - earlier.seq_read_logical_bytes,
+            seq_write_logical_bytes: self.seq_write_logical_bytes - earlier.seq_write_logical_bytes,
+            rand_read_logical_bytes: self.rand_read_logical_bytes - earlier.rand_read_logical_bytes,
+            rand_write_logical_bytes: self.rand_write_logical_bytes
+                - earlier.rand_write_logical_bytes,
             seq_read_ops: self.seq_read_ops - earlier.seq_read_ops,
             seq_write_ops: self.seq_write_ops - earlier.seq_write_ops,
             rand_read_ops: self.rand_read_ops - earlier.rand_read_ops,
@@ -190,6 +291,11 @@ impl IoSnapshot {
             seq_write_bytes: self.seq_write_bytes + other.seq_write_bytes,
             rand_read_bytes: self.rand_read_bytes + other.rand_read_bytes,
             rand_write_bytes: self.rand_write_bytes + other.rand_write_bytes,
+            seq_read_logical_bytes: self.seq_read_logical_bytes + other.seq_read_logical_bytes,
+            seq_write_logical_bytes: self.seq_write_logical_bytes + other.seq_write_logical_bytes,
+            rand_read_logical_bytes: self.rand_read_logical_bytes + other.rand_read_logical_bytes,
+            rand_write_logical_bytes: self.rand_write_logical_bytes
+                + other.rand_write_logical_bytes,
             seq_read_ops: self.seq_read_ops + other.seq_read_ops,
             seq_write_ops: self.seq_write_ops + other.seq_write_ops,
             rand_read_ops: self.rand_read_ops + other.rand_read_ops,
@@ -223,6 +329,39 @@ mod tests {
         assert_eq!(snap.rand_write_bytes, 7);
         assert_eq!(snap.rand_write_ops, 1);
         assert_eq!(snap.total_bytes(), 157);
+    }
+
+    #[test]
+    fn uncoded_record_keeps_logical_equal_to_physical() {
+        let s = IoStats::new();
+        s.record(AccessClass::SeqRead, 100);
+        s.record(AccessClass::RandWrite, 7);
+        let snap = s.snapshot();
+        for c in AccessClass::ALL {
+            assert_eq!(snap.bytes(c), snap.logical_bytes(c), "{}", c.label());
+        }
+        assert_eq!(snap.total_logical_bytes(), snap.total_bytes());
+    }
+
+    #[test]
+    fn coded_record_splits_physical_and_logical() {
+        let s = IoStats::new();
+        s.record_coded(AccessClass::SeqRead, 30, 100);
+        s.record_physical(AccessClass::RandRead, 512);
+        let snap = s.snapshot();
+        assert_eq!(snap.seq_read_bytes, 30);
+        assert_eq!(snap.seq_read_logical_bytes, 100);
+        assert_eq!(snap.seq_read_ops, 1);
+        assert_eq!(snap.rand_read_bytes, 512);
+        assert_eq!(snap.rand_read_logical_bytes, 0);
+        assert_eq!(snap.rand_read_ops, 1);
+        let d = snap.delta(&IoSnapshot::default());
+        assert_eq!(d, snap);
+        let sum = snap.plus(&snap);
+        assert_eq!(sum.seq_read_logical_bytes, 200);
+        assert_eq!(sum.rand_read_bytes, 1024);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
     }
 
     #[test]

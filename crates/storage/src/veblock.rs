@@ -21,6 +21,7 @@
 use crate::record::Record;
 use crate::stats::AccessClass;
 use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_codec::{decode_extent, encode_extent, CodecChoice, ExtentKind};
 use hybridgraph_graph::{BlockId, BlockLayout, Edge, Graph, VertexId, WorkerId};
 use std::io;
 
@@ -72,14 +73,32 @@ impl BlockMeta {
 pub struct EblockInfo {
     /// Byte offset of the Eblock inside the local block's edge file.
     pub offset: u64,
-    /// Total Eblock bytes (edges + fragment auxiliary data).
+    /// Total *logical* Eblock bytes (edges + fragment auxiliary data,
+    /// uncompressed).
     pub bytes: u64,
-    /// Auxiliary bytes: `fragments * FRAGMENT_AUX_BYTES`.
+    /// Logical auxiliary bytes: `fragments * FRAGMENT_AUX_BYTES`.
     pub aux_bytes: u64,
-    /// Edge payload bytes.
+    /// Logical edge payload bytes.
     pub edge_bytes: u64,
+    /// *Physical* bytes the Eblock occupies on disk. Equal to `bytes`
+    /// when the store was built without a codec.
+    pub stored_bytes: u64,
     /// Number of fragments.
     pub fragments: u32,
+}
+
+impl EblockInfo {
+    /// Splits the physical extent into (edge, aux) shares proportional to
+    /// the logical split, for cost-model terms that want the two
+    /// separately (`IO(E^t)` vs `IO(F^t)`). The shares always sum to
+    /// `stored_bytes`.
+    pub fn stored_split(&self) -> (u64, u64) {
+        if self.bytes == 0 {
+            return (0, 0);
+        }
+        let aux = self.stored_bytes * self.aux_bytes / self.bytes;
+        (self.stored_bytes - aux, aux)
+    }
 }
 
 /// One decoded fragment: a source vertex and its clustered edges into the
@@ -110,17 +129,35 @@ pub struct VeBlockStore {
     fragment_counts: Vec<u32>,
     total_fragments: u64,
     total_edge_bytes: u64,
+    /// The codec every Eblock extent was written (and is read) with.
+    codec: CodecChoice,
 }
 
 impl VeBlockStore {
     /// Builds the VE-BLOCK layout for `worker`'s blocks of `layout` over
-    /// `graph`. Edge and auxiliary bytes are written sequentially (this is
-    /// the `VE-BLOCK` loading path measured in Fig. 16).
+    /// `graph` without compression; see [`VeBlockStore::build_with`].
     pub fn build(
         vfs: &dyn Vfs,
         graph: &Graph,
         layout: &BlockLayout,
         worker: WorkerId,
+    ) -> io::Result<VeBlockStore> {
+        VeBlockStore::build_with(vfs, graph, layout, worker, CodecChoice::None)
+    }
+
+    /// Builds the VE-BLOCK layout for `worker`'s blocks of `layout` over
+    /// `graph`. Edge and auxiliary bytes are written sequentially (this is
+    /// the `VE-BLOCK` loading path measured in Fig. 16). With a codec,
+    /// each Eblock is stored as one coded extent (fragment svertex ids and
+    /// per-fragment neighbour ids are ascending, so delta-gap coding
+    /// applies); logical byte accounting still sees the uncompressed
+    /// sizes.
+    pub fn build_with(
+        vfs: &dyn Vfs,
+        graph: &Graph,
+        layout: &BlockLayout,
+        worker: WorkerId,
+        codec: CodecChoice,
     ) -> io::Result<VeBlockStore> {
         let num_blocks = layout.num_blocks();
         let local_blocks: Vec<BlockId> = layout.blocks_of_worker(worker).collect();
@@ -181,17 +218,25 @@ impl VeBlockStore {
             let mut offset = 0u64;
             for (i, buf) in bufs.iter().enumerate() {
                 let aux = frag_counts[i] as u64 * FRAGMENT_AUX_BYTES;
+                let stored_bytes = if buf.is_empty() {
+                    0
+                } else if codec.is_none() {
+                    file.append(AccessClass::SeqWrite, buf)?;
+                    buf.len() as u64
+                } else {
+                    let coded = encode_extent(codec, ExtentKind::Fragments, buf);
+                    file.append_coded(AccessClass::SeqWrite, &coded, buf.len() as u64)?;
+                    coded.len() as u64
+                };
                 let info = EblockInfo {
                     offset,
                     bytes: buf.len() as u64,
                     aux_bytes: aux,
                     edge_bytes: buf.len() as u64 - aux,
+                    stored_bytes,
                     fragments: frag_counts[i],
                 };
-                if !buf.is_empty() {
-                    file.append(AccessClass::SeqWrite, buf)?;
-                }
-                offset += buf.len() as u64;
+                offset += stored_bytes;
                 total_fragments += frag_counts[i] as u64;
                 total_edge_bytes += info.edge_bytes;
                 block_index.push(info);
@@ -210,6 +255,7 @@ impl VeBlockStore {
             fragment_counts,
             total_fragments,
             total_edge_bytes,
+            codec,
         })
     }
 
@@ -220,12 +266,28 @@ impl VeBlockStore {
         self.fragment_counts[i]
     }
 
-    /// Total Eblock bytes a pull request touching local block `j` scans:
-    /// `(edge bytes, auxiliary bytes)` summed over all destinations.
+    /// Total *logical* Eblock bytes a pull request touching local block
+    /// `j` scans: `(edge bytes, auxiliary bytes)` summed over all
+    /// destinations.
     pub fn block_scan_bytes(&self, j: BlockId) -> (u64, u64) {
         let per = &self.index[self.local_of(j)];
         let edge = per.iter().map(|i| i.edge_bytes).sum();
         let aux = per.iter().map(|i| i.aux_bytes).sum();
+        (edge, aux)
+    }
+
+    /// Like [`VeBlockStore::block_scan_bytes`] but in *physical* stored
+    /// bytes — what the device actually moves, and therefore what the
+    /// `Q_t` predictor should charge for a b-pull scan of block `j`.
+    pub fn block_scan_stored_bytes(&self, j: BlockId) -> (u64, u64) {
+        let per = &self.index[self.local_of(j)];
+        let mut edge = 0;
+        let mut aux = 0;
+        for info in per {
+            let (e, a) = info.stored_split();
+            edge += e;
+            aux += a;
+        }
         (edge, aux)
     }
 
@@ -262,9 +324,23 @@ impl VeBlockStore {
         self.total_fragments
     }
 
-    /// Total edge payload bytes in the store.
+    /// Total logical edge payload bytes in the store.
     pub fn total_edge_bytes(&self) -> u64 {
         self.total_edge_bytes
+    }
+
+    /// Total physical bytes the store's Eblock files occupy.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.index
+            .iter()
+            .flat_map(|per| per.iter())
+            .map(|i| i.stored_bytes)
+            .sum()
+    }
+
+    /// The codec the store was built with.
+    pub fn codec(&self) -> CodecChoice {
+        self.codec
     }
 
     /// In-memory footprint of the `X_j` metadata (what the paper's memory
@@ -277,22 +353,33 @@ impl VeBlockStore {
     /// In-memory footprint of the Eblock extent index (an implementation
     /// detail of this store, reported separately).
     pub fn index_memory_bytes(&self) -> u64 {
-        self.index.iter().map(|per| per.len() as u64 * 36).sum()
+        self.index.iter().map(|per| per.len() as u64 * 44).sum()
     }
 
     /// Sequentially reads and decodes Eblock `g_{j,i}`.
     ///
     /// Returns the fragments in svertex order. Accounts the whole Eblock
-    /// extent (edges + auxiliary data) as a sequential read; the caller is
-    /// responsible for the random svertex value reads.
+    /// extent (edges + auxiliary data) as a sequential read — physical
+    /// stored bytes on the device, logical uncompressed bytes beside them;
+    /// the caller is responsible for the random svertex value reads.
     pub fn scan_eblock(&self, j: BlockId, i: BlockId) -> io::Result<Vec<Fragment>> {
         let jl = self.local_of(j);
         let info = self.index[jl][i.index()];
         if info.bytes == 0 {
             return Ok(Vec::new());
         }
-        let bytes =
-            self.files[jl].read_vec(AccessClass::SeqRead, info.offset, info.bytes as usize)?;
+        let bytes = if self.codec.is_none() {
+            self.files[jl].read_vec(AccessClass::SeqRead, info.offset, info.bytes as usize)?
+        } else {
+            let coded = self.files[jl].read_vec_coded(
+                AccessClass::SeqRead,
+                info.offset,
+                info.stored_bytes as usize,
+                info.bytes,
+            )?;
+            decode_extent(ExtentKind::Fragments, &coded, info.bytes as usize)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        };
         let mut fragments = Vec::with_capacity(info.fragments as usize);
         let mut at = 0usize;
         while at < bytes.len() {
@@ -497,6 +584,62 @@ mod tests {
             let want_aux: u64 = l.block_ids().map(|i| s.eblock_info(j, i).aux_bytes).sum();
             assert_eq!((edge, aux), (want_edge, want_aux));
         }
+    }
+
+    #[test]
+    fn coded_store_decodes_identically_and_shrinks() {
+        let g = gen::uniform(120, 2000, 11);
+        let (_, l) = layout(120, 2, 3);
+        let base_vfs = MemVfs::new();
+        let base = VeBlockStore::build(&base_vfs, &g, &l, WorkerId(0)).unwrap();
+        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+            let vfs = MemVfs::new();
+            let s = VeBlockStore::build_with(&vfs, &g, &l, WorkerId(0), codec).unwrap();
+            assert_eq!(s.total_edge_bytes(), base.total_edge_bytes());
+            assert_eq!(s.total_fragments(), base.total_fragments());
+            for j in l.blocks_of_worker(WorkerId(0)) {
+                assert_eq!(s.block_scan_bytes(j), base.block_scan_bytes(j));
+                for i in l.block_ids() {
+                    assert_eq!(
+                        s.scan_eblock(j, i).unwrap(),
+                        base.scan_eblock(j, i).unwrap(),
+                        "{codec:?} g_{{{j},{i}}}"
+                    );
+                }
+            }
+        }
+        // Gaps must clearly beat raw on sorted uniform-graph eblocks.
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build_with(&vfs, &g, &l, WorkerId(0), CodecChoice::Gaps).unwrap();
+        let logical: u64 = l
+            .blocks_of_worker(WorkerId(0))
+            .map(|j| {
+                let (e, a) = s.block_scan_bytes(j);
+                e + a
+            })
+            .sum();
+        assert!(
+            s.total_stored_bytes() * 2 < logical,
+            "gaps should at least halve eblock bytes: {} vs {logical}",
+            s.total_stored_bytes()
+        );
+    }
+
+    #[test]
+    fn coded_scan_accounts_physical_and_logical() {
+        let g = gen::uniform(60, 600, 3);
+        let (_, l) = layout(60, 1, 2);
+        let vfs = MemVfs::new();
+        let s = VeBlockStore::build_with(&vfs, &g, &l, WorkerId(0), CodecChoice::Gaps).unwrap();
+        let info = *s.eblock_info(BlockId(0), BlockId(1));
+        assert!(info.stored_bytes < info.bytes);
+        let (se, sa) = info.stored_split();
+        assert_eq!(se + sa, info.stored_bytes);
+        let before = vfs.stats().snapshot();
+        s.scan_eblock(BlockId(0), BlockId(1)).unwrap();
+        let d = vfs.stats().snapshot().delta(&before);
+        assert_eq!(d.seq_read_bytes, info.stored_bytes);
+        assert_eq!(d.seq_read_logical_bytes, info.bytes);
     }
 
     #[test]

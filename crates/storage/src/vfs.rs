@@ -83,6 +83,30 @@ impl VfsFile {
         Ok(off)
     }
 
+    /// Appends coded `data` that stands for `logical` uncompressed bytes:
+    /// physical accounting sees `data.len()`, logical accounting sees
+    /// `logical`. Returns the write offset.
+    pub fn append_coded(&self, class: AccessClass, data: &[u8], logical: u64) -> io::Result<u64> {
+        let off = self.raw.append(data)?;
+        self.stats.record_coded(class, data.len() as u64, logical);
+        Ok(off)
+    }
+
+    /// Reads `len` coded bytes at `off` that stand for `logical`
+    /// uncompressed bytes (see [`VfsFile::append_coded`]).
+    pub fn read_vec_coded(
+        &self,
+        class: AccessClass,
+        off: u64,
+        len: usize,
+        logical: u64,
+    ) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.raw.read_at(off, &mut buf)?;
+        self.stats.record_coded(class, len as u64, logical);
+        Ok(buf)
+    }
+
     /// Truncates the file to zero length (not an accounted access).
     pub fn truncate(&self) -> io::Result<()> {
         self.raw.truncate()
@@ -99,10 +123,12 @@ impl VfsFile {
 
     /// Charges extra modeled bytes without moving data — used by stores
     /// to account seek padding for scattered accesses
-    /// (see [`crate::stats::seek_pad`]).
+    /// (see [`crate::stats::seek_pad`]). The charge is physical-only:
+    /// padding carries no application data, so logical counters are
+    /// untouched.
     pub fn charge(&self, class: AccessClass, bytes: u64) {
         if bytes > 0 {
-            self.stats.record(class, bytes);
+            self.stats.record_physical(class, bytes);
         }
     }
 }

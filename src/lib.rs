@@ -35,11 +35,13 @@
 //! ```
 //!
 //! The crates compose bottom-up: [`obs`] (tracing/metrics sink),
-//! [`graph`] (model + generators + partitioning), [`storage`] (simulated
-//! disk, VE-BLOCK), [`net`] (simulated fabric), [`core`] (the engine),
-//! [`algos`] (PageRank, SSSP, LPA, SA, WCC).
+//! [`codec`] (on-disk compression), [`graph`] (model + generators +
+//! partitioning), [`storage`] (simulated disk, VE-BLOCK), [`net`]
+//! (simulated fabric), [`core`] (the engine), [`algos`] (PageRank,
+//! SSSP, LPA, SA, WCC).
 
 pub use hybridgraph_algos as algos;
+pub use hybridgraph_codec as codec;
 pub use hybridgraph_core as core;
 pub use hybridgraph_graph as graph;
 pub use hybridgraph_net as net;
@@ -60,5 +62,5 @@ pub mod prelude {
     pub use hybridgraph_obs::{
         export_chrome_trace, export_prometheus, render_table, validate_json, TraceSink,
     };
-    pub use hybridgraph_storage::DeviceProfile;
+    pub use hybridgraph_storage::{CodecChoice, DeviceProfile};
 }

@@ -1,0 +1,274 @@
+//! Round-trip property tests for the framed on-disk record formats:
+//! fixed-width [`Record`] slices, codec blob frames, and the
+//! checkpoint / message-log file formats (v1 uncompressed and v2 coded).
+//!
+//! Each seeded case prints its seed on failure so a regression is
+//! reproducible from the assertion message alone.
+
+use hybridgraph::storage::checkpoint::{checkpoint_file_name, CheckpointReader, CheckpointWriter};
+use hybridgraph::storage::msg_log::{msg_log_file_name, MsgLogReader, MsgLogWriter};
+use hybridgraph::storage::record::{decode_slice, encode_slice};
+use hybridgraph::storage::{AccessClass, CodecChoice, MemVfs, Record, Vfs};
+use hybridgraph_codec::{decode_blob_frame, encode_blob_frame};
+use hybridgraph_graph::rng::SplitMix64;
+use hybridgraph_graph::VertexId;
+
+const SEEDS: [u64; 4] = [1, 42, 0xdead_beef, 0x0123_4567_89ab_cdef];
+
+// ---------------------------------------------------------------- records
+
+#[test]
+fn record_slices_roundtrip_randomized() {
+    for seed in SEEDS {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..50 {
+            let n = r.range_usize(0, 64);
+            let pairs: Vec<(VertexId, f64)> = (0..n)
+                .map(|_| (VertexId(r.next_u64() as u32), f64::from_bits(r.next_u64())))
+                .collect();
+            let bytes = encode_slice(&pairs);
+            assert_eq!(bytes.len(), n * <(VertexId, f64)>::BYTES, "seed {seed}");
+            let back = decode_slice::<(VertexId, f64)>(&bytes);
+            // Bit-level comparison: NaN payloads must survive too.
+            assert_eq!(back.len(), pairs.len(), "seed {seed}");
+            for (a, b) in back.iter().zip(&pairs) {
+                assert_eq!(a.0, b.0, "seed {seed}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_record_slice_roundtrips() {
+    let bytes = encode_slice::<u64>(&[]);
+    assert!(bytes.is_empty());
+    assert!(decode_slice::<u64>(&bytes).is_empty());
+}
+
+// ------------------------------------------------------------ blob frames
+
+#[test]
+fn blob_frames_roundtrip_randomized() {
+    for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for seed in SEEDS {
+            let mut r = SplitMix64::new(seed);
+            for _ in 0..25 {
+                let n = r.range_usize(0, 2000);
+                // Mix of runs (compressible) and noise (incompressible).
+                let raw: Vec<u8> = (0..n)
+                    .map(|i| {
+                        if r.next_bool() {
+                            (i / 17) as u8
+                        } else {
+                            r.next_u64() as u8
+                        }
+                    })
+                    .collect();
+                let frame = encode_blob_frame(codec, &raw);
+                let mut pos = 0;
+                let back = decode_blob_frame(&frame, &mut pos).expect("decode");
+                assert_eq!(back, raw, "{codec:?} seed {seed}");
+                assert_eq!(pos, frame.len(), "{codec:?} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_blob_frame_roundtrips() {
+    for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        let frame = encode_blob_frame(codec, &[]);
+        let mut pos = 0;
+        assert!(decode_blob_frame(&frame, &mut pos)
+            .expect("decode")
+            .is_empty());
+        assert_eq!(pos, frame.len());
+    }
+}
+
+#[test]
+fn truncated_blob_frame_is_an_error_not_a_panic() {
+    let raw: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+    for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        let frame = encode_blob_frame(codec, &raw);
+        for cut in 0..frame.len() {
+            let mut pos = 0;
+            assert!(
+                decode_blob_frame(&frame[..cut], &mut pos).is_err(),
+                "{codec:?}: truncation at {cut}/{} must error",
+                frame.len()
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------ checkpoints
+
+fn roundtrip_checkpoint(codec: CodecChoice, fields: &[Vec<u8>], words: &[u64]) {
+    let vfs = MemVfs::new();
+    let mut w = CheckpointWriter::new(9);
+    for f in fields {
+        w.put_bytes(f);
+    }
+    w.put_words(words);
+    w.put_f64(f64::NAN);
+    w.commit_with(&vfs, codec).expect("commit");
+    let mut r = CheckpointReader::open(&vfs, 9).expect("open");
+    assert_eq!(r.superstep(), 9);
+    for f in fields {
+        assert_eq!(&r.get_bytes().expect("field"), f, "{codec:?}");
+    }
+    assert_eq!(r.get_words().expect("words"), words, "{codec:?}");
+    assert!(r.get_f64().expect("f64").is_nan(), "{codec:?}");
+}
+
+#[test]
+fn checkpoint_empty_payloads_roundtrip_all_codecs() {
+    for codec in CodecChoice::ALL {
+        // Zero-length byte runs and an empty word run are legal fields.
+        roundtrip_checkpoint(codec, &[vec![], vec![]], &[]);
+    }
+}
+
+#[test]
+fn checkpoint_max_length_fields_roundtrip_all_codecs() {
+    let mut r = SplitMix64::new(7);
+    // A large field dwarfing the header, with incompressible content.
+    let big: Vec<u8> = (0..1 << 16).map(|_| r.next_u64() as u8).collect();
+    let words: Vec<u64> = (0..4096).map(|_| r.next_u64()).collect();
+    for codec in CodecChoice::ALL {
+        roundtrip_checkpoint(codec, &[big.clone(), vec![0xab; 3]], &words);
+    }
+}
+
+#[test]
+fn truncated_checkpoint_rejected_all_codecs() {
+    for codec in CodecChoice::ALL {
+        let vfs = MemVfs::new();
+        let mut w = CheckpointWriter::new(3);
+        w.put_bytes(&[7u8; 4096]);
+        w.commit_with(&vfs, codec).expect("commit");
+        let file = vfs.open(&checkpoint_file_name(3)).expect("open file");
+        let len = file.len();
+        // Descending cuts: each truncate_to actually shrinks the file.
+        for cut in [len - 1, len / 2, 1, 0] {
+            file.truncate_to(cut).expect("truncate");
+            assert!(
+                CheckpointReader::open(&vfs, 3).is_err(),
+                "{codec:?}: checkpoint cut to {cut}/{len} must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_field_length_is_an_error_not_a_panic() {
+    // A field whose declared length overruns the body must surface as a
+    // read error when decoded, not index out of bounds.
+    let vfs = MemVfs::new();
+    let mut w = CheckpointWriter::new(1);
+    w.put_u64(u64::MAX); // masquerades as a huge byte-run length
+    w.commit(&vfs).expect("commit");
+    let mut r = CheckpointReader::open(&vfs, 1).expect("open");
+    assert!(r.get_bytes().is_err());
+}
+
+// ------------------------------------------------------------- msg logs
+
+#[test]
+fn msg_log_roundtrips_randomized_all_codecs() {
+    for codec in CodecChoice::ALL {
+        for seed in SEEDS {
+            let mut r = SplitMix64::new(seed);
+            let entries: Vec<(u32, Vec<u8>)> = (0..r.range_usize(0, 40))
+                .map(|_| {
+                    let blob: Vec<u8> = (0..r.range_usize(0, 300))
+                        .map(|_| r.next_u64() as u8)
+                        .collect();
+                    (r.next_u64() as u32, blob)
+                })
+                .collect();
+            let vfs = MemVfs::new();
+            let mut w = MsgLogWriter::new(5);
+            for (d, b) in &entries {
+                w.push(*d, b);
+            }
+            w.commit_with(&vfs, codec).expect("commit");
+            let mut rd = MsgLogReader::open(&vfs, 5).expect("open");
+            assert_eq!(rd.superstep(), 5, "{codec:?} seed {seed}");
+            let got = rd.read_all_entries().expect("entries");
+            assert_eq!(got, entries, "{codec:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn msg_log_empty_payload_entries_roundtrip() {
+    for codec in CodecChoice::ALL {
+        let vfs = MemVfs::new();
+        let mut w = MsgLogWriter::new(2);
+        w.push(11, &[]);
+        w.push(12, &[]);
+        w.commit_with(&vfs, codec).expect("commit");
+        let got = MsgLogReader::open(&vfs, 2)
+            .expect("open")
+            .read_all_entries()
+            .expect("entries");
+        assert_eq!(got, vec![(11, vec![]), (12, vec![])], "{codec:?}");
+    }
+}
+
+#[test]
+fn truncated_msg_log_rejected_all_codecs() {
+    for codec in CodecChoice::ALL {
+        let vfs = MemVfs::new();
+        let mut w = MsgLogWriter::new(6);
+        for i in 0..32u32 {
+            w.push(i, &[i as u8; 100]);
+        }
+        w.commit_with(&vfs, codec).expect("commit");
+        let file = vfs.open(&msg_log_file_name(6)).expect("open file");
+        let len = file.len();
+        // Descending cuts: each truncate_to actually shrinks the file.
+        for cut in [len - 1, len / 2, 5, 0] {
+            file.truncate_to(cut).expect("truncate");
+            let complete = MsgLogReader::open(&vfs, 6)
+                .and_then(|mut r| r.read_all_entries())
+                .is_ok();
+            assert!(
+                !complete,
+                "{codec:?}: log cut to {cut}/{len} must not read back cleanly"
+            );
+        }
+    }
+}
+
+// With `CodecChoice::None` the coded commit path must produce the exact
+// v1 byte stream — the no-codec invariant at the file-format level.
+#[test]
+fn none_codec_files_are_byte_identical_to_v1() {
+    let build = |coded: bool| -> (Vec<u8>, Vec<u8>) {
+        let vfs = MemVfs::new();
+        let mut cw = CheckpointWriter::new(4);
+        cw.put_bytes(b"payload");
+        cw.put_u32(77);
+        let mut lw = MsgLogWriter::new(4);
+        lw.push(9, b"entry");
+        if coded {
+            cw.commit_with(&vfs, CodecChoice::None).expect("commit");
+            lw.commit_with(&vfs, CodecChoice::None).expect("commit");
+        } else {
+            cw.commit(&vfs).expect("commit");
+            lw.commit(&vfs).expect("commit");
+        }
+        let read = |name: &str| {
+            vfs.open(name)
+                .expect("open")
+                .read_all(AccessClass::SeqRead)
+                .expect("read")
+        };
+        (read(&checkpoint_file_name(4)), read(&msg_log_file_name(4)))
+    };
+    assert_eq!(build(true), build(false));
+}

@@ -1,0 +1,79 @@
+//! CI determinism probe for the multi-tenant `GraphService`.
+//!
+//! Runs a fixed two-tenant batch (hybrid PageRank on two different
+//! graphs, batch-submitted under a scheduling pause so the first grant
+//! is seed-decided) and writes the combined per-job Chrome trace to a
+//! file. The `service-determinism` CI job runs this twice per seed and
+//! requires the outputs to compare byte-identical with `cmp`.
+//!
+//! Usage: `service_trace <seed> <out.json>`
+
+use hybridgraph_algos::PageRank;
+use hybridgraph_core::{JobConfig, Mode};
+use hybridgraph_graph::gen;
+use hybridgraph_obs::{export_chrome_trace_jobs, TraceSink};
+use hybridgraph_service::{GraphService, GraphSpec, JobRequest, ServiceConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("usage: service_trace <seed> <out.json>");
+    let out = args.next().expect("usage: service_trace <seed> <out.json>");
+
+    let svc = GraphService::new(ServiceConfig {
+        max_resident_jobs: 2,
+        max_queued_jobs: 0,
+        // Small enough that the tenants contend through evictions: the
+        // trace then witnesses the shared-cache paths, not just the
+        // scheduler interleaving.
+        cache_bytes: 32 * 1024,
+        cache_slots: 8,
+        seed,
+        max_job_logical_io: None,
+        max_job_memory: None,
+    });
+    svc.register_graph(
+        "a",
+        gen::rmat(256, 2048, gen::RmatParams::default(), 11),
+        GraphSpec::new(3).with_vblocks(2),
+    )
+    .unwrap();
+    svc.register_graph("b", gen::uniform(200, 1600, 5), GraphSpec::new(3))
+        .unwrap();
+
+    let cfg = || {
+        let mut cfg = JobConfig::new(Mode::Hybrid, 3).with_buffer(2048);
+        cfg.initial_mode_override = Some(Mode::Push);
+        cfg
+    };
+    let sink_a = Arc::new(TraceSink::new(3));
+    let sink_b = Arc::new(TraceSink::new(3));
+    let pause = svc.pause_scheduling();
+    let t_a = svc
+        .submit(
+            Arc::new(PageRank::new(4)),
+            JobRequest::new("a", cfg().with_trace(Arc::clone(&sink_a))),
+        )
+        .unwrap();
+    let t_b = svc
+        .submit(
+            Arc::new(PageRank::new(4)),
+            JobRequest::new("b", cfg().with_trace(Arc::clone(&sink_b))),
+        )
+        .unwrap();
+    drop(pause);
+    let r_a = t_a.wait().unwrap();
+    let r_b = t_b.wait().unwrap();
+
+    let trace = export_chrome_trace_jobs(&[("job-a", &sink_a), ("job-b", &sink_b)]);
+    std::fs::write(&out, &trace).unwrap();
+    println!(
+        "seed {seed}: {} + {} supersteps, {} trace bytes -> {out}",
+        r_a.metrics.supersteps(),
+        r_b.metrics.supersteps(),
+        trace.len(),
+    );
+}

@@ -11,6 +11,7 @@ pub mod fig17_18;
 pub mod fig2;
 pub mod fig26;
 pub mod io_compress;
+pub mod multi_tenant;
 pub mod observe;
 pub mod overall;
 pub mod prediction;

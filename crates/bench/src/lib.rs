@@ -17,6 +17,7 @@
 //! * [`table`] — fixed-width table printing for the figure output.
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
 use hybridgraph_algos::{Lpa, PageRank, Sa, Sssp};

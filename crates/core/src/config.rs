@@ -1,7 +1,9 @@
 //! Job configuration.
 
 use crate::fault::FaultPlan;
-use hybridgraph_storage::{CodecChoice, DeviceProfile};
+use crate::pacer::StepPacer;
+use crate::shared::SharedStores;
+use hybridgraph_storage::{CodecChoice, DeviceProfile, SharedEdgeCache};
 use std::sync::Arc;
 
 /// Which message-handling strategy a job runs.
@@ -145,6 +147,26 @@ pub struct JobConfig {
     /// logical byte accounting — and the computed vertex values — stay
     /// identical.
     pub codec: CodecChoice,
+    /// Multi-job pacing handle (see [`StepPacer`]). `None` (the default)
+    /// runs the job unpaced, exactly as before the service existed.
+    pub pacer: Option<Arc<dyn StepPacer>>,
+    /// Catalog-built stores to attach instead of loading privately. When
+    /// set, `workers` must equal the stores' slot count, and the load
+    /// phase performs no build I/O.
+    pub shared_stores: Option<SharedStores>,
+    /// Cross-job edge-extent cache. Hits skip physical reads (and their
+    /// semantic byte charges) and record only logical bytes into the
+    /// requesting job's stats — which is precisely how cache interference
+    /// between tenants reaches each job's `Q_t` inputs.
+    pub shared_cache: Option<Arc<SharedEdgeCache>>,
+    /// Per-job budget on cumulative *logical* I/O bytes (load included).
+    /// The master checks after every superstep and fails the job with
+    /// [`JobError::BudgetExceeded`](crate::runner::JobError::BudgetExceeded)
+    /// when crossed.
+    pub logical_io_budget: Option<u64>,
+    /// Per-job budget on summed per-superstep high-water memory bytes,
+    /// enforced like [`JobConfig::logical_io_budget`].
+    pub memory_budget: Option<u64>,
 }
 
 impl JobConfig {
@@ -176,6 +198,11 @@ impl JobConfig {
             message_logging: false,
             trace: None,
             codec: CodecChoice::None,
+            pacer: None,
+            shared_stores: None,
+            shared_cache: None,
+            logical_io_budget: None,
+            memory_budget: None,
         }
     }
 
@@ -226,6 +253,38 @@ impl JobConfig {
     /// Sets the on-disk compression codec.
     pub fn with_codec(mut self, codec: CodecChoice) -> Self {
         self.codec = codec;
+        self
+    }
+
+    /// Installs a multi-job pacing handle (see [`StepPacer`]).
+    pub fn with_pacer(mut self, pacer: Arc<dyn StepPacer>) -> Self {
+        self.pacer = Some(pacer);
+        self
+    }
+
+    /// Attaches catalog-built stores; also pins `workers` to their slot
+    /// count, which a registered graph requires.
+    pub fn with_shared_stores(mut self, stores: SharedStores) -> Self {
+        self.workers = stores.workers();
+        self.shared_stores = Some(stores);
+        self
+    }
+
+    /// Installs the cross-job edge-extent cache.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedEdgeCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Caps the job's cumulative logical I/O bytes.
+    pub fn with_io_budget(mut self, bytes: u64) -> Self {
+        self.logical_io_budget = Some(bytes);
+        self
+    }
+
+    /// Caps the job's summed per-superstep high-water memory bytes.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 

@@ -32,8 +32,10 @@ pub mod config;
 pub mod fault;
 pub mod metrics;
 pub mod modes;
+pub mod pacer;
 pub mod program;
 pub mod runner;
+pub mod shared;
 pub mod switch;
 pub mod worker;
 
@@ -43,6 +45,8 @@ pub use metrics::{
     FailureEvent, JobMetrics, NetOverhead, RecoveryMetrics, SemanticBytes, StepKind, StepReport,
     SuperstepMetrics,
 };
+pub use pacer::StepPacer;
 pub use program::{GraphInfo, Update, VertexProgram};
 pub use runner::{run_job, JobError, JobResult};
+pub use shared::SharedStores;
 pub use switch::{b_lower_bound, q_metric, CostInputs, Switcher};

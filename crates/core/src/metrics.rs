@@ -149,6 +149,13 @@ pub struct StepReport {
     /// [`message_logging`](crate::config::JobConfig::message_logging) is
     /// off).
     pub msg_log_bytes: u64,
+    /// Cross-job shared-cache hits this worker took (multi-tenant runs;
+    /// zero without a [`shared_cache`](crate::config::JobConfig::shared_cache)).
+    pub cache_hits: u64,
+    /// Cross-job shared-cache misses (each one a normal charged read).
+    pub cache_misses: u64,
+    /// Entries this worker's inserts displaced from the shared cache.
+    pub cache_evictions: u64,
 }
 
 /// Master-side aggregation of one superstep.
@@ -206,6 +213,12 @@ pub struct SuperstepMetrics {
     pub wall_secs: f64,
     /// Measured blocking (message-exchange) seconds, slowest worker.
     pub blocking_secs: f64,
+    /// Summed cross-job shared-cache hits (multi-tenant runs).
+    pub cache_hits: u64,
+    /// Summed cross-job shared-cache misses.
+    pub cache_misses: u64,
+    /// Summed shared-cache evictions caused by this job's inserts.
+    pub cache_evictions: u64,
 }
 
 /// Loading-phase measurements (Fig. 16).
@@ -376,6 +389,16 @@ impl JobMetrics {
     pub fn peak_memory_bytes(&self) -> u64 {
         self.steps.iter().map(|s| s.memory_bytes).max().unwrap_or(0)
     }
+
+    /// Total cross-job shared-cache hits over the job.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.steps.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Total cross-job shared-cache misses over the job.
+    pub fn total_cache_misses(&self) -> u64 {
+        self.steps.iter().map(|s| s.cache_misses).sum()
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +457,9 @@ mod tests {
             mco: 0,
             q_metric: 0.0,
             memory_bytes: 7,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
             modeled_secs: secs,
             modeled_io_secs: secs / 2.0,
             modeled_net_secs: secs / 2.0,

@@ -184,13 +184,8 @@ fn scatter_signals<P: VertexProgram>(w: &mut Worker<P>, rep: &mut StepReport) ->
     let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); workers];
     for i in responders {
         let v = VertexId(w.range.start + i as u32);
-        let adj = w
-            .adjacency
-            .as_ref()
-            .expect("pull scatter needs the adjacency store");
-        let edges = adj.edges_of(v, hybridgraph_storage::AccessClass::SeqRead)?;
-        rep.sem.push_edge_bytes += adj.stored_bytes_of(v);
-        for e in &edges {
+        let edges = w.read_out_edges(v, hybridgraph_storage::AccessClass::SeqRead, rep)?;
+        for e in edges.iter() {
             let p = w.partition.worker_of(e.dst).index();
             bufs[p].extend_from_slice(&e.dst.0.to_le_bytes());
             if bufs[p].len() >= w.cfg.sending_threshold {

@@ -87,15 +87,14 @@ pub fn run_push_step<P: VertexProgram>(
         }
         if send {
             // The vertex object is loaded with its edges for every
-            // computed vertex (Giraph), whether or not it responds.
-            let adj = w.adjacency.as_ref().expect("push needs adjacency store");
-            let edges = adj.edges_of(v, AccessClass::SeqRead)?;
-            // Physical bytes (== logical without a codec): the cost-model
-            // inputs charge what the device actually moves.
-            rep.sem.push_edge_bytes += adj.stored_bytes_of(v);
+            // computed vertex (Giraph), whether or not it responds. The
+            // read goes through the cross-job shared cache when the job
+            // has one; a miss charges the physical bytes (== logical
+            // without a codec) to `IO(Ē^t)`, a hit charges nothing.
+            let edges = w.read_out_edges(v, AccessClass::SeqRead, &mut rep)?;
             if upd.respond {
                 let outd = w.out_degrees[local];
-                for e in &edges {
+                for e in edges.iter() {
                     if let Some(m) = program.message(v, &upd.value, outd, e) {
                         rep.messages_produced += 1;
                         let peer = w.partition.worker_of(e.dst);

@@ -1,0 +1,62 @@
+//! Cooperative pacing hooks for multi-job scheduling.
+//!
+//! A multi-tenant service runs many jobs concurrently but must stay
+//! byte-identically replayable. The engine therefore never time-slices:
+//! a job's master acquires the pacer before each unit of work (the load
+//! phase, one superstep, the final collect) and releases it afterwards
+//! with the modeled seconds the unit consumed. A scheduler implementing
+//! [`StepPacer`] grants units one at a time in an order that is a pure
+//! function of the reported modeled times and its seed — so the global
+//! interleaving (and with it every shared-cache state) replays exactly.
+//!
+//! Single-job runs leave [`JobConfig::pacer`](crate::config::JobConfig::pacer)
+//! unset and pay nothing.
+
+/// One job's handle into a deterministic multi-job scheduler.
+///
+/// The handle is job-specific: the scheduler hands each admitted job its
+/// own `Arc<dyn StepPacer>` that knows which lane the calls belong to.
+pub trait StepPacer: Send + Sync + std::fmt::Debug {
+    /// Blocks until the scheduler grants this job the engine. Called by
+    /// the job's master immediately before the load phase, before every
+    /// superstep, and before the final value collect.
+    fn acquire(&self);
+
+    /// Returns the engine to the scheduler, reporting the modeled seconds
+    /// the finished unit of work consumed (drives the virtual-time
+    /// round-robin order).
+    fn release(&self, modeled_secs: f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Debug, Default)]
+    struct Counting {
+        acquires: AtomicU64,
+        releases: AtomicU64,
+    }
+
+    impl StepPacer for Counting {
+        fn acquire(&self) {
+            self.acquires.fetch_add(1, Ordering::SeqCst);
+        }
+
+        fn release(&self, _modeled_secs: f64) {
+            self.releases.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let p = Arc::new(Counting::default());
+        let dynp: Arc<dyn StepPacer> = p.clone();
+        dynp.acquire();
+        dynp.release(0.5);
+        assert_eq!(p.acquires.load(Ordering::SeqCst), 1);
+        assert_eq!(p.releases.load(Ordering::SeqCst), 1);
+    }
+}

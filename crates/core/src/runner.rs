@@ -82,6 +82,15 @@ pub struct JobResult<P: VertexProgram> {
     pub metrics: JobMetrics,
 }
 
+impl<P: VertexProgram> fmt::Debug for JobResult<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobResult")
+            .field("vertices", &self.values.len())
+            .field("supersteps", &self.metrics.supersteps())
+            .finish()
+    }
+}
+
 /// Why a job did not produce a result.
 #[derive(Debug)]
 pub enum JobError {
@@ -96,6 +105,23 @@ pub enum JobError {
         superstep: u64,
         /// The underlying error message.
         error: String,
+    },
+    /// The job exceeded one of its configured budgets
+    /// ([`JobConfig::logical_io_budget`] /
+    /// [`JobConfig::memory_budget`]) and was terminated at a superstep
+    /// barrier. Budget checks read only this job's own metrics, so a
+    /// multi-tenant service can enforce per-job limits without any
+    /// cross-job accounting.
+    BudgetExceeded {
+        /// The barrier at which the breach was detected (0 = loading).
+        superstep: u64,
+        /// Which budget: `"logical_io"` or `"memory"`.
+        resource: &'static str,
+        /// Observed usage (cumulative logical bytes, or the superstep's
+        /// summed memory high-water mark).
+        used: u64,
+        /// The configured limit.
+        budget: u64,
     },
     /// An I/O error outside any worker (e.g. creating the disk roots).
     Io(io::Error),
@@ -113,6 +139,16 @@ impl fmt::Display for JobError {
                 "worker {worker} failed in superstep {superstep} and the job \
                  could not recover: {error}"
             ),
+            JobError::BudgetExceeded {
+                superstep,
+                resource,
+                used,
+                budget,
+            } => write!(
+                f,
+                "job exceeded its {resource} budget at superstep {superstep}: \
+                 used {used} of {budget}"
+            ),
             JobError::Io(e) => write!(f, "job I/O error: {e}"),
         }
     }
@@ -122,7 +158,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Io(e) => Some(e),
-            JobError::WorkerFailed { .. } => None,
+            JobError::WorkerFailed { .. } | JobError::BudgetExceeded { .. } => None,
         }
     }
 }
@@ -344,6 +380,15 @@ pub fn run_job<P: VertexProgram>(
             scope.spawn(move || worker_main::<P>(seed, cmd_rx, rep_tx));
         };
 
+        // Cooperative pacing: under a multi-job scheduler the master holds
+        // a grant for each unit of work (load, one superstep, collect) so
+        // the cross-job interleaving replays deterministically. Unpaced
+        // jobs skip every hook.
+        let pacer = cfg.pacer.clone();
+        if let Some(p) = &pacer {
+            p.acquire(); // covers the load phase (workers load on spawn)
+        }
+
         let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(t);
         let mut pending_rx: Vec<Receiver<Cmd>> = Vec::with_capacity(t);
         for _ in 0..t {
@@ -454,15 +499,15 @@ pub fn run_job<P: VertexProgram>(
             num_vblocks: layout.num_blocks(),
             initial_mode: initial,
         };
+        // Modeled load time: the slowest worker's classified I/O.
+        let load_modeled_secs = load_reports
+            .iter()
+            .map(|r| r.io.modeled_secs(&cfg.profile))
+            .fold(0.0, f64::max);
         if let Some(s) = &sink {
-            // Modeled load time: the slowest worker's classified I/O.
-            let secs = load_reports
-                .iter()
-                .map(|r| r.io.modeled_secs(&cfg.profile))
-                .fold(0.0, f64::max);
             s.master().span(
                 "load",
-                secs_to_us(secs),
+                secs_to_us(load_modeled_secs),
                 vec![
                     ("fragments", load.fragments.into()),
                     ("vblocks", (load.num_vblocks as u64).into()),
@@ -520,6 +565,23 @@ pub fn run_job<P: VertexProgram>(
                 switches_len: 0,
             });
         }
+        if let Some(p) = &pacer {
+            p.release(load_modeled_secs);
+        }
+        // Per-job budget enforcement: cumulative logical bytes (the
+        // device-independent measure, so codecs don't mask overuse) and
+        // the per-superstep summed memory high-water mark.
+        let mut cum_logical = load.io.total_logical_bytes();
+        if let Some(b) = cfg.logical_io_budget {
+            if cum_logical > b {
+                return Err(JobError::BudgetExceeded {
+                    superstep: 0,
+                    resource: "logical_io",
+                    used: cum_logical,
+                    budget: b,
+                });
+            }
+        }
 
         let mut net_base = net_stats.snapshot();
         // Fabric epoch: bumped on every recovery so ARQ frames still in
@@ -528,6 +590,9 @@ pub fn run_job<P: VertexProgram>(
         let mut superstep = 0u64;
         while superstep < max_steps {
             superstep += 1;
+            if let Some(p) = &pacer {
+                p.acquire();
+            }
             let kind = match cfg.mode {
                 Mode::Push => StepKind::Push,
                 Mode::PushM => StepKind::PushM,
@@ -717,6 +782,9 @@ pub fn run_job<P: VertexProgram>(
                             ],
                         );
                     }
+                    if let Some(p) = &pacer {
+                        p.release(0.0);
+                    }
                     superstep -= 1;
                     continue;
                 }
@@ -818,6 +886,9 @@ pub fn run_job<P: VertexProgram>(
                     // supersteps re-execute.
                     audit_seen = audit_seen.min(switcher.audit().len());
                 }
+                if let Some(p) = &pacer {
+                    p.release(0.0);
+                }
                 superstep = ck;
                 continue;
             }
@@ -905,7 +976,33 @@ pub fn run_job<P: VertexProgram>(
             } else if let Some(p) = &net_plan {
                 faults_base = fired(p);
             }
+            let step_logical = metrics.io.total_logical_bytes();
+            let step_memory = metrics.memory_bytes;
             steps.push(metrics);
+            if let Some(p) = &pacer {
+                p.release(step_secs);
+            }
+            cum_logical += step_logical;
+            if let Some(b) = cfg.logical_io_budget {
+                if cum_logical > b {
+                    return Err(JobError::BudgetExceeded {
+                        superstep,
+                        resource: "logical_io",
+                        used: cum_logical,
+                        budget: b,
+                    });
+                }
+            }
+            if let Some(b) = cfg.memory_budget {
+                if step_memory > b {
+                    return Err(JobError::BudgetExceeded {
+                        superstep,
+                        resource: "memory",
+                        used: step_memory,
+                        budget: b,
+                    });
+                }
+            }
 
             if pending == 0 && responders == 0 {
                 break;
@@ -1005,6 +1102,9 @@ pub fn run_job<P: VertexProgram>(
         }
 
         // ---- Collect ----------------------------------------------------
+        if let Some(p) = &pacer {
+            p.acquire();
+        }
         for tx in &cmd_txs {
             tx.send(Cmd::Collect).expect("worker gone");
         }
@@ -1028,6 +1128,9 @@ pub fn run_job<P: VertexProgram>(
         }
         for tx in &cmd_txs {
             tx.send(Cmd::Exit).ok();
+        }
+        if let Some(p) = &pacer {
+            p.release(0.0);
         }
         let mut all = Vec::with_capacity(n);
         let mut pairs: Vec<(u32, Vec<P::Value>)> = bases
@@ -1421,6 +1524,9 @@ fn aggregate(
         mco,
         q_metric: q,
         memory_bytes: sum(|r| r.memory_bytes),
+        cache_hits: sum(|r| r.cache_hits),
+        cache_misses: sum(|r| r.cache_misses),
+        cache_evictions: sum(|r| r.cache_evictions),
         modeled_secs: modeled,
         modeled_io_secs: modeled_io,
         modeled_net_secs: modeled_net,

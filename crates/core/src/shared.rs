@@ -1,0 +1,49 @@
+//! Catalog-built stores a job attaches to instead of loading privately.
+//!
+//! A registered graph is partitioned and laid out once, and its three
+//! on-disk stores are built once per worker slot. A job configured with
+//! [`SharedStores`] skips the build in `Worker::load` and attaches cheap
+//! read-only views instead — same bytes, same indices, but every read the
+//! job performs is recorded into *its own* per-worker
+//! [`IoStats`](hybridgraph_storage::IoStats) (the stats-rebinding views of
+//! the storage crate), so per-job I/O accounting and `Q_t` inputs stay
+//! exactly as correct as for a privately loaded graph.
+
+use hybridgraph_storage::adjacency::AdjacencyStore;
+use hybridgraph_storage::gather::GatherStore;
+use hybridgraph_storage::veblock::VeBlockStore;
+use std::sync::Arc;
+
+/// Per-worker-slot prebuilt stores for one registered graph.
+///
+/// All three store kinds are built eagerly at registration so a job of
+/// any mode (push needs adjacency, b-pull needs VE-BLOCK, pull needs
+/// gather) can attach. Jobs over a registered graph must use exactly
+/// `workers()` workers — the stores are sliced for that partition.
+#[derive(Clone)]
+pub struct SharedStores {
+    /// Catalog-wide id of the registered graph (cache key namespace).
+    pub graph_id: u32,
+    /// `adjacency[w]` — worker `w`'s adjacency store.
+    pub adjacency: Vec<Arc<AdjacencyStore>>,
+    /// `veblock[w]` — worker `w`'s VE-BLOCK store.
+    pub veblock: Vec<Arc<VeBlockStore>>,
+    /// `gather[w]` — worker `w`'s destination-grouped gather store.
+    pub gather: Vec<Arc<GatherStore>>,
+}
+
+impl SharedStores {
+    /// The worker count the stores were built for.
+    pub fn workers(&self) -> usize {
+        self.adjacency.len()
+    }
+}
+
+impl std::fmt::Debug for SharedStores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedStores")
+            .field("graph_id", &self.graph_id)
+            .field("workers", &self.workers())
+            .finish()
+    }
+}

@@ -12,7 +12,7 @@ use crate::bitset::BitSet;
 use crate::config::{JobConfig, Mode};
 use crate::metrics::StepReport;
 use crate::program::{GraphInfo, VertexProgram};
-use hybridgraph_graph::{BlockLayout, Graph, Partition, VertexId, WorkerId};
+use hybridgraph_graph::{BlockLayout, Edge, Graph, Partition, VertexId, WorkerId};
 use hybridgraph_net::fabric::{Endpoint, Envelope};
 use hybridgraph_net::packet::Packet;
 use hybridgraph_net::wire::BatchKind;
@@ -377,10 +377,23 @@ impl<P: VertexProgram> Worker<P> {
 
         let mut report = WorkerLoadReport::default();
 
+        // Catalog-registered graphs: attach stats-rebinding views of the
+        // prebuilt shared stores instead of building privately. Every byte
+        // the views read is charged to *this job's* per-worker `IoStats`.
+        let shared = cfg.shared_stores.clone();
+
         let adjacency = if needs_adj {
             let t = Instant::now();
-            let s =
-                AdjacencyStore::build_with(vfs.as_ref(), "adj", graph, range.clone(), cfg.codec)?;
+            let s = match &shared {
+                Some(sh) => sh.adjacency[id.index()].share_view(Arc::clone(vfs.stats())),
+                None => AdjacencyStore::build_with(
+                    vfs.as_ref(),
+                    "adj",
+                    graph,
+                    range.clone(),
+                    cfg.codec,
+                )?,
+            };
             report.adj_secs = t.elapsed().as_secs_f64();
             Some(s)
         } else {
@@ -389,7 +402,10 @@ impl<P: VertexProgram> Worker<P> {
 
         let veblock = if needs_ve {
             let t = Instant::now();
-            let s = VeBlockStore::build_with(vfs.as_ref(), graph, &layout, id, cfg.codec)?;
+            let s = match &shared {
+                Some(sh) => sh.veblock[id.index()].share_view(Arc::clone(vfs.stats())),
+                None => VeBlockStore::build_with(vfs.as_ref(), graph, &layout, id, cfg.codec)?,
+            };
             report.veblock_secs = t.elapsed().as_secs_f64();
             report.fragments = s.total_fragments();
             report.vblocks = s.local_blocks();
@@ -400,13 +416,16 @@ impl<P: VertexProgram> Worker<P> {
         };
 
         let gather = if needs_gather {
-            Some(GatherStore::build_with(
-                vfs.as_ref(),
-                "gather",
-                graph,
-                range.clone(),
-                cfg.codec,
-            )?)
+            Some(match &shared {
+                Some(sh) => sh.gather[id.index()].share_view(Arc::clone(vfs.stats())),
+                None => GatherStore::build_with(
+                    vfs.as_ref(),
+                    "gather",
+                    graph,
+                    range.clone(),
+                    cfg.codec,
+                )?,
+            })
         } else {
             None
         };
@@ -717,6 +736,50 @@ impl<P: VertexProgram> Worker<P> {
             );
             prev = snap;
         }
+    }
+
+    /// Reads vertex `v`'s out-edges through the cross-job shared cache if
+    /// the job has one, falling back to a plain adjacency read otherwise.
+    ///
+    /// A **hit** serves the edges from memory: no physical bytes move and
+    /// no `IO(Ē^t)` is charged — only the logical bytes are recorded (so
+    /// this job's `io_ratio` reflects the saving and its `Q_t` inputs
+    /// shrink; shared-cache interference is exactly what the
+    /// `multi_tenant` experiment measures). A **miss** reads and charges
+    /// as before, then publishes the edges for every tenant. Hits, misses
+    /// and evictions are attributed to the *requesting* job's report.
+    ///
+    /// Only deterministic-order call sites may use this: the push compute
+    /// loop (canonical work order) and pull's `scatter_signals` (ascending
+    /// vertex order). Arrival-ordered paths must not — the cache state
+    /// would depend on packet timing.
+    pub fn read_out_edges(
+        &self,
+        v: VertexId,
+        class: AccessClass,
+        rep: &mut StepReport,
+    ) -> io::Result<Arc<Vec<Edge>>> {
+        let adj = self.adjacency.as_ref().expect("adjacency store required");
+        let stored = adj.stored_bytes_of(v);
+        if stored == 0 {
+            return Ok(Arc::new(Vec::new()));
+        }
+        let (Some(cache), Some(shared)) = (&self.cfg.shared_cache, &self.cfg.shared_stores) else {
+            let edges = adj.edges_of(v, class)?;
+            rep.sem.push_edge_bytes += stored;
+            return Ok(Arc::new(edges));
+        };
+        let (gid, slot) = (shared.graph_id, self.id.index());
+        if let Some(edges) = cache.get(slot, gid, v.0) {
+            rep.cache_hits += 1;
+            self.vfs.stats().record_logical(class, adj.edge_bytes_of(v));
+            return Ok(edges);
+        }
+        rep.cache_misses += 1;
+        let edges = Arc::new(adj.edges_of(v, class)?);
+        rep.sem.push_edge_bytes += stored;
+        rep.cache_evictions += cache.insert(slot, gid, v.0, Arc::clone(&edges), stored);
+        Ok(edges)
     }
 
     /// A blocking receive that accrues the wait into `blocking_secs`.

@@ -67,7 +67,7 @@ fn write_args(buf: &mut String, args: &[(&'static str, ArgValue)]) {
     buf.push('}');
 }
 
-fn write_event(buf: &mut String, ev: &TraceEvent, first: &mut bool) {
+fn write_event(buf: &mut String, ev: &TraceEvent, pid: usize, first: &mut bool) {
     if !*first {
         buf.push_str(",\n");
     }
@@ -79,10 +79,11 @@ fn write_event(buf: &mut String, ev: &TraceEvent, first: &mut bool) {
     };
     let _ = write!(
         buf,
-        "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":0,\"tid\":{}",
+        "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
         json_escape(&ev.name),
         ph,
         ev.ts_us,
+        pid,
         ev.track
     );
     if let EventKind::Span { dur_us } = ev.kind {
@@ -122,7 +123,59 @@ pub fn export_chrome_trace(sink: &TraceSink) -> String {
     }
     for shard in sink.shards() {
         for ev in shard.events() {
-            write_event(&mut buf, &ev, &mut first);
+            write_event(&mut buf, &ev, 0, &mut first);
+        }
+    }
+    buf.push_str("\n]}\n");
+    buf
+}
+
+/// Render several jobs' sinks into one Chrome Trace Event JSON document,
+/// one *process* per job (pid = job index, process name = job name) so a
+/// multi-tenant run shows every job's tracks side by side in Perfetto.
+///
+/// Jobs are emitted in slice order and each sink's shards in track order,
+/// so the byte stream is a deterministic function of the recorded events —
+/// the property the service's double-run `cmp` check relies on.
+pub fn export_chrome_trace_jobs(jobs: &[(&str, &TraceSink)]) -> String {
+    let mut buf = String::new();
+    buf.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for (pid, (name, sink)) in jobs.iter().enumerate() {
+        if !first {
+            buf.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            buf,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            json_escape(name)
+        );
+        let _ = write!(
+            buf,
+            ",\n{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{pid}}}}}"
+        );
+        for shard in sink.shards() {
+            let t = shard.track();
+            let _ = write!(
+                buf,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                t,
+                json_escape(&sink.track_name(t))
+            );
+            let _ = write!(
+                buf,
+                ",\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{t},\"args\":{{\"sort_index\":{t}}}}}"
+            );
+        }
+    }
+    for (pid, (_, sink)) in jobs.iter().enumerate() {
+        for shard in sink.shards() {
+            for ev in shard.events() {
+                write_event(&mut buf, &ev, pid, &mut first);
+            }
         }
     }
     buf.push_str("\n]}\n");
@@ -169,6 +222,22 @@ mod tests {
             export_chrome_trace(&sink)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn multi_job_export_separates_processes() {
+        let a = TraceSink::new(1);
+        a.worker(0).span("superstep", 100, vec![]);
+        let b = TraceSink::new(1);
+        b.worker(0).span("superstep", 200, vec![]);
+        let json = export_chrome_trace_jobs(&[("job-a", &a), ("job-b", &b)]);
+        validate_json(&json).expect("multi-job exporter must emit valid JSON");
+        assert!(json.contains("\"name\":\"job-a\""));
+        assert!(json.contains("\"name\":\"job-b\""));
+        assert!(json.contains("\"pid\":1"));
+        // Deterministic byte stream for identical inputs.
+        let again = export_chrome_trace_jobs(&[("job-a", &a), ("job-b", &b)]);
+        assert_eq!(json, again);
     }
 
     #[test]

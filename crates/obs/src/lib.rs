@@ -31,7 +31,7 @@ pub mod sink;
 pub mod tap;
 
 pub use audit::{render_table, QtAudit, QtInputs, QtTerms, QtVerdict};
-pub use chrome::{export_chrome_trace, json_escape};
+pub use chrome::{export_chrome_trace, export_chrome_trace_jobs, json_escape};
 pub use event::{ArgValue, EventKind, TraceEvent};
 pub use json::validate_json;
 pub use prom::{export_prometheus, ExtraMetric};

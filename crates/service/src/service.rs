@@ -1,0 +1,453 @@
+//! The multi-tenant `GraphService`.
+//!
+//! One long-lived service owns a [`Catalog`] of registered graphs, a
+//! shared byte-weighted [`SharedEdgeCache`], and a deterministic
+//! [`RoundRobinScheduler`]. Jobs are submitted against a registered graph
+//! and run concurrently — each on its own thread, each over the *shared*
+//! stores and cache, yet byte-identically replayable because the
+//! scheduler serializes supersteps across jobs in a seeded, modeled-time
+//! order.
+//!
+//! Admission control bounds the blast radius of any tenant: at most
+//! `max_resident_jobs` run at once, at most `max_queued_jobs` wait, and a
+//! job's logical-I/O / memory budget is clamped to the service-wide
+//! per-job maxima (typed rejection when a request exceeds them; runtime
+//! termination via [`JobError::BudgetExceeded`] when a running job does).
+
+use crate::catalog::{Catalog, CatalogError, GraphSpec};
+use crate::scheduler::RoundRobinScheduler;
+use hybridgraph_core::program::VertexProgram;
+use hybridgraph_core::runner::{run_job, JobError, JobResult};
+use hybridgraph_core::JobConfig;
+use hybridgraph_graph::Graph;
+use hybridgraph_storage::{SharedCacheStats, SharedEdgeCache};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+
+/// Service-wide limits and the determinism seed.
+#[derive(Copy, Clone, Debug)]
+pub struct ServiceConfig {
+    /// Jobs running concurrently; further admissions queue.
+    pub max_resident_jobs: usize,
+    /// Queue depth; admissions beyond it are rejected.
+    pub max_queued_jobs: usize,
+    /// Shared gather-cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Cache shards — one per worker slot; registrations asking for more
+    /// workers than this are refused.
+    pub cache_slots: usize,
+    /// Seed for the scheduler's round-robin tiebreaks.
+    pub seed: u64,
+    /// Service-wide per-job logical-I/O ceiling (requests above it are
+    /// rejected; jobs without a requested budget inherit it).
+    pub max_job_logical_io: Option<u64>,
+    /// Service-wide per-job memory ceiling, same semantics.
+    pub max_job_memory: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_resident_jobs: 4,
+            max_queued_jobs: 16,
+            cache_bytes: 1 << 20,
+            cache_slots: 16,
+            seed: 1,
+            max_job_logical_io: None,
+            max_job_memory: None,
+        }
+    }
+}
+
+/// A job submission: which registered graph, under what configuration.
+///
+/// The service overrides the layout-determining fields (`workers`,
+/// `codec`, `vblocks_per_worker`) with the graph's registered spec — the
+/// shared stores are sliced for exactly that layout — and installs the
+/// shared cache, the pacer, and the clamped budgets.
+pub struct JobRequest {
+    /// Name of the registered graph to run over.
+    pub graph: String,
+    /// The job's configuration (mode, buffers, tracing, fault plan, ...).
+    pub cfg: JobConfig,
+}
+
+impl JobRequest {
+    /// A request to run over `graph` under `cfg`.
+    pub fn new(graph: impl Into<String>, cfg: JobConfig) -> JobRequest {
+        JobRequest {
+            graph: graph.into(),
+            cfg,
+        }
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug)]
+pub enum AdmissionError {
+    /// The named graph is not registered.
+    UnknownGraph(String),
+    /// Both the resident slots and the queue are full.
+    QueueFull {
+        /// Jobs currently running.
+        resident: usize,
+        /// Jobs currently queued.
+        queued: usize,
+    },
+    /// The request asks for a budget above the service-wide per-job
+    /// ceiling.
+    BudgetTooLarge {
+        /// `"logical_io"` or `"memory"`.
+        resource: &'static str,
+        /// Requested budget.
+        requested: u64,
+        /// Service ceiling.
+        limit: u64,
+    },
+    /// The request's trace sink was built for a different worker count
+    /// than the graph's registered spec.
+    TraceWorkerMismatch {
+        /// The registered worker count.
+        expected: usize,
+        /// The sink's worker count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::UnknownGraph(n) => write!(f, "no graph named '{n}' is registered"),
+            AdmissionError::QueueFull { resident, queued } => write!(
+                f,
+                "admission refused: {resident} resident and {queued} queued jobs"
+            ),
+            AdmissionError::BudgetTooLarge {
+                resource,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "requested {resource} budget {requested} exceeds the per-job limit {limit}"
+            ),
+            AdmissionError::TraceWorkerMismatch { expected, got } => write!(
+                f,
+                "trace sink built for {got} workers but the graph is registered for {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Handle to a submitted job; [`JobTicket::wait`] blocks for its result.
+pub struct JobTicket<P: VertexProgram> {
+    rx: Receiver<Result<JobResult<P>, JobError>>,
+    job_id: u64,
+    graph: String,
+}
+
+impl<P: VertexProgram> JobTicket<P> {
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(self) -> Result<JobResult<P>, JobError> {
+        self.rx.recv().expect("job thread died without a result")
+    }
+
+    /// Service-wide job id (admission order).
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// The registered graph the job runs over.
+    pub fn graph(&self) -> &str {
+        &self.graph
+    }
+}
+
+impl<P: VertexProgram> fmt::Debug for JobTicket<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("job_id", &self.job_id)
+            .field("graph", &self.graph)
+            .finish()
+    }
+}
+
+type Launch = Box<dyn FnOnce(usize) + Send>;
+
+struct State {
+    catalog: Catalog,
+    resident: usize,
+    queue: VecDeque<Launch>,
+    next_job: u64,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    sched: Arc<RoundRobinScheduler>,
+    cache: Arc<SharedEdgeCache>,
+    state: Mutex<State>,
+}
+
+impl Inner {
+    /// Job-completion bookkeeping: unpin the graph, free the resident
+    /// slot, and admit queued jobs. Leaving the scheduler lane and
+    /// joining the successors' lanes happens in one scheduler critical
+    /// section, so no grant slips between completion and admission.
+    fn finish(self: &Arc<Inner>, lane: usize, graph: &str) {
+        let mut st = self.state.lock().unwrap();
+        st.catalog.unpin(graph);
+        st.resident -= 1;
+        let mut launches = Vec::new();
+        while st.resident < self.cfg.max_resident_jobs {
+            match st.queue.pop_front() {
+                Some(l) => {
+                    st.resident += 1;
+                    launches.push(l);
+                }
+                None => break,
+            }
+        }
+        let lanes = self.sched.leave_joining(lane, launches.len());
+        drop(st);
+        for (launch, lane) in launches.into_iter().zip(lanes) {
+            launch(lane);
+        }
+    }
+}
+
+/// The resident engine: graph catalog + shared cache + job scheduler.
+pub struct GraphService {
+    inner: Arc<Inner>,
+}
+
+impl GraphService {
+    /// A service under `cfg`.
+    pub fn new(cfg: ServiceConfig) -> GraphService {
+        assert!(cfg.max_resident_jobs >= 1, "need at least one job slot");
+        GraphService {
+            inner: Arc::new(Inner {
+                cfg,
+                sched: RoundRobinScheduler::new(cfg.seed),
+                cache: Arc::new(SharedEdgeCache::new(
+                    cfg.cache_slots,
+                    cfg.cache_bytes.max(1),
+                )),
+                state: Mutex::new(State {
+                    catalog: Catalog::new(),
+                    resident: 0,
+                    queue: VecDeque::new(),
+                    next_job: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Registers `graph` under `name`, building its stores once. Returns
+    /// the graph id.
+    pub fn register_graph(
+        &self,
+        name: &str,
+        graph: Graph,
+        spec: GraphSpec,
+    ) -> Result<u32, CatalogError> {
+        if spec.workers > self.inner.cfg.cache_slots {
+            return Err(CatalogError::TooManyWorkers {
+                workers: spec.workers,
+                slots: self.inner.cfg.cache_slots,
+            });
+        }
+        let mut st = self.inner.state.lock().unwrap();
+        st.catalog.register(name, Arc::new(graph), spec)
+    }
+
+    /// Evicts a registered graph; fails while any job holds a pin. On
+    /// success the shared cache drops every entry of the graph.
+    pub fn evict(&self, name: &str) -> Result<(), CatalogError> {
+        let id = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.catalog.evict(name)?
+        };
+        self.inner.cache.purge_graph(id);
+        Ok(())
+    }
+
+    /// The registered worker count of `name` (build trace sinks for it).
+    pub fn workers_of(&self, name: &str) -> Option<usize> {
+        let st = self.inner.state.lock().unwrap();
+        st.catalog.get(name).map(|g| g.spec.workers)
+    }
+
+    /// Suspends scheduler grants until the returned guard drops. Hold it
+    /// across a *batch* of [`GraphService::submit`] calls to make the
+    /// whole multi-job schedule — and with it every shared-cache
+    /// interaction, trace byte and `Q_t` decision — a pure function of
+    /// the batch and the service seed, independent of thread timing: no
+    /// job's first unit can be granted before the last job of the batch
+    /// has joined the cohort.
+    pub fn pause_scheduling(&self) -> SchedulingPause<'_> {
+        self.inner.sched.freeze();
+        SchedulingPause { service: self }
+    }
+
+    /// Submits a job. Runs immediately if a resident slot is free, queues
+    /// if the queue has room, and returns a typed error otherwise. The
+    /// returned ticket's [`JobTicket::wait`] blocks for the result.
+    pub fn submit<P: VertexProgram>(
+        &self,
+        program: Arc<P>,
+        req: JobRequest,
+    ) -> Result<JobTicket<P>, AdmissionError> {
+        let inner = &self.inner;
+        let mut st = inner.state.lock().unwrap();
+        let (spec, stores, graph) = {
+            let reg = st
+                .catalog
+                .get(&req.graph)
+                .ok_or_else(|| AdmissionError::UnknownGraph(req.graph.clone()))?;
+            (reg.spec, reg.stores.clone(), Arc::clone(&reg.graph))
+        };
+
+        if let Some(sink) = &req.cfg.trace {
+            if sink.num_workers() != spec.workers {
+                return Err(AdmissionError::TraceWorkerMismatch {
+                    expected: spec.workers,
+                    got: sink.num_workers(),
+                });
+            }
+        }
+        let io_budget = clamp_budget(
+            "logical_io",
+            req.cfg.logical_io_budget,
+            inner.cfg.max_job_logical_io,
+        )?;
+        let mem_budget = clamp_budget("memory", req.cfg.memory_budget, inner.cfg.max_job_memory)?;
+
+        // Effective configuration: layout fields come from the registered
+        // spec (with_shared_stores pins the worker count), the shared
+        // cache and clamped budgets are installed, the pacer at launch.
+        let mut cfg = req
+            .cfg
+            .with_shared_stores(stores)
+            .with_shared_cache(Arc::clone(&inner.cache))
+            .with_codec(spec.codec);
+        cfg.vblocks_per_worker = Some(spec.vblocks_per_worker);
+        cfg.logical_io_budget = io_budget;
+        cfg.memory_budget = mem_budget;
+
+        let job_id = st.next_job;
+        st.next_job += 1;
+        st.catalog.pin(&req.graph).expect("looked up above");
+
+        let (tx, rx) = channel::<Result<JobResult<P>, JobError>>();
+        let inner2 = Arc::clone(inner);
+        let gname = req.graph.clone();
+        let launch: Launch = Box::new(move |lane: usize| {
+            let pacer = inner2.sched.handle(lane);
+            let cfg = cfg.with_pacer(pacer);
+            std::thread::spawn(move || {
+                let res = run_job(Arc::clone(&program), &graph, cfg);
+                // Bookkeeping before the result is delivered: a waiter
+                // unblocked by the send already sees the slot freed, the
+                // pin released and any queued successor launched.
+                inner2.finish(lane, &gname);
+                tx.send(res).ok();
+            });
+        });
+
+        if st.resident < inner.cfg.max_resident_jobs {
+            st.resident += 1;
+            let lane = inner.sched.join();
+            drop(st);
+            launch(lane);
+        } else if st.queue.len() < inner.cfg.max_queued_jobs {
+            st.queue.push_back(launch);
+        } else {
+            st.catalog.unpin(&req.graph);
+            return Err(AdmissionError::QueueFull {
+                resident: st.resident,
+                queued: st.queue.len(),
+            });
+        }
+        Ok(JobTicket {
+            rx,
+            job_id,
+            graph: req.graph,
+        })
+    }
+
+    /// Jobs currently running.
+    pub fn resident_jobs(&self) -> usize {
+        self.inner.state.lock().unwrap().resident
+    }
+
+    /// Jobs currently queued.
+    pub fn queued_jobs(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Registered graphs.
+    pub fn registered_graphs(&self) -> usize {
+        self.inner.state.lock().unwrap().catalog.len()
+    }
+
+    /// Current pins of a registered graph.
+    pub fn pins_of(&self, name: &str) -> Option<usize> {
+        let st = self.inner.state.lock().unwrap();
+        st.catalog.get(name).map(|g| g.pins())
+    }
+
+    /// Aggregate shared-cache counters (per-job attribution lives in each
+    /// job's own step reports).
+    pub fn cache_stats(&self) -> SharedCacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Scheduler units granted so far.
+    pub fn scheduler_grants(&self) -> u64 {
+        self.inner.sched.grants()
+    }
+}
+
+impl fmt::Debug for GraphService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.state.lock().unwrap();
+        f.debug_struct("GraphService")
+            .field("graphs", &st.catalog.len())
+            .field("resident", &st.resident)
+            .field("queued", &st.queue.len())
+            .finish()
+    }
+}
+
+/// Scheduler-grant suspension returned by
+/// [`GraphService::pause_scheduling`]; grants resume when it drops.
+pub struct SchedulingPause<'a> {
+    service: &'a GraphService,
+}
+
+impl Drop for SchedulingPause<'_> {
+    fn drop(&mut self) {
+        self.service.inner.sched.thaw();
+    }
+}
+
+/// Clamps a requested budget against the service ceiling: requests above
+/// it are typed rejections; absent requests inherit the ceiling.
+fn clamp_budget(
+    resource: &'static str,
+    requested: Option<u64>,
+    limit: Option<u64>,
+) -> Result<Option<u64>, AdmissionError> {
+    match (requested, limit) {
+        (Some(r), Some(l)) if r > l => Err(AdmissionError::BudgetTooLarge {
+            resource,
+            requested: r,
+            limit: l,
+        }),
+        (Some(r), _) => Ok(Some(r)),
+        (None, l) => Ok(l),
+    }
+}

@@ -15,6 +15,7 @@ use hybridgraph_codec::{decode_extent, encode_extent, CodecChoice, ExtentKind};
 use hybridgraph_graph::{Edge, Graph, VertexId};
 use std::io;
 use std::ops::Range;
+use std::sync::Arc;
 
 impl Record for Edge {
     const BYTES: usize = 8;
@@ -41,10 +42,11 @@ pub struct AdjacencyStore {
     /// `offsets[i]..offsets[i + 1]` is the *physical* byte extent of
     /// vertex `base + i`'s edge run in the file; length `count + 1`.
     /// Without a codec, physical extents equal logical edge bytes.
-    offsets: Vec<u64>,
+    /// Arc-shared so cross-job views are cheap.
+    offsets: Arc<Vec<u64>>,
     /// Per-vertex out-degrees, kept only when a codec is active (the
     /// physical extents no longer encode the edge counts then).
-    degrees: Option<Vec<u32>>,
+    degrees: Option<Arc<Vec<u32>>>,
     /// Total logical edge bytes (`Σ out_degree · 8`).
     total_logical: u64,
     codec: CodecChoice,
@@ -104,11 +106,27 @@ impl AdjacencyStore {
         Ok(AdjacencyStore {
             file,
             base: range.start,
-            offsets,
-            degrees,
+            offsets: Arc::new(offsets),
+            degrees: degrees.map(Arc::new),
             total_logical,
             codec,
         })
+    }
+
+    /// A read-only view over the same on-disk bytes whose I/O is recorded
+    /// into `stats` instead of the builder's sink. The extent index is
+    /// Arc-shared, so views are cheap; the underlying file is immutable
+    /// after [`AdjacencyStore::build_with`], so concurrent views from
+    /// different jobs are safe.
+    pub fn share_view(&self, stats: Arc<crate::stats::IoStats>) -> AdjacencyStore {
+        AdjacencyStore {
+            file: self.file.with_stats(stats),
+            base: self.base,
+            offsets: Arc::clone(&self.offsets),
+            degrees: self.degrees.as_ref().map(Arc::clone),
+            total_logical: self.total_logical,
+            codec: self.codec,
+        }
     }
 
     /// First vertex id owned.

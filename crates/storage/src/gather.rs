@@ -26,15 +26,18 @@ pub struct GatherStore {
     file: VfsFile,
     /// Destination vertex → `(offset, edge count, stored bytes)` of its
     /// fragment. Without a codec, stored bytes equal the logical fragment
-    /// size `AUX_BYTES + count · 8`.
-    index: HashMap<u32, (u64, u32, u32)>,
+    /// size `AUX_BYTES + count · 8`. Arc-shared so cross-job views are
+    /// cheap.
+    index: std::sync::Arc<HashMap<u32, (u64, u32, u32)>>,
     codec: CodecChoice,
     /// Offset of the last fragment read. Requests that sweep the file in
     /// ascending order (a dense gather, e.g. PageRank's every-vertex
     /// superstep) amount to one sequential pass — the paper's ext-edge
     /// observation that "edges are read only once per superstep" — while
-    /// backward jumps are genuine seeks.
-    cursor: std::cell::Cell<u64>,
+    /// backward jumps are genuine seeks. Atomic only so the store is
+    /// `Sync` for cross-job sharing; each job's view has its own cursor
+    /// and each view is read by one worker thread at a time.
+    cursor: std::sync::atomic::AtomicU64,
 }
 
 /// An in-edge as seen from the destination: the source and the weight.
@@ -110,10 +113,23 @@ impl GatherStore {
         }
         Ok(GatherStore {
             file,
-            index,
+            index: std::sync::Arc::new(index),
             codec,
-            cursor: std::cell::Cell::new(0),
+            cursor: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// A read-only view over the same on-disk bytes whose I/O is recorded
+    /// into `stats` instead of the builder's sink. The fragment index is
+    /// Arc-shared; the sweep cursor is per-view (each job tracks its own
+    /// sequential/seek classification).
+    pub fn share_view(&self, stats: std::sync::Arc<crate::stats::IoStats>) -> GatherStore {
+        GatherStore {
+            file: self.file.with_stats(stats),
+            index: std::sync::Arc::clone(&self.index),
+            codec: self.codec,
+            cursor: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Number of destinations with at least one local in-edge.
@@ -140,7 +156,7 @@ impl GatherStore {
         // Forward reads continue a sweep (sequential); backward jumps are
         // scattered seeks charged at sector granularity (on the physical
         // bytes the device actually moves).
-        let forward = offset >= self.cursor.get();
+        let forward = offset >= self.cursor.load(std::sync::atomic::Ordering::Relaxed);
         let class = if forward {
             AccessClass::SeqRead
         } else {
@@ -161,7 +177,10 @@ impl GatherStore {
                 crate::stats::seek_pad(u64::from(stored)),
             );
         }
-        self.cursor.set(offset + u64::from(stored));
+        self.cursor.store(
+            offset + u64::from(stored),
+            std::sync::atomic::Ordering::Relaxed,
+        );
         let mut out = Vec::with_capacity(count as usize);
         let mut at = AUX_BYTES as usize;
         for _ in 0..count {

@@ -25,7 +25,9 @@
 //!   everything else),
 //! * [`msg_log`] — sender-side outgoing-message log segments enabling
 //!   Pregel-style confined recovery (one classified sequential write per
-//!   superstep).
+//!   superstep),
+//! * [`shared_cache`] — the cross-job byte-weighted edge-extent cache for
+//!   the multi-tenant service, with per-requesting-job attribution.
 
 pub mod adjacency;
 pub mod checkpoint;
@@ -35,6 +37,7 @@ pub mod msg_log;
 pub mod msg_store;
 pub mod profile;
 pub mod record;
+pub mod shared_cache;
 pub mod stats;
 pub mod value_store;
 pub mod veblock;
@@ -45,5 +48,6 @@ pub use hybridgraph_codec::{Codec, CodecChoice, CodecError};
 pub use msg_log::{MsgLogReader, MsgLogWriter};
 pub use profile::DeviceProfile;
 pub use record::Record;
+pub use shared_cache::{SharedCacheStats, SharedEdgeCache, CACHE_ENTRY_OVERHEAD};
 pub use stats::{AccessClass, IoSnapshot, IoStats};
 pub use vfs::{DirVfs, MemVfs, Vfs, VfsFile};

@@ -115,10 +115,11 @@ pub struct Fragment {
 pub struct VeBlockStore {
     /// One edge file per local block, holding its `V` Eblocks back to back.
     files: Vec<VfsFile>,
-    /// `index[j_local][i_global]` — extent of `g_{j,i}`.
-    index: Vec<Vec<EblockInfo>>,
+    /// `index[j_local][i_global]` — extent of `g_{j,i}`. Arc-shared so
+    /// cross-job views are cheap.
+    index: std::sync::Arc<Vec<Vec<EblockInfo>>>,
     /// `meta[j_local]` — `X_j`.
-    meta: Vec<BlockMeta>,
+    meta: std::sync::Arc<Vec<BlockMeta>>,
     /// Global id of local block 0 (a worker's blocks are contiguous).
     first_block: u32,
     /// First vertex id covered by the local blocks.
@@ -126,7 +127,7 @@ pub struct VeBlockStore {
     /// `fragment_counts[v - base_vertex]` — how many fragments vertex `v`
     /// appears in (its out-edges span that many Eblocks). Used to estimate
     /// `IO(V^t_rr)` for the hybrid predictor without running b-pull.
-    fragment_counts: Vec<u32>,
+    fragment_counts: std::sync::Arc<Vec<u32>>,
     total_fragments: u64,
     total_edge_bytes: u64,
     /// The codec every Eblock extent was written (and is read) with.
@@ -248,15 +249,39 @@ impl VeBlockStore {
 
         Ok(VeBlockStore {
             files,
-            index,
-            meta,
+            index: std::sync::Arc::new(index),
+            meta: std::sync::Arc::new(meta),
             first_block,
             base_vertex,
-            fragment_counts,
+            fragment_counts: std::sync::Arc::new(fragment_counts),
             total_fragments,
             total_edge_bytes,
             codec,
         })
+    }
+
+    /// A read-only view over the same Eblock files whose I/O is recorded
+    /// into `stats` instead of the builder's sink. Index, metadata and
+    /// fragment counts are Arc-shared; the files are immutable after
+    /// [`VeBlockStore::build_with`] (vertex *values* live in the per-job
+    /// [`ValueStore`](crate::value_store::ValueStore), never here), so
+    /// concurrent views from different jobs are safe.
+    pub fn share_view(&self, stats: std::sync::Arc<crate::stats::IoStats>) -> VeBlockStore {
+        VeBlockStore {
+            files: self
+                .files
+                .iter()
+                .map(|f| f.with_stats(std::sync::Arc::clone(&stats)))
+                .collect(),
+            index: std::sync::Arc::clone(&self.index),
+            meta: std::sync::Arc::clone(&self.meta),
+            first_block: self.first_block,
+            base_vertex: self.base_vertex,
+            fragment_counts: std::sync::Arc::clone(&self.fragment_counts),
+            total_fragments: self.total_fragments,
+            total_edge_bytes: self.total_edge_bytes,
+            codec: self.codec,
+        }
     }
 
     /// How many fragments local vertex `v` appears in (no I/O).

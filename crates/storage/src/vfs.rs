@@ -131,6 +131,17 @@ impl VfsFile {
             self.stats.record_physical(class, bytes);
         }
     }
+
+    /// The same underlying file, recording into `stats` instead of the
+    /// owning VFS's sink. This is how a store built once (by a catalog)
+    /// can be read by many jobs with each job's bytes attributed to its
+    /// own [`IoStats`].
+    pub fn with_stats(&self, stats: Arc<IoStats>) -> VfsFile {
+        VfsFile {
+            raw: Arc::clone(&self.raw),
+            stats,
+        }
+    }
 }
 
 /// A namespace of accounted files.

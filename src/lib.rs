@@ -38,7 +38,8 @@
 //! [`codec`] (on-disk compression), [`graph`] (model + generators +
 //! partitioning), [`storage`] (simulated disk, VE-BLOCK), [`net`]
 //! (simulated fabric), [`core`] (the engine), [`algos`] (PageRank,
-//! SSSP, LPA, SA, WCC).
+//! SSSP, LPA, SA, WCC), [`service`] (multi-tenant `GraphService`:
+//! register graphs once, run many concurrent deterministic jobs).
 
 pub use hybridgraph_algos as algos;
 pub use hybridgraph_codec as codec;
@@ -46,6 +47,7 @@ pub use hybridgraph_core as core;
 pub use hybridgraph_graph as graph;
 pub use hybridgraph_net as net;
 pub use hybridgraph_obs as obs;
+pub use hybridgraph_service as service;
 pub use hybridgraph_storage as storage;
 
 /// The common imports for applications.
@@ -61,6 +63,9 @@ pub mod prelude {
     pub use hybridgraph_net::{LinkFault, NetFaultPlan};
     pub use hybridgraph_obs::{
         export_chrome_trace, export_prometheus, render_table, validate_json, TraceSink,
+    };
+    pub use hybridgraph_service::{
+        AdmissionError, CatalogError, GraphService, GraphSpec, JobRequest, ServiceConfig,
     };
     pub use hybridgraph_storage::{CodecChoice, DeviceProfile};
 }

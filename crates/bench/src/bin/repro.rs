@@ -8,7 +8,8 @@
 //!
 //! Experiments: datasets, fig2, fig7, fig8, fig9, fig10, fig11, fig12,
 //! fig13, fig14, fig15, fig16, fig17, fig18, table5, vblocks (figs
-//! 23–25), fig26, theorems, observe, io_compress, multi_tenant.
+//! 23–25), fig26, theorems, observe, io_compress, multi_tenant,
+//! service_restart.
 //!
 //! `--scale N` generates datasets at 1/N of the paper's sizes
 //! (default 2000). Modeled runtimes are projected back by ×N.
@@ -49,6 +50,7 @@ const EXPERIMENTS: &[&str] = &[
     "observe",
     "io_compress",
     "multi_tenant",
+    "service_restart",
 ];
 
 fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bool {
@@ -77,6 +79,7 @@ fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bo
         "observe" => exp::observe::run(scale, observe),
         "io_compress" => exp::io_compress::run(scale),
         "multi_tenant" => exp::multi_tenant::run(scale),
+        "service_restart" => exp::service_restart::run(scale),
         _ => return false,
     }
     eprintln!("[{name}: {:.1}s]", t.elapsed().as_secs_f64());

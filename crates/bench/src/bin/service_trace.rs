@@ -34,6 +34,7 @@ fn main() {
         seed,
         max_job_logical_io: None,
         max_job_memory: None,
+        recovery_shed_threshold: 8,
     });
     svc.register_graph(
         "a",

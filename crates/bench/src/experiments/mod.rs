@@ -15,6 +15,7 @@ pub mod multi_tenant;
 pub mod observe;
 pub mod overall;
 pub mod prediction;
+pub mod service_restart;
 pub mod table5;
 pub mod theorems;
 pub mod trace;

@@ -106,6 +106,7 @@ pub fn run(scale: Scale) {
             seed: 42,
             max_job_logical_io: None,
             max_job_memory: None,
+            recovery_shed_threshold: 8,
         });
         for i in 0..k {
             service

@@ -3,8 +3,47 @@
 use crate::fault::FaultPlan;
 use crate::pacer::StepPacer;
 use crate::shared::SharedStores;
-use hybridgraph_storage::{CodecChoice, DeviceProfile, SharedEdgeCache};
+use hybridgraph_storage::{CodecChoice, DeviceProfile, SharedEdgeCache, Vfs};
+use std::io;
 use std::sync::Arc;
+
+/// Where a durable master commits its per-barrier snapshot. Installed by
+/// the durable `GraphService` (which appends a record to its write-ahead
+/// service log); `run_job` calls [`BarrierSink::commit`] at every
+/// superstep barrier *after* worker checkpoints are on disk, so a commit
+/// always references a restorable cut.
+pub trait BarrierSink: Send + Sync + std::fmt::Debug {
+    /// Durably record the master snapshot taken after `superstep`.
+    fn commit(&self, superstep: u64, state: &[u8]) -> io::Result<()>;
+}
+
+/// An encoded master snapshot a resumed job restarts from (the bytes a
+/// [`BarrierSink`] committed at the job's last barrier).
+#[derive(Clone)]
+pub struct ResumeState(pub Arc<Vec<u8>>);
+
+impl std::fmt::Debug for ResumeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResumeState")
+            .field("bytes", &self.0.len())
+            .finish()
+    }
+}
+
+/// Per-worker disk overrides: worker `i` mounts `disks[i]` instead of a
+/// private `MemVfs`/`DirVfs`. The durable service passes namespaced views
+/// (`PrefixVfs`) over its persistent VFS, so checkpoints and spill files
+/// survive a service restart under stable names.
+#[derive(Clone)]
+pub struct WorkerDisks(pub Vec<Arc<dyn Vfs>>);
+
+impl std::fmt::Debug for WorkerDisks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerDisks")
+            .field("workers", &self.0.len())
+            .finish()
+    }
+}
 
 /// Which message-handling strategy a job runs.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
@@ -167,6 +206,26 @@ pub struct JobConfig {
     /// Per-job budget on summed per-superstep high-water memory bytes,
     /// enforced like [`JobConfig::logical_io_budget`].
     pub memory_budget: Option<u64>,
+    /// Durable-master hook: when set, the runner commits an encoded
+    /// master snapshot here at every superstep barrier (after worker
+    /// checkpoints land) and prunes checkpoints two-deep instead of
+    /// one-deep, so a crash between the worker checkpoint and the commit
+    /// still leaves the last *committed* cut restorable.
+    pub barrier_sink: Option<Arc<dyn BarrierSink>>,
+    /// Resume a crashed run from this committed master snapshot instead
+    /// of starting fresh. Requires [`JobConfig::worker_disks`] pointing at
+    /// the disks the original run checkpointed to.
+    pub resume: Option<ResumeState>,
+    /// Per-worker persistent disk mounts (see [`WorkerDisks`]). `None`
+    /// (the default) gives each worker a private in-memory disk, exactly
+    /// as before.
+    pub worker_disks: Option<WorkerDisks>,
+    /// Feed observed failures into [`CheckpointPolicy::Adaptive`]'s
+    /// spacing: with an MTBF estimate available, the interval becomes
+    /// `min(factor × write, √(2 × write × MTBF))` — Young's formula on
+    /// modeled time. Off by default: the spacing then depends only on
+    /// `adaptive_checkpoint_factor`, exactly as before.
+    pub fault_aware_checkpoint: bool,
 }
 
 impl JobConfig {
@@ -203,6 +262,10 @@ impl JobConfig {
             shared_cache: None,
             logical_io_budget: None,
             memory_budget: None,
+            barrier_sink: None,
+            resume: None,
+            worker_disks: None,
+            fault_aware_checkpoint: false,
         }
     }
 
@@ -285,6 +348,31 @@ impl JobConfig {
     /// Caps the job's summed per-superstep high-water memory bytes.
     pub fn with_memory_budget(mut self, bytes: u64) -> Self {
         self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Installs a durable barrier sink (see [`JobConfig::barrier_sink`]).
+    pub fn with_barrier_sink(mut self, sink: Arc<dyn BarrierSink>) -> Self {
+        self.barrier_sink = Some(sink);
+        self
+    }
+
+    /// Resumes from a committed master snapshot.
+    pub fn with_resume(mut self, state: ResumeState) -> Self {
+        self.resume = Some(state);
+        self
+    }
+
+    /// Mounts persistent per-worker disks; `disks.len()` must equal
+    /// `workers` (checked by the runner).
+    pub fn with_worker_disks(mut self, disks: WorkerDisks) -> Self {
+        self.worker_disks = Some(disks);
+        self
+    }
+
+    /// Turns fault-aware adaptive checkpoint spacing on or off.
+    pub fn with_fault_aware_checkpoint(mut self, on: bool) -> Self {
+        self.fault_aware_checkpoint = on;
         self
     }
 

@@ -38,12 +38,38 @@ impl FaultPhase {
     pub const ALL: [FaultPhase; 3] = [FaultPhase::Load, FaultPhase::Compute, FaultPhase::Barrier];
 }
 
+/// Where the *master* (the `run_job` control loop itself) is killed by a
+/// chaos plan. Unlike worker kills — which the master observes and
+/// recovers from in-process — a master kill halts the whole job with
+/// [`JobError::Halted`](crate::runner::JobError); recovery happens
+/// out-of-process via `GraphService::restore`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MasterKillPoint {
+    /// After the workers have loaded their stores, before the first
+    /// superstep (nothing durable yet — restart re-runs from scratch).
+    Load,
+    /// At superstep `k`'s barrier, after worker checkpoints are written
+    /// but *before* the master snapshot commits to the service log (the
+    /// log still points at the previous barrier).
+    MidBarrier(u64),
+    /// Right after superstep `k`'s snapshot committed, before the next
+    /// scheduler grant is consumed (the log points at `k`).
+    BetweenGrants(u64),
+}
+
 /// One kill order.
 #[derive(Debug)]
 struct Fault {
     worker: usize,
     superstep: u64,
     phase: FaultPhase,
+    fired: AtomicBool,
+}
+
+/// One master kill order.
+#[derive(Debug)]
+struct MasterKill {
+    point: MasterKillPoint,
     fired: AtomicBool,
 }
 
@@ -56,6 +82,7 @@ struct Fault {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
+    master_kills: Vec<MasterKill>,
     net: Option<Arc<NetFaultPlan>>,
 }
 
@@ -111,6 +138,65 @@ impl FaultPlan {
             }
         }
         plan
+    }
+
+    /// Adds a master kill order: the control loop halts with
+    /// `JobError::Halted` when it reaches `point`. Fires once, like
+    /// worker kills — the restored run passes the same hook untriggered
+    /// **when the same plan `Arc` is re-attached** (the service's
+    /// `resume_job` contract).
+    pub fn master_kill(mut self, point: MasterKillPoint) -> Self {
+        self.master_kills.push(MasterKill {
+            point,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// A seeded random master-kill schedule of `count` distinct points
+    /// over supersteps `1..=max_superstep` plus the load hook. Same-seed
+    /// plans are identical, like [`FaultPlan::random`].
+    pub fn random_master_kills(seed: u64, max_superstep: u64, count: usize) -> Self {
+        assert!(max_superstep > 0);
+        let capacity = 1 + 2 * max_superstep;
+        assert!(
+            count as u64 <= capacity,
+            "cannot draw {count} distinct master kills from a space of {capacity}"
+        );
+        let mut r = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        let mut seen = std::collections::HashSet::new();
+        while plan.master_kills.len() < count {
+            let point = match r.below_u32(3) {
+                0 => MasterKillPoint::Load,
+                1 => MasterKillPoint::MidBarrier(1 + r.below_u64(max_superstep)),
+                _ => MasterKillPoint::BetweenGrants(1 + r.below_u64(max_superstep)),
+            };
+            if seen.insert(point) {
+                plan = plan.master_kill(point);
+            }
+        }
+        plan
+    }
+
+    /// True if the master must halt at `point` now (fire-once).
+    pub fn master_kill_at(&self, point: MasterKillPoint) -> bool {
+        self.master_kills.iter().any(|k| {
+            k.point == point
+                && k.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+        })
+    }
+
+    /// The master-kill schedule, for determinism assertions in tests.
+    pub fn master_kill_spec(&self) -> Vec<MasterKillPoint> {
+        self.master_kills.iter().map(|k| k.point).collect()
+    }
+
+    /// Number of master kill orders in the plan.
+    pub fn master_kill_count(&self) -> usize {
+        self.master_kills.len()
     }
 
     /// Attaches a seeded network-fault schedule (drops, duplicates,
@@ -253,5 +339,42 @@ mod tests {
         let p = FaultPlan::new();
         assert!(p.is_empty());
         assert!(!p.should_fail(0, 1, FaultPhase::Load));
+        assert!(!p.master_kill_at(MasterKillPoint::Load));
+    }
+
+    #[test]
+    fn master_kill_fires_once() {
+        let p = FaultPlan::new()
+            .master_kill(MasterKillPoint::MidBarrier(3))
+            .master_kill(MasterKillPoint::BetweenGrants(5));
+        assert!(!p.master_kill_at(MasterKillPoint::MidBarrier(2)));
+        assert!(!p.master_kill_at(MasterKillPoint::BetweenGrants(3)));
+        assert!(p.master_kill_at(MasterKillPoint::MidBarrier(3)));
+        // The restored run passes the same hook untriggered.
+        assert!(!p.master_kill_at(MasterKillPoint::MidBarrier(3)));
+        assert!(p.master_kill_at(MasterKillPoint::BetweenGrants(5)));
+        assert_eq!(p.master_kill_count(), 2);
+        // Master kills are orthogonal to worker kill orders.
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn random_master_kills_are_seed_deterministic() {
+        let a = FaultPlan::random_master_kills(0xC8A0, 10, 4);
+        let b = FaultPlan::random_master_kills(0xC8A0, 10, 4);
+        assert_eq!(a.master_kill_spec(), b.master_kill_spec());
+        assert_eq!(a.master_kill_count(), 4);
+        let c = FaultPlan::random_master_kills(0xC8A1, 10, 4);
+        assert_ne!(a.master_kill_spec(), c.master_kill_spec());
+        let distinct: std::collections::HashSet<_> = a.master_kill_spec().into_iter().collect();
+        assert_eq!(distinct.len(), 4, "points must be distinct");
+        for p in a.master_kill_spec() {
+            match p {
+                MasterKillPoint::Load => {}
+                MasterKillPoint::MidBarrier(s) | MasterKillPoint::BetweenGrants(s) => {
+                    assert!((1..=10).contains(&s));
+                }
+            }
+        }
     }
 }

@@ -36,11 +36,12 @@ pub mod pacer;
 pub mod program;
 pub mod runner;
 pub mod shared;
+pub mod snapshot;
 pub mod switch;
 pub mod worker;
 
-pub use config::{CheckpointPolicy, JobConfig, Mode};
-pub use fault::{FaultPhase, FaultPlan};
+pub use config::{BarrierSink, CheckpointPolicy, JobConfig, Mode, ResumeState, WorkerDisks};
+pub use fault::{FaultPhase, FaultPlan, MasterKillPoint};
 pub use metrics::{
     FailureEvent, JobMetrics, NetOverhead, RecoveryMetrics, SemanticBytes, StepKind, StepReport,
     SuperstepMetrics,
@@ -49,4 +50,7 @@ pub use pacer::StepPacer;
 pub use program::{GraphInfo, Update, VertexProgram};
 pub use runner::{run_job, JobError, JobResult};
 pub use shared::SharedStores;
-pub use switch::{b_lower_bound, q_metric, CostInputs, Switcher};
+pub use snapshot::{adaptive_spacing_secs, MasterState, MtbfEstimator};
+pub use switch::{
+    b_lower_bound, decode_qt_audits, encode_qt_audits, q_metric, CostInputs, Switcher,
+};

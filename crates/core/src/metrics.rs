@@ -279,6 +279,12 @@ pub struct RecoveryMetrics {
     /// Total bytes written to sender-side message logs across the job
     /// (zero unless message logging is on).
     pub msg_log_bytes: u64,
+    /// The fault-aware adaptive checkpoint policy's final MTBF estimate
+    /// (modeled seconds between observed failures), or 0.0 when no
+    /// failure was observed. Informational — recorded whether or not
+    /// [`fault_aware_checkpoint`](crate::config::JobConfig::fault_aware_checkpoint)
+    /// was on.
+    pub mtbf_secs: f64,
     /// Every failure the master recovered from, in order.
     pub failures: Vec<FailureEvent>,
 }

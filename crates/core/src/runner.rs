@@ -50,7 +50,7 @@
 //! combining) — the master falls back to the global rollback above.
 
 use crate::config::{CheckpointPolicy, JobConfig, Mode};
-use crate::fault::FaultPhase;
+use crate::fault::{FaultPhase, MasterKillPoint};
 use crate::metrics::{
     FailureEvent, JobMetrics, LoadReport, NetOverhead, RecoveryMetrics, StepKind, StepReport,
     SuperstepMetrics,
@@ -59,6 +59,7 @@ use crate::modes::bpull::run_bpull_step;
 use crate::modes::pull::run_pull_step;
 use crate::modes::push::run_push_step;
 use crate::program::VertexProgram;
+use crate::snapshot::{adaptive_spacing_secs, MasterState, MtbfEstimator};
 use crate::switch::{self, b_lower_bound, q_metric, CostInputs, Switcher};
 use crate::worker::{Worker, WorkerLoadReport, WorkerSeed};
 use hybridgraph_graph::{partition::vblock_counts, BlockLayout, Graph, Partition, WorkerId};
@@ -123,6 +124,15 @@ pub enum JobError {
         /// The configured limit.
         budget: u64,
     },
+    /// The master was killed by an injected master-kill fault — a
+    /// simulated crash of the whole service process at a seeded point
+    /// (see [`MasterKillPoint`]). Worker threads shut down cleanly; a
+    /// durable service can later resume the job from its last committed
+    /// cut via `GraphService::restore`.
+    Halted {
+        /// The kill point that fired.
+        point: MasterKillPoint,
+    },
     /// An I/O error outside any worker (e.g. creating the disk roots).
     Io(io::Error),
 }
@@ -149,6 +159,9 @@ impl fmt::Display for JobError {
                 "job exceeded its {resource} budget at superstep {superstep}: \
                  used {used} of {budget}"
             ),
+            JobError::Halted { point } => {
+                write!(f, "master halted by injected kill at {point:?}")
+            }
             JobError::Io(e) => write!(f, "job I/O error: {e}"),
         }
     }
@@ -158,7 +171,9 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Io(e) => Some(e),
-            JobError::WorkerFailed { .. } | JobError::BudgetExceeded { .. } => None,
+            JobError::WorkerFailed { .. }
+            | JobError::BudgetExceeded { .. }
+            | JobError::Halted { .. } => None,
         }
     }
 }
@@ -339,13 +354,23 @@ pub fn run_job<P: VertexProgram>(
 
     // The master holds each worker's VFS so a respawned worker thread
     // reattaches to the same (simulated or real) disk — that is what
-    // makes its checkpoints reachable after the thread died.
+    // makes its checkpoints reachable after the thread died. A durable
+    // service passes its own disks in (`worker_disks`), which is what
+    // makes them reachable after the *master process* died.
     let mut vfss: Vec<Arc<dyn Vfs>> = Vec::with_capacity(t);
-    for i in 0..t {
-        vfss.push(match &cfg.disk_root {
-            Some(root) => Arc::new(DirVfs::new(root.join(format!("w{i}")))?),
-            None => Arc::new(MemVfs::new()),
-        });
+    match &cfg.worker_disks {
+        Some(d) => {
+            assert_eq!(d.0.len(), t, "worker_disks count must match workers");
+            vfss.extend(d.0.iter().map(Arc::clone));
+        }
+        None => {
+            for i in 0..t {
+                vfss.push(match &cfg.disk_root {
+                    Some(root) => Arc::new(DirVfs::new(root.join(format!("w{i}")))?),
+                    None => Arc::new(MemVfs::new()),
+                });
+            }
+        }
     }
 
     let (endpoints, net_stats, control) = Fabric::mesh_with_control(t);
@@ -402,6 +427,14 @@ pub fn run_job<P: VertexProgram>(
 
         let mut recovery = RecoveryMetrics::default();
         let mut recoveries_used = 0u64;
+        let mut mtbf = MtbfEstimator::new();
+        // Seeded master-kill hooks: each fires at most once (also across
+        // checks), simulating the service process dying at that point.
+        let master_killed = |point: MasterKillPoint| -> bool {
+            cfg.fault_plan
+                .as_ref()
+                .is_some_and(|p| p.master_kill_at(point))
+        };
 
         // ---- Load phase -------------------------------------------------
         // Workers do not exchange packets while loading, so a load-phase
@@ -424,6 +457,7 @@ pub fn run_job<P: VertexProgram>(
                         worker: index,
                         error: error.clone(),
                     });
+                    mtbf.observe();
                     let recoverable = cfg.checkpoint != CheckpointPolicy::Never
                         && recoveries_used < cfg.max_recoveries;
                     match endpoint {
@@ -444,6 +478,13 @@ pub fn run_job<P: VertexProgram>(
                 }
                 _ => unreachable!("unexpected message during load"),
             }
+        }
+        // Simulated master crash while loading: the job dies before any
+        // durable cut exists, so a restore re-runs it from scratch.
+        if master_killed(MasterKillPoint::Load) {
+            return Err(JobError::Halted {
+                point: MasterKillPoint::Load,
+            });
         }
         // ---- Observability ---------------------------------------------
         // The sink, when installed, is purely additive: it reads counters
@@ -504,17 +545,32 @@ pub fn run_job<P: VertexProgram>(
             .iter()
             .map(|r| r.io.modeled_secs(&cfg.profile))
             .fold(0.0, f64::max);
-        if let Some(s) = &sink {
-            s.master().span(
-                "load",
-                secs_to_us(load_modeled_secs),
-                vec![
-                    ("fragments", load.fragments.into()),
-                    ("vblocks", (load.num_vblocks as u64).into()),
-                    ("b_lower_bound", load.b_lower_bound.into()),
-                    ("initial_mode", load.initial_mode.label().into()),
-                ],
-            );
+        // ---- Resume (durable restart) -----------------------------------
+        // A resume state is the `MasterState` a previous incarnation of
+        // this job committed through its barrier sink before the master
+        // process died. The workers above reloaded from scratch —
+        // byte-identically to the original load (fresh per-job stats,
+        // same shared stores) — and are now rolled onto the committed
+        // checkpoint while the master rewinds itself to the same cut. No
+        // load span is emitted and no recovery metric moves: this is a
+        // process restart, not an in-job failure.
+        let resume_state = match &cfg.resume {
+            Some(r) => Some(MasterState::decode(&r.0[..])?),
+            None => None,
+        };
+        if resume_state.is_none() {
+            if let Some(s) = &sink {
+                s.master().span(
+                    "load",
+                    secs_to_us(load_modeled_secs),
+                    vec![
+                        ("fragments", load.fragments.into()),
+                        ("vblocks", (load.num_vblocks as u64).into()),
+                        ("b_lower_bound", load.b_lower_bound.into()),
+                        ("initial_mode", load.initial_mode.label().into()),
+                    ],
+                );
+            }
         }
 
         // ---- Superstep loop ---------------------------------------------
@@ -538,56 +594,168 @@ pub fn run_job<P: VertexProgram>(
 
         // Baseline checkpoint: any policy but `Never` takes one right
         // after loading so even a superstep-1 failure has a cut to roll
-        // back to.
+        // back to. In durable mode (a barrier sink is installed) every
+        // checkpoint is followed by a write-ahead commit of the master's
+        // own state; the previous cut is kept until the *next* cut's
+        // commit lands (retention 2), so the log never points at pruned
+        // worker files no matter where a crash falls.
         let mut last_checkpoint: Option<u64> = None;
+        let mut prev_checkpoint: Option<u64> = None;
         let mut master_snapshot: Option<MasterSnapshot> = None;
         let mut last_ckpt_worker_bytes = 0u64;
         let mut accum_step_secs = 0.0f64;
-        if cfg.checkpoint != CheckpointPolicy::Never {
-            last_ckpt_worker_bytes =
-                checkpoint_all(&cmd_txs, &rep_rx, &vfss, &mut recovery, 0, None)?;
-            if let Some(s) = &sink {
-                s.master().span(
-                    "checkpoint",
-                    secs_to_us(cfg.profile.seq_write_secs(last_ckpt_worker_bytes)),
-                    vec![
-                        ("superstep", 0u64.into()),
-                        ("max_worker_bytes", last_ckpt_worker_bytes.into()),
-                    ],
-                );
-            }
-            last_checkpoint = Some(0);
-            master_snapshot = Some(MasterSnapshot {
-                switcher: switcher.clone(),
-                cur,
-                pending_kind,
-                steps_len: 0,
-                switches_len: 0,
-            });
-        }
-        if let Some(p) = &pacer {
-            p.release(load_modeled_secs);
-        }
-        // Per-job budget enforcement: cumulative logical bytes (the
-        // device-independent measure, so codecs don't mask overuse) and
-        // the per-superstep summed memory high-water mark.
         let mut cum_logical = load.io.total_logical_bytes();
-        if let Some(b) = cfg.logical_io_budget {
-            if cum_logical > b {
-                return Err(JobError::BudgetExceeded {
-                    superstep: 0,
-                    resource: "logical_io",
-                    used: cum_logical,
-                    budget: b,
-                });
-            }
-        }
-
-        let mut net_base = net_stats.snapshot();
         // Fabric epoch: bumped on every recovery so ARQ frames still in
         // flight from before a failure are recognizably stale.
         let mut epoch = 0u64;
         let mut superstep = 0u64;
+        if let Some(st) = resume_state {
+            assert_eq!(
+                st.workers as usize, t,
+                "resume state was captured for a different worker count"
+            );
+            let s0 = st.superstep;
+            // Replace the trace rings wholesale with the committed
+            // contents: erases the re-load's duplicate events and
+            // restores every track's clock to the cut.
+            if let Some(s) = &sink {
+                let states = st
+                    .trace
+                    .as_ref()
+                    .expect("traced job resumed from an untraced state");
+                s.restore_states(states);
+            }
+            cur = st.cur;
+            switcher = st.switcher;
+            pending_kind = st.pending_kind;
+            steps = st.steps;
+            switches = st.switches;
+            recovery = st.recovery;
+            recoveries_used = st.recoveries_used;
+            cum_logical = st.cum_logical;
+            accum_step_secs = st.accum_step_secs;
+            epoch = st.epoch;
+            audit_seen = st.audit_seen as usize;
+            last_checkpoint = Some(s0);
+            prev_checkpoint = st.prev_checkpoint;
+            last_ckpt_worker_bytes = st.last_ckpt_worker_bytes;
+            mtbf = st.mtbf;
+            // The master kill that necessitated this resume is one
+            // observed failure for the fault-aware spacing.
+            mtbf.observe();
+            master_snapshot = Some(MasterSnapshot {
+                switcher: switcher.clone(),
+                cur,
+                pending_kind,
+                steps_len: steps.len(),
+                switches_len: switches.len(),
+            });
+            for tx in &cmd_txs {
+                tx.send(Cmd::Rollback {
+                    superstep: s0,
+                    epoch,
+                })
+                .expect("worker gone");
+            }
+            let mut rolled = vec![false; t];
+            for _ in 0..t {
+                match rep_rx.recv().expect("workers hung up during resume") {
+                    WorkerMsg::RolledBack(i) => {
+                        assert!(!rolled[i], "duplicate resume ack from worker {i}");
+                        rolled[i] = true;
+                    }
+                    WorkerMsg::Failed { index, error, .. } => {
+                        return Err(JobError::WorkerFailed {
+                            worker: index,
+                            superstep: s0,
+                            error,
+                        })
+                    }
+                    _ => unreachable!("unexpected message during resume"),
+                }
+            }
+            if let Some(p) = &pacer {
+                p.release(st.pending_release_secs);
+            }
+            superstep = s0;
+        } else {
+            if cfg.checkpoint != CheckpointPolicy::Never {
+                last_ckpt_worker_bytes =
+                    checkpoint_all(&cmd_txs, &rep_rx, &vfss, &mut recovery, 0, None)?;
+                if let Some(s) = &sink {
+                    s.master().span(
+                        "checkpoint",
+                        secs_to_us(cfg.profile.seq_write_secs(last_ckpt_worker_bytes)),
+                        vec![
+                            ("superstep", 0u64.into()),
+                            ("max_worker_bytes", last_ckpt_worker_bytes.into()),
+                        ],
+                    );
+                }
+                last_checkpoint = Some(0);
+                master_snapshot = Some(MasterSnapshot {
+                    switcher: switcher.clone(),
+                    cur,
+                    pending_kind,
+                    steps_len: 0,
+                    switches_len: 0,
+                });
+                if let Some(bs) = &cfg.barrier_sink {
+                    let state = MasterState {
+                        superstep: 0,
+                        prev_checkpoint: None,
+                        last_ckpt_worker_bytes,
+                        epoch,
+                        workers: t as u32,
+                        cur,
+                        pending_kind,
+                        recoveries_used,
+                        cum_logical,
+                        accum_step_secs,
+                        // The load grant is still held at this cut; a
+                        // resumed incarnation owes its release.
+                        pending_release_secs: load_modeled_secs,
+                        audit_seen: audit_seen as u64,
+                        switcher: switcher.clone(),
+                        steps: steps.clone(),
+                        switches: switches.clone(),
+                        recovery: recovery.clone(),
+                        mtbf,
+                        trace: sink.as_ref().map(|s| s.export_states()),
+                    }
+                    .encode();
+                    if master_killed(MasterKillPoint::MidBarrier(0)) {
+                        return Err(JobError::Halted {
+                            point: MasterKillPoint::MidBarrier(0),
+                        });
+                    }
+                    bs.commit(0, &state)?;
+                    if master_killed(MasterKillPoint::BetweenGrants(0)) {
+                        return Err(JobError::Halted {
+                            point: MasterKillPoint::BetweenGrants(0),
+                        });
+                    }
+                }
+            }
+            if let Some(p) = &pacer {
+                p.release(load_modeled_secs);
+            }
+            // Per-job budget enforcement: cumulative logical bytes (the
+            // device-independent measure, so codecs don't mask overuse)
+            // and the per-superstep summed memory high-water mark.
+            if let Some(b) = cfg.logical_io_budget {
+                if cum_logical > b {
+                    return Err(JobError::BudgetExceeded {
+                        superstep: 0,
+                        resource: "logical_io",
+                        used: cum_logical,
+                        budget: b,
+                    });
+                }
+            }
+        }
+
+        let mut net_base = net_stats.snapshot();
         while superstep < max_steps {
             superstep += 1;
             if let Some(p) = &pacer {
@@ -654,6 +822,7 @@ pub fn run_job<P: VertexProgram>(
                         worker: *i,
                         error: e.clone(),
                     });
+                    mtbf.observe();
                 }
                 let ck = match last_checkpoint {
                     Some(ck) if cfg.checkpoint != CheckpointPolicy::Never => ck,
@@ -979,6 +1148,7 @@ pub fn run_job<P: VertexProgram>(
             let step_logical = metrics.io.total_logical_bytes();
             let step_memory = metrics.memory_bytes;
             steps.push(metrics);
+            mtbf.advance(step_secs);
             if let Some(p) = &pacer {
                 p.release(step_secs);
             }
@@ -1067,18 +1237,33 @@ pub fn run_job<P: VertexProgram>(
                 CheckpointPolicy::Adaptive => {
                     accum_step_secs += step_secs;
                     let write_secs = cfg.profile.seq_write_secs(last_ckpt_worker_bytes.max(1));
-                    accum_step_secs >= cfg.adaptive_checkpoint_factor * write_secs
+                    // Fault-aware (opt-in): observed kill rates tighten
+                    // the spacing via Young's approximation; without
+                    // evidence or with the flag off this is exactly the
+                    // plain `factor × write_secs` rule.
+                    accum_step_secs
+                        >= adaptive_spacing_secs(
+                            cfg.adaptive_checkpoint_factor,
+                            write_secs,
+                            mtbf.mtbf(),
+                            cfg.fault_aware_checkpoint,
+                        )
                 }
             };
             if take {
-                last_ckpt_worker_bytes = checkpoint_all(
-                    &cmd_txs,
-                    &rep_rx,
-                    &vfss,
-                    &mut recovery,
-                    superstep,
-                    last_checkpoint,
-                )?;
+                // Durable mode prunes with retention 2: the cut *before*
+                // the previous one goes, because the previous cut must
+                // stay on disk until this cut's WAL record commits — a
+                // crash between the worker files and the commit resumes
+                // from the previous cut.
+                let durable = cfg.barrier_sink.is_some();
+                let prune = if durable {
+                    prev_checkpoint
+                } else {
+                    last_checkpoint
+                };
+                last_ckpt_worker_bytes =
+                    checkpoint_all(&cmd_txs, &rep_rx, &vfss, &mut recovery, superstep, prune)?;
                 if let Some(s) = &sink {
                     s.master().span(
                         "checkpoint",
@@ -1089,6 +1274,7 @@ pub fn run_job<P: VertexProgram>(
                         ],
                     );
                 }
+                prev_checkpoint = last_checkpoint;
                 last_checkpoint = Some(superstep);
                 master_snapshot = Some(MasterSnapshot {
                     switcher: switcher.clone(),
@@ -1098,6 +1284,57 @@ pub fn run_job<P: VertexProgram>(
                     switches_len: switches.len(),
                 });
                 accum_step_secs = 0.0;
+                if let Some(bs) = &cfg.barrier_sink {
+                    // Write-ahead ordering: worker checkpoint files are
+                    // durable *before* the master's commit record. The
+                    // seeded kills bracket the commit — `MidBarrier`
+                    // models dying with the files written but the record
+                    // missing, `BetweenGrants` right after the record.
+                    let state = MasterState {
+                        superstep,
+                        prev_checkpoint,
+                        last_ckpt_worker_bytes,
+                        epoch,
+                        workers: t as u32,
+                        cur,
+                        pending_kind,
+                        recoveries_used,
+                        cum_logical,
+                        accum_step_secs,
+                        pending_release_secs: 0.0,
+                        audit_seen: audit_seen as u64,
+                        switcher: switcher.clone(),
+                        steps: steps.clone(),
+                        switches: switches.clone(),
+                        recovery: recovery.clone(),
+                        mtbf,
+                        trace: sink.as_ref().map(|s| s.export_states()),
+                    }
+                    .encode();
+                    if master_killed(MasterKillPoint::MidBarrier(superstep)) {
+                        return Err(JobError::Halted {
+                            point: MasterKillPoint::MidBarrier(superstep),
+                        });
+                    }
+                    bs.commit(superstep, &state)?;
+                    if master_killed(MasterKillPoint::BetweenGrants(superstep)) {
+                        return Err(JobError::Halted {
+                            point: MasterKillPoint::BetweenGrants(superstep),
+                        });
+                    }
+                }
+            } else if cfg.fault_plan.is_some() {
+                // Barriers without a checkpoint can still be kill points:
+                // the restarted job then resumes from the last committed
+                // cut further back.
+                for point in [
+                    MasterKillPoint::MidBarrier(superstep),
+                    MasterKillPoint::BetweenGrants(superstep),
+                ] {
+                    if master_killed(point) {
+                        return Err(JobError::Halted { point });
+                    }
+                }
             }
         }
 
@@ -1143,6 +1380,7 @@ pub fn run_job<P: VertexProgram>(
         }
         debug_assert_eq!(all.len(), n);
 
+        recovery.mtbf_secs = mtbf.mtbf().unwrap_or(0.0);
         let ns = net_stats.snapshot();
         let net_overhead = NetOverhead {
             retransmitted_bytes: ns.retransmitted_bytes,
@@ -1303,8 +1541,15 @@ fn worker_main<P: VertexProgram>(
             }
             Cmd::Checkpoint { superstep, prune } => {
                 let res = worker.write_checkpoint(superstep).and_then(|bytes| {
+                    // Pruning is idempotent: a restarted incarnation may
+                    // re-prune a cut its predecessor already removed.
                     if let Some(p) = prune {
-                        hybridgraph_storage::checkpoint::remove_checkpoint(worker.vfs.as_ref(), p)?;
+                        if hybridgraph_storage::checkpoint::has_checkpoint(worker.vfs.as_ref(), p) {
+                            hybridgraph_storage::checkpoint::remove_checkpoint(
+                                worker.vfs.as_ref(),
+                                p,
+                            )?;
+                        }
                     }
                     if worker.cfg.message_logging {
                         // Replays start from this cut; earlier log

@@ -16,7 +16,9 @@
 
 use crate::config::Mode;
 use hybridgraph_obs::{QtAudit, QtInputs, QtTerms, QtVerdict};
+use hybridgraph_storage::service_log::{PayloadReader, PayloadWriter};
 use hybridgraph_storage::DeviceProfile;
+use std::io;
 
 const MB: f64 = 1024.0 * 1024.0;
 
@@ -226,6 +228,192 @@ impl Switcher {
         });
         switched
     }
+
+    /// Serializes the switcher's full state (mode, decision cursor, `R_co`,
+    /// history, audit) into a durable master snapshot. Bit-exact: every
+    /// float travels by bit pattern, so a decoded switcher makes byte-for-
+    /// byte the same future decisions.
+    pub fn encode(&self, w: &mut PayloadWriter) {
+        w.put_u64(self.interval);
+        w.put_u8(mode_tag(self.current));
+        w.put_u64(self.last_decision);
+        w.put_f64(self.threshold);
+        match self.rco {
+            Some(r) => {
+                w.put_u8(1);
+                w.put_f64(r);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u64(self.history.len() as u64);
+        for (t, q) in &self.history {
+            w.put_u64(*t);
+            w.put_f64(*q);
+        }
+        w.put_u64(self.audit.len() as u64);
+        for a in &self.audit {
+            encode_qt_audit(w, a);
+        }
+    }
+
+    /// Rebuilds a switcher from [`Switcher::encode`] bytes.
+    pub fn decode(r: &mut PayloadReader<'_>) -> io::Result<Switcher> {
+        let interval = r.get_u64()?;
+        let current = mode_from_tag(r.get_u8()?)?;
+        let last_decision = r.get_u64()?;
+        let threshold = r.get_f64()?;
+        let rco = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f64()?),
+            _ => return Err(snap_corrupt("rco flag")),
+        };
+        let nh = r.get_u64()? as usize;
+        let mut history = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            let t = r.get_u64()?;
+            let q = r.get_f64()?;
+            history.push((t, q));
+        }
+        let na = r.get_u64()? as usize;
+        let mut audit = Vec::with_capacity(na);
+        for _ in 0..na {
+            audit.push(decode_qt_audit(r)?);
+        }
+        Ok(Switcher {
+            interval,
+            current,
+            last_decision,
+            threshold,
+            rco,
+            history,
+            audit,
+        })
+    }
+}
+
+// ------------------------------------------------- snapshot serialization
+
+fn snap_corrupt(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt switcher snapshot: {what}"),
+    )
+}
+
+pub(crate) fn mode_tag(m: Mode) -> u8 {
+    Mode::ALL.iter().position(|x| *x == m).unwrap() as u8
+}
+
+pub(crate) fn mode_from_tag(tag: u8) -> io::Result<Mode> {
+    Mode::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| snap_corrupt("unknown mode tag"))
+}
+
+fn mode_label_static(label: &str) -> io::Result<&'static str> {
+    Mode::ALL
+        .iter()
+        .map(|m| m.label())
+        .find(|l| *l == label)
+        .ok_or_else(|| snap_corrupt("unknown mode label"))
+}
+
+fn verdict_tag(v: QtVerdict) -> u8 {
+    match v {
+        QtVerdict::TooEarly => 0,
+        QtVerdict::Hold => 1,
+        QtVerdict::BelowThreshold => 2,
+        QtVerdict::Switch => 3,
+    }
+}
+
+fn verdict_from_tag(tag: u8) -> io::Result<QtVerdict> {
+    Ok(match tag {
+        0 => QtVerdict::TooEarly,
+        1 => QtVerdict::Hold,
+        2 => QtVerdict::BelowThreshold,
+        3 => QtVerdict::Switch,
+        _ => return Err(snap_corrupt("unknown verdict tag")),
+    })
+}
+
+/// Serializes one Eq. 11 audit record (floats by bit pattern).
+pub fn encode_qt_audit(w: &mut PayloadWriter, a: &QtAudit) {
+    w.put_u64(a.superstep);
+    w.put_u64(a.inputs.mco);
+    w.put_u64(a.inputs.bytes_per_saved);
+    w.put_u64(a.inputs.io_mdisk);
+    w.put_u64(a.inputs.io_vrr);
+    w.put_u64(a.inputs.io_e_push);
+    w.put_u64(a.inputs.io_e_bpull);
+    w.put_u64(a.inputs.io_f);
+    w.put_f64(a.terms.net);
+    w.put_f64(a.terms.rw);
+    w.put_f64(a.terms.rr);
+    w.put_f64(a.terms.sr);
+    w.put_f64(a.q);
+    w.put_f64(a.step_secs);
+    w.put_f64(a.io_ratio);
+    w.put_f64(a.threshold);
+    w.put_str(a.mode_before);
+    w.put_str(a.mode_after);
+    w.put_u8(verdict_tag(a.verdict));
+}
+
+/// Rebuilds one audit record; mode labels are re-interned to the engine's
+/// own `'static` labels.
+pub fn decode_qt_audit(r: &mut PayloadReader<'_>) -> io::Result<QtAudit> {
+    Ok(QtAudit {
+        superstep: r.get_u64()?,
+        inputs: QtInputs {
+            mco: r.get_u64()?,
+            bytes_per_saved: r.get_u64()?,
+            io_mdisk: r.get_u64()?,
+            io_vrr: r.get_u64()?,
+            io_e_push: r.get_u64()?,
+            io_e_bpull: r.get_u64()?,
+            io_f: r.get_u64()?,
+        },
+        terms: QtTerms {
+            net: r.get_f64()?,
+            rw: r.get_f64()?,
+            rr: r.get_f64()?,
+            sr: r.get_f64()?,
+        },
+        q: r.get_f64()?,
+        step_secs: r.get_f64()?,
+        io_ratio: r.get_f64()?,
+        threshold: r.get_f64()?,
+        mode_before: mode_label_static(&r.get_str()?)?,
+        mode_after: mode_label_static(&r.get_str()?)?,
+        verdict: verdict_from_tag(r.get_u8()?)?,
+    })
+}
+
+/// Serializes a `Q_t` audit table to a canonical byte run — the form the
+/// restart-determinism tests and the chaos harness compare byte-for-byte.
+pub fn encode_qt_audits(audits: &[QtAudit]) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.put_u64(audits.len() as u64);
+    for a in audits {
+        encode_qt_audit(&mut w, a);
+    }
+    w.into_bytes()
+}
+
+/// Rebuilds an audit table from [`encode_qt_audits`] bytes.
+pub fn decode_qt_audits(buf: &[u8]) -> io::Result<Vec<QtAudit>> {
+    let mut r = PayloadReader::new(buf);
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_qt_audit(&mut r)?);
+    }
+    if !r.done() {
+        return Err(snap_corrupt("trailing bytes after audit table"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -511,6 +699,49 @@ mod tests {
         // audit prefix, so restoring an earlier clone rewinds the log.
         let snap = Switcher::new(Mode::BPull, 2, 0.5);
         assert!(snap.audit().is_empty());
+    }
+
+    /// A decoded switcher is bit-identical to the original: same mode,
+    /// same decision cursor, same history and audit, and — the part that
+    /// matters for crash-restart replay — the same *future* decisions.
+    #[test]
+    fn switcher_snapshot_roundtrip() {
+        let mut s = Switcher::new(Mode::BPull, 2, 0.25);
+        s.observe_rco(80, 100);
+        let push_favoring = CostInputs {
+            io_vrr: 1024 * 1024 * 1024,
+            ..Default::default()
+        };
+        s.decide(1, &hdd(), &push_favoring, 0.5, 1.0);
+        s.decide(2, &hdd(), &push_favoring, 0.5, 1.25);
+
+        let mut w = PayloadWriter::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        let mut d = Switcher::decode(&mut r).unwrap();
+        assert!(r.done());
+        assert_eq!(d.current(), s.current());
+        assert_eq!(d.rco(), s.rco());
+        assert_eq!(d.history(), s.history());
+        assert_eq!(d.audit(), s.audit());
+        // Future decisions agree bit-for-bit.
+        let bpull_favoring = CostInputs {
+            io_mdisk: 100 * 1024 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(
+            s.decide(4, &hdd(), &bpull_favoring, 1.0, 1.0),
+            d.decide(4, &hdd(), &bpull_favoring, 1.0, 1.0),
+        );
+        assert_eq!(d.audit(), s.audit());
+        assert_eq!(
+            encode_qt_audits(s.audit()),
+            encode_qt_audits(d.audit()),
+            "canonical audit bytes agree"
+        );
+        let table = decode_qt_audits(&encode_qt_audits(s.audit())).unwrap();
+        assert_eq!(table, s.audit());
     }
 
     #[test]

@@ -75,6 +75,62 @@ pub struct TraceEvent {
     pub args: Vec<(&'static str, ArgValue)>,
 }
 
+/// Returns a `'static` copy of `key` for a decoded event arg, reusing the
+/// program's own literal for every known key. Arg keys form a small closed
+/// set (they are `&'static str` at record time), so the `Box::leak`
+/// fallback for unrecognized keys is bounded and only reachable for logs
+/// written by a newer producer.
+pub fn intern_arg_key(key: &str) -> &'static str {
+    match key {
+        "b" => "b",
+        "b_lower_bound" => "b_lower_bound",
+        "barrier" => "barrier",
+        "bytes" => "bytes",
+        "checkpoint" => "checkpoint",
+        "delays" => "delays",
+        "drops" => "drops",
+        "duplicates" => "duplicates",
+        "epoch" => "epoch",
+        "failed_superstep" => "failed_superstep",
+        "fragments" => "fragments",
+        "from" => "from",
+        "g" => "g",
+        "grants" => "grants",
+        "graph" => "graph",
+        "hits" => "hits",
+        "initial_mode" => "initial_mode",
+        "io_bytes" => "io_bytes",
+        "io_ratio" => "io_ratio",
+        "job_id" => "job_id",
+        "lane" => "lane",
+        "len" => "len",
+        "local" => "local",
+        "logical_bytes" => "logical_bytes",
+        "max_worker_bytes" => "max_worker_bytes",
+        "memory" => "memory",
+        "messages" => "messages",
+        "misses" => "misses",
+        "mode" => "mode",
+        "mode_after" => "mode_after",
+        "mode_before" => "mode_before",
+        "odd" => "odd",
+        "ops" => "ops",
+        "phase" => "phase",
+        "q" => "q",
+        "q_metric" => "q_metric",
+        "remote" => "remote",
+        "step_secs" => "step_secs",
+        "superstep" => "superstep",
+        "threshold" => "threshold",
+        "to" => "to",
+        "updated" => "updated",
+        "v" => "v",
+        "verdict" => "verdict",
+        "worker" => "worker",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
 impl TraceEvent {
     pub fn span(ts_us: u64, dur_us: u64, track: u32, name: impl Into<String>) -> Self {
         TraceEvent {

@@ -32,10 +32,13 @@ pub mod tap;
 
 pub use audit::{render_table, QtAudit, QtInputs, QtTerms, QtVerdict};
 pub use chrome::{export_chrome_trace, export_chrome_trace_jobs, json_escape};
-pub use event::{ArgValue, EventKind, TraceEvent};
+pub use event::{intern_arg_key, ArgValue, EventKind, TraceEvent};
 pub use json::validate_json;
 pub use prom::{export_prometheus, ExtraMetric};
-pub use sink::{maybe_instant, maybe_span, TraceShard, TraceSink, DEFAULT_SHARD_CAPACITY};
+pub use sink::{
+    decode_shard_states, encode_shard_states, maybe_instant, maybe_span, ShardState, TraceShard,
+    TraceSink, DEFAULT_SHARD_CAPACITY,
+};
 pub use tap::{ArqCounters, ArqEvent, ArqSnapshot, FabricTap};
 
 /// Convert modeled seconds to the trace's microsecond unit, rounding to

@@ -8,9 +8,10 @@
 //! the hot path.
 
 use std::collections::VecDeque;
+use std::io;
 use std::sync::{Arc, Mutex};
 
-use crate::event::{ArgValue, TraceEvent};
+use crate::event::{intern_arg_key, ArgValue, EventKind, TraceEvent};
 
 /// Default per-shard capacity. At ~100 events per superstep per worker this
 /// is enough for hundreds of supersteps before wrapping.
@@ -148,6 +149,31 @@ impl TraceShard {
         self.inner.lock().unwrap().dropped
     }
 
+    /// A full copy of this shard's volatile state (buffered events, drop
+    /// count, modeled-time cursor) — what a durable master snapshots at a
+    /// barrier so a restarted run replays to the same trace bytes.
+    pub fn export_state(&self) -> ShardState {
+        let g = self.inner.lock().unwrap();
+        ShardState {
+            events: g.ring.iter().cloned().collect(),
+            dropped: g.dropped,
+            clock_us: g.clock_us,
+        }
+    }
+
+    /// Replaces this shard's buffered events, drop count and clock with
+    /// `state`. A full replacement (not a merge): any events recorded
+    /// before the restore — e.g. re-load spans emitted while a resumed job
+    /// rebuilt its stores — are erased, which is exactly what makes the
+    /// restored trace byte-identical to an uninterrupted one.
+    pub fn restore_state(&self, state: &ShardState) {
+        let mut g = self.inner.lock().unwrap();
+        g.ring.clear();
+        g.ring.extend(state.events.iter().cloned());
+        g.dropped = state.dropped;
+        g.clock_us = state.clock_us;
+    }
+
     /// Number of currently buffered events.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().ring.len()
@@ -244,6 +270,194 @@ impl TraceSink {
     }
 }
 
+// ------------------------------------------------------- shard snapshots
+
+/// One shard's volatile state, snapshotted by [`TraceShard::export_state`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardState {
+    /// Buffered events in insertion order.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+    /// Modeled-time cursor in microseconds.
+    pub clock_us: u64,
+}
+
+impl TraceSink {
+    /// Snapshots every shard in track order (workers, master, control,
+    /// net).
+    pub fn export_states(&self) -> Vec<ShardState> {
+        self.shards.iter().map(|s| s.export_state()).collect()
+    }
+
+    /// Restores every shard from `states` (track order). Shard counts must
+    /// match — the restored sink is built for the same worker count.
+    ///
+    /// # Panics
+    /// Panics if `states` has a different number of shards.
+    pub fn restore_states(&self, states: &[ShardState]) {
+        assert_eq!(
+            states.len(),
+            self.shards.len(),
+            "trace shard count mismatch"
+        );
+        for (shard, state) in self.shards.iter().zip(states) {
+            shard.restore_state(state);
+        }
+    }
+}
+
+fn enc_corrupt(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt shard state: {what}"),
+    )
+}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if n > self.buf.len() - self.pos {
+            return Err(enc_corrupt("field past end"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let n = self.u64()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| enc_corrupt("invalid utf-8"))
+    }
+}
+
+/// Serializes shard states into a deterministic little-endian byte run
+/// (f64 args by bit pattern), for embedding in a durable master snapshot.
+pub fn encode_shard_states(states: &[ShardState]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, states.len() as u64);
+    for s in states {
+        put_u64(&mut buf, s.clock_us);
+        put_u64(&mut buf, s.dropped);
+        put_u64(&mut buf, s.events.len() as u64);
+        for ev in &s.events {
+            put_u64(&mut buf, ev.ts_us);
+            buf.extend_from_slice(&ev.track.to_le_bytes());
+            put_str(&mut buf, &ev.name);
+            match ev.kind {
+                EventKind::Span { dur_us } => {
+                    buf.push(0);
+                    put_u64(&mut buf, dur_us);
+                }
+                EventKind::Instant => buf.push(1),
+                EventKind::Counter => buf.push(2),
+            }
+            put_u64(&mut buf, ev.args.len() as u64);
+            for (k, v) in &ev.args {
+                put_str(&mut buf, k);
+                match v {
+                    ArgValue::U64(x) => {
+                        buf.push(0);
+                        put_u64(&mut buf, *x);
+                    }
+                    ArgValue::I64(x) => {
+                        buf.push(1);
+                        put_u64(&mut buf, *x as u64);
+                    }
+                    ArgValue::F64(x) => {
+                        buf.push(2);
+                        put_u64(&mut buf, x.to_bits());
+                    }
+                    ArgValue::Str(x) => {
+                        buf.push(3);
+                        put_str(&mut buf, x);
+                    }
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Rebuilds shard states from [`encode_shard_states`] bytes. Arg keys are
+/// re-interned to `'static` via [`intern_arg_key`].
+pub fn decode_shard_states(buf: &[u8]) -> io::Result<Vec<ShardState>> {
+    let mut d = Dec { buf, pos: 0 };
+    let n = d.u64()? as usize;
+    let mut states = Vec::with_capacity(n);
+    for _ in 0..n {
+        let clock_us = d.u64()?;
+        let dropped = d.u64()?;
+        let ne = d.u64()? as usize;
+        let mut events = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let ts_us = d.u64()?;
+            let track = d.u32()?;
+            let name = d.str()?;
+            let kind = match d.u8()? {
+                0 => EventKind::Span { dur_us: d.u64()? },
+                1 => EventKind::Instant,
+                2 => EventKind::Counter,
+                _ => return Err(enc_corrupt("unknown event kind")),
+            };
+            let na = d.u64()? as usize;
+            let mut args = Vec::with_capacity(na);
+            for _ in 0..na {
+                let key = intern_arg_key(&d.str()?);
+                let val = match d.u8()? {
+                    0 => ArgValue::U64(d.u64()?),
+                    1 => ArgValue::I64(d.u64()? as i64),
+                    2 => ArgValue::F64(f64::from_bits(d.u64()?)),
+                    3 => ArgValue::Str(d.str()?),
+                    _ => return Err(enc_corrupt("unknown arg value tag")),
+                };
+                args.push((key, val));
+            }
+            events.push(TraceEvent {
+                ts_us,
+                track,
+                name,
+                kind,
+                args,
+            });
+        }
+        states.push(ShardState {
+            events,
+            dropped,
+            clock_us,
+        });
+    }
+    if d.pos != buf.len() {
+        return Err(enc_corrupt("trailing bytes"));
+    }
+    Ok(states)
+}
+
 /// Convenience for instrumented code: events recorded through an
 /// `Option<Arc<TraceShard>>` compile to a null check when tracing is off.
 pub fn maybe_span(
@@ -300,6 +514,50 @@ mod tests {
             EventKind::Span { dur_us } => assert_eq!(dur_us, 25),
             _ => panic!("expected span"),
         }
+    }
+
+    #[test]
+    fn shard_state_roundtrip_is_exact() {
+        let sink = TraceSink::with_capacity(2, 8);
+        sink.worker(0).span(
+            "load",
+            50,
+            vec![
+                ("bytes", ArgValue::U64(1024)),
+                ("worker", ArgValue::I64(-1)),
+            ],
+        );
+        sink.master()
+            .instant("barrier", vec![("superstep", ArgValue::U64(3))]);
+        sink.control().counter_at(
+            77,
+            "q",
+            vec![
+                ("q", ArgValue::F64(-0.125)),
+                ("verdict", ArgValue::Str("hold".into())),
+            ],
+        );
+        for i in 0..10u64 {
+            sink.net().instant_at(i, format!("e{i}"), vec![]);
+        }
+        let states = sink.export_states();
+        assert_eq!(states[4].dropped, 2, "net ring wrapped");
+
+        let bytes = encode_shard_states(&states);
+        let decoded = decode_shard_states(&bytes).unwrap();
+        assert_eq!(decoded, states);
+
+        // A fresh sink restored from the snapshot replays identically —
+        // including cursor positions, so subsequent spans line up.
+        let fresh = TraceSink::with_capacity(2, 8);
+        fresh.worker(0).span("noise-before-restore", 999, vec![]);
+        fresh.restore_states(&decoded);
+        assert_eq!(fresh.export_states(), states);
+        assert_eq!(fresh.worker(0).clock_us(), sink.worker(0).clock_us());
+        sink.worker(0).span("next", 10, vec![]);
+        fresh.worker(0).span("next", 10, vec![]);
+        assert_eq!(fresh.worker(0).events(), sink.worker(0).events());
+        assert!(decode_shard_states(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

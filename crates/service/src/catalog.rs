@@ -181,6 +181,37 @@ impl Catalog {
         Ok(id)
     }
 
+    /// Re-registers a graph under the id it held before a restart
+    /// (service-log replay). Extent keys in the shared cache embed the
+    /// graph id, so a restored cache snapshot only matches if ids
+    /// survive recovery verbatim. `next_id` advances past `id` so later
+    /// registrations never collide.
+    pub fn register_with_id(
+        &mut self,
+        name: &str,
+        graph: Arc<Graph>,
+        spec: GraphSpec,
+        id: u32,
+    ) -> Result<u32, CatalogError> {
+        assert!(spec.workers >= 1, "need at least one worker slot");
+        if self.graphs.contains_key(name) {
+            return Err(CatalogError::NameTaken(name.to_string()));
+        }
+        let stores = build_stores(id, &graph, &spec)?;
+        self.next_id = self.next_id.max(id + 1);
+        self.graphs.insert(
+            name.to_string(),
+            RegisteredGraph {
+                id,
+                graph,
+                spec,
+                stores,
+                pins: 0,
+            },
+        );
+        Ok(id)
+    }
+
     /// Looks up a registered graph.
     pub fn get(&self, name: &str) -> Option<&RegisteredGraph> {
         self.graphs.get(name)

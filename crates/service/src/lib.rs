@@ -22,13 +22,29 @@
 //!   slots, bounded queue, clamped per-job logical-I/O and memory
 //!   budgets) plus the shared byte-weighted edge cache whose cross-job
 //!   interference the `multi_tenant` experiment measures.
+//!
+//! Two more make the service *durable* (crash-restartable):
+//!
+//! * [`wal`] — the typed write-ahead-log records a durable service
+//!   journals: catalog transitions, admissions, per-job master snapshots
+//!   at superstep cuts, shared-cache snapshots.
+//! * [`retry`] — typed retry-with-modeled-backoff for transient log I/O
+//!   errors, so degradation is graceful and still deterministic.
+//!
+//! See [`GraphService::new_durable`], [`GraphService::restore`] and
+//! [`GraphService::resume_job`] for the crash-restart lifecycle.
 
 pub mod catalog;
+pub mod retry;
 pub mod scheduler;
 pub mod service;
+pub mod wal;
 
 pub use catalog::{Catalog, CatalogError, GraphSpec, RegisteredGraph};
+pub use retry::{is_transient, RetryPolicy};
 pub use scheduler::{LaneHandle, RoundRobinScheduler};
 pub use service::{
-    AdmissionError, GraphService, JobRequest, JobTicket, SchedulingPause, ServiceConfig,
+    AdmissionError, GraphService, JobRequest, JobTicket, RecoveredJob, SchedulingPause,
+    ServiceConfig,
 };
+pub use wal::WalRecord;

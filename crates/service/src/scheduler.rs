@@ -127,6 +127,35 @@ impl RoundRobinScheduler {
         lane
     }
 
+    /// Registers a new lane starting at an explicit virtual time — a
+    /// resumed job rejoining exactly where its previous incarnation's
+    /// last durable barrier left it, so restarted runs see the same
+    /// grant order as uninterrupted ones.
+    pub fn join_at(&self, vtime: f64) -> usize {
+        let mut s = self.state.lock().unwrap();
+        let lane = s.lanes.len();
+        s.lanes.push(Lane {
+            active: true,
+            parked: false,
+            vtime: if vtime.is_finite() {
+                vtime.max(0.0)
+            } else {
+                0.0
+            },
+            tiebreak: splitmix64(self.seed ^ lane as u64),
+        });
+        drop(s);
+        self.cv.notify_all();
+        lane
+    }
+
+    /// The virtual time `lane` has accumulated so far. Recorded in every
+    /// durable barrier record so [`join_at`](Self::join_at) can restore
+    /// the lane's scheduling position after a restart.
+    pub fn lane_vtime(&self, lane: usize) -> f64 {
+        self.state.lock().unwrap().lanes[lane].vtime
+    }
+
     fn join_locked(s: &mut State, seed: u64) -> usize {
         let lane = s.lanes.len();
         // Join at the floor of the active lanes' virtual times so a

@@ -27,7 +27,10 @@
 //!   Pregel-style confined recovery (one classified sequential write per
 //!   superstep),
 //! * [`shared_cache`] — the cross-job byte-weighted edge-extent cache for
-//!   the multi-tenant service, with per-requesting-job attribution.
+//!   the multi-tenant service, with per-requesting-job attribution,
+//! * [`service_log`] — the append-only write-ahead log the durable
+//!   service persists its control-plane state through (commit-marker
+//!   framing, torn-tail healing, codec-aware).
 
 pub mod adjacency;
 pub mod checkpoint;
@@ -37,6 +40,7 @@ pub mod msg_log;
 pub mod msg_store;
 pub mod profile;
 pub mod record;
+pub mod service_log;
 pub mod shared_cache;
 pub mod stats;
 pub mod value_store;
@@ -48,6 +52,12 @@ pub use hybridgraph_codec::{Codec, CodecChoice, CodecError};
 pub use msg_log::{MsgLogReader, MsgLogWriter};
 pub use profile::DeviceProfile;
 pub use record::Record;
-pub use shared_cache::{SharedCacheStats, SharedEdgeCache, CACHE_ENTRY_OVERHEAD};
+pub use service_log::{
+    codec_from_tag, codec_tag, decode_graph, encode_graph, LogRecord, PayloadReader, PayloadWriter,
+    ServiceLog,
+};
+pub use shared_cache::{
+    CacheSnapshot, ShardSnapshot, SharedCacheStats, SharedEdgeCache, CACHE_ENTRY_OVERHEAD,
+};
 pub use stats::{AccessClass, IoSnapshot, IoStats};
-pub use vfs::{DirVfs, MemVfs, Vfs, VfsFile};
+pub use vfs::{DirVfs, MemVfs, PrefixVfs, Vfs, VfsFile};

@@ -227,6 +227,33 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
         evicted
     }
 
+    /// A non-destructive copy of every entry as `(key, value, dirty,
+    /// weight)` in most-recently-used-first order. Unlike
+    /// [`Self::drain`], the weights come along, so a caller can rebuild
+    /// an exact replica of the cache (recency order *and* byte budget) —
+    /// the service log's cache snapshot path.
+    pub fn snapshot_mru(&self) -> Vec<(K, V, bool, usize)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.head;
+        while idx != NONE {
+            let (k, v, dirty) = self.entries[idx].as_ref().unwrap();
+            out.push((*k, v.clone(), *dirty, self.weights[idx]));
+            idx = self.links[idx].1;
+        }
+        out
+    }
+
+    /// Overwrites the hit/miss counters — used when an exact replica of a
+    /// cache is rebuilt from a snapshot and its observability counters
+    /// must carry over too.
+    pub fn set_counters(&mut self, hits: u64, misses: u64) {
+        self.hits = hits;
+        self.misses = misses;
+    }
+
     /// Drains every entry, returning `(key, value, dirty)` triples in
     /// most-recently-used-first order (used to flush dirty values).
     pub fn drain(&mut self) -> Vec<(K, V, bool)> {

@@ -69,6 +69,28 @@ struct Shard {
     evictions: u64,
 }
 
+/// One shard of a [`CacheSnapshot`]: MRU-first `(key, edges, weight)`
+/// entries plus the shard's attribution counters.
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot {
+    /// Cached extents, most-recently-used first, with exact weights.
+    pub entries: Vec<(ExtentKey, Arc<Vec<Edge>>, usize)>,
+    /// Lookups that found an extent.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by inserts.
+    pub evictions: u64,
+}
+
+/// A deep, order- and weight-exact copy of a [`SharedEdgeCache`], taken at
+/// a barrier and replayed on service restore.
+#[derive(Clone, Debug)]
+pub struct CacheSnapshot {
+    /// Per-slot shard snapshots, in slot order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
 /// A byte-weighted cache of decoded adjacency extents shared by every job
 /// of a service, sharded per worker slot.
 pub struct SharedEdgeCache {
@@ -148,20 +170,80 @@ impl SharedEdgeCache {
 
     /// Drops every cached extent of `graph` — called when the catalog
     /// evicts a graph so its memory is returned.
+    ///
+    /// Surviving entries keep their recency order *and* their exact
+    /// insert-time weights (the extent's stored on-disk bytes plus
+    /// overhead) — recomputing weights from decoded edge counts would
+    /// drift `used_bytes` away from what the inserting jobs were charged,
+    /// and a later [`Self::snapshot`] would then disagree with a
+    /// log-replayed cache.
     pub fn purge_graph(&self, graph: u32) {
         for shard in &self.shards {
             let mut shard = shard.lock().unwrap();
-            let keep: Vec<(ExtentKey, Arc<Vec<Edge>>, bool)> = shard
+            let keep: Vec<(ExtentKey, Arc<Vec<Edge>>, bool, usize)> = shard
                 .lru
-                .drain()
+                .snapshot_mru()
                 .into_iter()
-                .filter(|((g, _), _, _)| *g != graph)
+                .filter(|((g, _), _, _, _)| *g != graph)
                 .collect();
+            shard.lru.drain();
             // Re-insert MRU-first entries in reverse so recency survives.
-            for ((g, v), edges, _) in keep.into_iter().rev() {
-                let weight = edges.len() * 8 + CACHE_ENTRY_OVERHEAD;
+            for ((g, v), edges, _, weight) in keep.into_iter().rev() {
                 shard.lru.insert_weighted((g, v), edges, false, weight);
             }
+        }
+    }
+
+    /// A deep copy of the cache: per shard, the MRU-ordered entries with
+    /// their exact weights plus the attribution counters. This is what the
+    /// durable service writes into its log at every barrier so a restarted
+    /// service resumes with byte-identical cache behaviour (same hits,
+    /// same evictions, same `io_ratio` attribution per tenant).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let shard = shard.lock().unwrap();
+                    ShardSnapshot {
+                        entries: shard
+                            .lru
+                            .snapshot_mru()
+                            .into_iter()
+                            .map(|(k, v, _, w)| (k, v, w))
+                            .collect(),
+                        hits: shard.lru.hits(),
+                        misses: shard.lru.misses(),
+                        evictions: shard.evictions,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces the cache contents and counters with `snap` — the restore
+    /// half of [`Self::snapshot`]. Shard counts must match (the restored
+    /// service is built from the same logged `ServiceConfig`).
+    ///
+    /// # Panics
+    /// Panics if `snap` has a different number of shards.
+    pub fn restore(&self, snap: &CacheSnapshot) {
+        assert_eq!(
+            snap.shards.len(),
+            self.shards.len(),
+            "cache snapshot shard count mismatch"
+        );
+        for (shard, s) in self.shards.iter().zip(&snap.shards) {
+            let mut shard = shard.lock().unwrap();
+            shard.lru.drain();
+            for ((g, v), edges, weight) in s.entries.iter().rev() {
+                shard
+                    .lru
+                    .insert_weighted((*g, *v), Arc::clone(edges), false, *weight);
+            }
+            shard.lru.set_counters(s.hits, s.misses);
+            shard.evictions = s.evictions;
         }
     }
 
@@ -231,5 +313,51 @@ mod tests {
         c.purge_graph(1);
         assert!(c.get(0, 1, 10).is_none());
         assert!(c.get(0, 2, 10).is_some());
+    }
+
+    #[test]
+    fn purge_graph_preserves_exact_weights() {
+        // A stored weight (300 bytes on disk) that differs from the decoded
+        // in-memory size (2 edges): the survivor must keep its insert-time
+        // weight, not a recomputed one.
+        let c = SharedEdgeCache::new(1, 1 << 16);
+        c.insert(0, 1, 10, extent(2), 16);
+        c.insert(0, 2, 10, extent(2), 300);
+        let before = c.stats().used_bytes;
+        assert_eq!(
+            before,
+            (16 + 300 + 2 * CACHE_ENTRY_OVERHEAD as u64),
+            "sanity: weights are stored bytes plus overhead"
+        );
+        c.purge_graph(1);
+        assert_eq!(
+            c.stats().used_bytes,
+            300 + CACHE_ENTRY_OVERHEAD as u64,
+            "survivor keeps its exact stored-bytes weight"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_is_exact_replica() {
+        let c = SharedEdgeCache::new(2, 2 * 2 * (200 + CACHE_ENTRY_OVERHEAD));
+        c.insert(0, 1, 1, extent(25), 200);
+        c.insert(0, 1, 2, extent(25), 200);
+        c.get(0, 1, 1); // promote 1 so 2 is the LRU entry
+        c.insert(1, 1, 3, extent(4), 32);
+        c.get(1, 9, 9); // a miss, for the counters
+        let snap = c.snapshot();
+
+        let d = SharedEdgeCache::new(2, 2 * 2 * (200 + CACHE_ENTRY_OVERHEAD));
+        d.restore(&snap);
+        assert_eq!(d.stats(), c.stats(), "counters and used bytes carry over");
+        // Recency carried over: inserting a third extent into slot 0 must
+        // evict vertex 2 (the LRU), exactly as it would in the original.
+        assert_eq!(d.insert(0, 1, 4, extent(25), 200), 1);
+        assert!(d.get(0, 1, 2).is_none());
+        assert!(d.get(0, 1, 1).is_some());
+        assert_eq!(c.insert(0, 1, 4, extent(25), 200), 1);
+        assert!(c.get(0, 1, 2).is_none());
+        assert!(c.get(0, 1, 1).is_some());
+        assert_eq!(d.stats(), c.stats(), "replica tracks original exactly");
     }
 }

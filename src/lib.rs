@@ -55,7 +55,8 @@ pub mod prelude {
     pub use hybridgraph_algos::{Lpa, PageRank, Sa, Sssp, Wcc};
     pub use hybridgraph_core::{
         run_job, CheckpointPolicy, FaultPhase, FaultPlan, GraphInfo, JobConfig, JobError,
-        JobMetrics, JobResult, Mode, NetOverhead, RecoveryMetrics, Update, VertexProgram,
+        JobMetrics, JobResult, MasterKillPoint, Mode, NetOverhead, RecoveryMetrics, Update,
+        VertexProgram,
     };
     pub use hybridgraph_graph::{
         Dataset, Edge, Graph, GraphBuilder, Partition, VertexId, WorkerId,
@@ -65,7 +66,8 @@ pub mod prelude {
         export_chrome_trace, export_prometheus, render_table, validate_json, TraceSink,
     };
     pub use hybridgraph_service::{
-        AdmissionError, CatalogError, GraphService, GraphSpec, JobRequest, ServiceConfig,
+        AdmissionError, CatalogError, GraphService, GraphSpec, JobRequest, RecoveredJob,
+        ServiceConfig,
     };
-    pub use hybridgraph_storage::{CodecChoice, DeviceProfile};
+    pub use hybridgraph_storage::{CodecChoice, DeviceProfile, MemVfs, Vfs};
 }

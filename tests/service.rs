@@ -31,6 +31,7 @@ fn service(seed: u64, resident: usize, queued: usize) -> GraphService {
         seed,
         max_job_logical_io: None,
         max_job_memory: None,
+        recovery_shed_threshold: 8,
     })
 }
 
@@ -143,6 +144,7 @@ fn admission_rejects_and_queues() {
         seed: 3,
         max_job_logical_io: Some(1 << 20),
         max_job_memory: None,
+        recovery_shed_threshold: 8,
     });
     svc.register_graph("a", graph_a(), GraphSpec::new(2))
         .unwrap();

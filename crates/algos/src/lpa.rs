@@ -16,12 +16,27 @@ use std::collections::HashMap;
 pub struct Lpa {
     /// Total supersteps to run (the paper runs 5).
     pub supersteps: u64,
+    /// Stop early once a superstep changes no label.
+    pub converge: bool,
 }
 
 impl Lpa {
     /// LPA for `supersteps` supersteps.
     pub fn new(supersteps: u64) -> Self {
-        Lpa { supersteps }
+        Lpa {
+            supersteps,
+            converge: false,
+        }
+    }
+
+    /// LPA that stops as soon as a superstep changes no label (capped at
+    /// `max_supersteps`). The default 0/1 residual is exact for labels,
+    /// so tolerance 0 means "no vertex changed".
+    pub fn converging(max_supersteps: u64) -> Self {
+        Lpa {
+            supersteps: max_supersteps,
+            converge: true,
+        }
     }
 
     /// The plurality label with smallest-label tie-breaking.
@@ -72,6 +87,10 @@ impl VertexProgram for Lpa {
 
     fn max_supersteps(&self) -> Option<u64> {
         Some(self.supersteps)
+    }
+
+    fn tolerance(&self) -> Option<f64> {
+        self.converge.then_some(0.0)
     }
 }
 

@@ -19,6 +19,9 @@ pub struct PageRank {
     pub damping: f64,
     /// Total supersteps to run (the paper uses 5 or 10).
     pub supersteps: u64,
+    /// Convergence tolerance on `|new − old|`, when running to
+    /// convergence instead of a fixed superstep count.
+    pub eps: Option<f64>,
     combiner: SumCombiner,
 }
 
@@ -28,6 +31,19 @@ impl PageRank {
         PageRank {
             damping: 0.85,
             supersteps,
+            eps: None,
+            combiner: SumCombiner,
+        }
+    }
+
+    /// PageRank that runs until every rank moves by at most `eps` in one
+    /// superstep (capped at `max_supersteps`). The residual also drives
+    /// `Async` mode's per-block pseudo-round cutoff.
+    pub fn until(eps: f64, max_supersteps: u64) -> Self {
+        PageRank {
+            damping: 0.85,
+            supersteps: max_supersteps,
+            eps: Some(eps),
             combiner: SumCombiner,
         }
     }
@@ -73,6 +89,14 @@ impl VertexProgram for PageRank {
 
     fn max_supersteps(&self) -> Option<u64> {
         Some(self.supersteps)
+    }
+
+    fn residual(&self, old: &f64, new: &f64) -> f64 {
+        (new - old).abs()
+    }
+
+    fn tolerance(&self) -> Option<f64> {
+        self.eps
     }
 }
 

@@ -1,0 +1,53 @@
+//! CI determinism probe for the GraphHP-style async engine.
+//!
+//! Runs one tolerance-terminated async PageRank job on an id-localized
+//! RMAT graph derived from the given seed and writes the modeled-time
+//! Chrome trace followed by the `Q_t` audit bytes (async extension
+//! included) and the final value bits. The `graphhp-determinism` CI job
+//! runs this twice per seed and requires the outputs to compare
+//! byte-identical with `cmp`.
+//!
+//! Usage: `async_trace <seed> <out.bin>`
+
+use hybridgraph_algos::PageRank;
+use hybridgraph_core::{encode_qt_audits, run_job, JobConfig, Mode};
+use hybridgraph_graph::gen;
+use hybridgraph_obs::{export_chrome_trace, TraceSink};
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("usage: async_trace <seed> <out.bin>");
+    let out = args.next().expect("usage: async_trace <seed> <out.bin>");
+
+    // Locality gives the pseudo-rounds interior vertices to chew on; the
+    // rewiring seed is decorrelated from the RMAT seed so the two sweeps
+    // don't share SplitMix64 streams.
+    let g = gen::localize(
+        &gen::rmat(512, 4096, gen::RmatParams::default(), seed),
+        0.9,
+        48,
+        seed ^ 0x9e37_79b9,
+    );
+    let sink = Arc::new(TraceSink::new(3));
+    let cfg = JobConfig::new(Mode::Async, 3)
+        .with_buffer(512)
+        .with_trace(Arc::clone(&sink));
+    let r = run_job(Arc::new(PageRank::until(1e-8, 120)), &g, cfg).unwrap();
+
+    let mut blob = export_chrome_trace(&sink).into_bytes();
+    blob.extend_from_slice(&encode_qt_audits(&r.metrics.qt_audit));
+    for v in &r.values {
+        blob.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    std::fs::write(&out, &blob).unwrap();
+    println!(
+        "seed {seed}: {} barriers (+{} saved), {} bytes -> {out}",
+        r.metrics.supersteps(),
+        r.metrics.barriers_saved(),
+        blob.len(),
+    );
+}

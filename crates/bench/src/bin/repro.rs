@@ -1,7 +1,7 @@
 //! The figure/table reproduction harness.
 //!
 //! ```text
-//! repro [--scale N] [--codec C] [--trace F] [--metrics F] \
+//! repro [--scale N] [--codec C] [--mode M] [--trace F] [--metrics F] \
 //!       [--explain-switch] <experiment> [<experiment> ...]
 //! repro all
 //! ```
@@ -9,13 +9,18 @@
 //! Experiments: datasets, fig2, fig7, fig8, fig9, fig10, fig11, fig12,
 //! fig13, fig14, fig15, fig16, fig17, fig18, table5, vblocks (figs
 //! 23–25), fig26, theorems, observe, io_compress, multi_tenant,
-//! service_restart.
+//! service_restart, graphhp.
 //!
 //! `--scale N` generates datasets at 1/N of the paper's sizes
 //! (default 2000). Modeled runtimes are projected back by ×N.
 //!
 //! `--codec C` (none | gaps | block | auto) sets the on-disk codec for
 //! the `observe` experiment; `io_compress` sweeps all four regardless.
+//!
+//! `--mode M` (push | pushM | pull | b-pull | hybrid | async) pins the
+//! `observe` experiment to one execution mode instead of the default
+//! adaptive hybrid; `async` demonstrates the GraphHP-style pseudo-round
+//! engine and its extra gauges in the Prometheus exposition.
 //!
 //! `--trace F` / `--metrics F` / `--explain-switch` apply to the
 //! `observe` experiment: they write a Chrome Trace Event JSON (open in
@@ -51,6 +56,7 @@ const EXPERIMENTS: &[&str] = &[
     "io_compress",
     "multi_tenant",
     "service_restart",
+    "graphhp",
 ];
 
 fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bool {
@@ -80,6 +86,7 @@ fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bo
         "io_compress" => exp::io_compress::run(scale),
         "multi_tenant" => exp::multi_tenant::run(scale),
         "service_restart" => exp::service_restart::run(scale),
+        "graphhp" => exp::graphhp::run(scale),
         _ => return false,
     }
     eprintln!("[{name}: {:.1}s]", t.elapsed().as_secs_f64());
@@ -115,6 +122,12 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--codec takes none | gaps | block | auto"));
             }
+            "--mode" => {
+                let m = it.next().unwrap_or_else(|| usage("missing --mode value"));
+                // `Mode::from_str` already enumerates every valid mode in
+                // its error; surface it verbatim.
+                observe.mode = Some(m.parse().unwrap_or_else(|e: String| usage(&e)));
+            }
             "--explain-switch" => observe.explain_switch = true,
             "all" => targets.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => usage(""),
@@ -137,9 +150,36 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--scale N] [--codec C] [--trace F] [--metrics F] \
-         [--explain-switch] <experiment> [...] | all"
+        "usage: repro [--scale N] [--codec C] [--mode M] [--trace F] \
+         [--metrics F] [--explain-switch] <experiment> [...] | all"
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use hybridgraph_core::Mode;
+
+    /// The `--mode` flag surfaces `Mode::from_str`'s error verbatim, so
+    /// a typo must name the offender and list every valid mode.
+    #[test]
+    fn mode_parse_error_lists_all_modes() {
+        let err = "asink".parse::<Mode>().unwrap_err();
+        assert!(err.contains("unknown mode 'asink'"), "{err}");
+        for label in Mode::ALL.iter().map(|m| m.label()).chain(["async"]) {
+            assert!(err.contains(label), "error must list '{label}': {err}");
+        }
+    }
+
+    /// Every accepted spelling round-trips to the mode whose label the
+    /// error message advertises.
+    #[test]
+    fn mode_parse_accepts_all_labels() {
+        for mode in Mode::ALL.into_iter().chain([Mode::Async]) {
+            assert_eq!(mode.label().parse::<Mode>(), Ok(mode));
+        }
+        assert_eq!("bpull".parse::<Mode>(), Ok(Mode::BPull));
+        assert_eq!("pushm".parse::<Mode>(), Ok(Mode::PushM));
+    }
 }

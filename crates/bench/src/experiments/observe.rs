@@ -39,6 +39,10 @@ pub struct ObserveOpts {
     /// Chrome trace stays deterministic per codec choice: two runs with
     /// the same codec emit byte-identical files.
     pub codec: CodecChoice,
+    /// Execution mode override (`--mode`; defaults to the adaptive
+    /// hybrid). `async` runs the GraphHP-style pseudo-round engine and
+    /// populates the classification/activity gauges below.
+    pub mode: Option<Mode>,
 }
 
 /// Runs the instrumented job and writes the requested artifacts.
@@ -47,17 +51,22 @@ pub fn run(scale: Scale, opts: &ObserveOpts) {
     let g = scale.build(d);
     let workers = workers_for(d);
     let sink = Arc::new(TraceSink::new(workers));
-    let mut cfg = JobConfig::new(Mode::Hybrid, workers)
+    let mode = opts.mode.unwrap_or(Mode::Hybrid);
+    let mut cfg = JobConfig::new(mode, workers)
         .with_buffer(buffer_for(d, scale))
         .with_trace(Arc::clone(&sink))
         .with_codec(opts.codec);
-    // Start in push even where Theorem 2 would pick b-pull, so the demo
-    // exercises the Q_t evaluation *and* an actual switch superstep.
-    cfg.initial_mode_override = Some(Mode::Push);
+    if mode == Mode::Hybrid {
+        // Start in push even where Theorem 2 would pick b-pull, so the
+        // demo exercises the Q_t evaluation *and* an actual switch
+        // superstep.
+        cfg.initial_mode_override = Some(Mode::Push);
+    }
     let m = run_algo(Algo::PageRank, &g, cfg);
 
     println!(
-        "## observe: instrumented hybrid PageRank on {d:?} (codec {})",
+        "## observe: instrumented {} PageRank on {d:?} (codec {})",
+        mode.label(),
         opts.codec.label()
     );
     println!(
@@ -95,6 +104,18 @@ pub fn run(scale: Scale, opts: &ObserveOpts) {
             gauge("job_io_physical_bytes", m.total_io_bytes() as f64),
             gauge("job_io_logical_bytes", m.total_io_logical_bytes() as f64),
             gauge("job_io_compression_ratio", m.io_compression_ratio()),
+            // GraphHP classification/activity gauges: zero for strict-BSP
+            // runs, populated under `--mode async`.
+            gauge("job_boundary_vertices", m.load.boundary_vertices as f64),
+            gauge("job_interior_vertices", m.load.interior_vertices as f64),
+            gauge("job_barriers_saved", m.barriers_saved() as f64),
+            gauge("job_pseudo_rounds", m.total_pseudo_rounds() as f64),
+            gauge(
+                "job_active_fraction",
+                m.steps
+                    .last()
+                    .map_or(0.0, |s| m.active_fraction(s.superstep)),
+            ),
         ];
         let text = export_prometheus(&sink, &extras);
         write_artifact(path, &text);

@@ -61,10 +61,19 @@ pub enum Mode {
     BPull,
     /// Adaptive switching between `Push` and `BPull` (the paper's hybrid).
     Hybrid,
+    /// GraphHP-style hybrid sync/async block execution: block-interior
+    /// vertices iterate in-place to a residual threshold between global
+    /// barriers (pseudo-supersteps), while block-boundary messages queue
+    /// for the barrier exactly as in push. The switcher may alternate
+    /// this with `Push`/`BPull` per superstep via the extended `Q_t`.
+    Async,
 }
 
 impl Mode {
     /// All standalone modes in the order the paper's figures list them.
+    /// `Async` is deliberately excluded: the paper's figures sweep the
+    /// four strict-BSP strategies plus hybrid, and serialized mode tags
+    /// are positional in this array (see `switch::mode_tag`).
     pub const ALL: [Mode; 5] = [
         Mode::Push,
         Mode::PushM,
@@ -81,6 +90,26 @@ impl Mode {
             Mode::Pull => "pull",
             Mode::BPull => "b-pull",
             Mode::Hybrid => "hybrid",
+            Mode::Async => "async",
+        }
+    }
+}
+
+impl std::str::FromStr for Mode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "push" => Ok(Mode::Push),
+            "pushM" | "pushm" => Ok(Mode::PushM),
+            "pull" => Ok(Mode::Pull),
+            "b-pull" | "bpull" => Ok(Mode::BPull),
+            "hybrid" => Ok(Mode::Hybrid),
+            "async" => Ok(Mode::Async),
+            other => Err(format!(
+                "unknown mode '{other}'; valid modes: push, pushM, pull, \
+                 b-pull, hybrid, async"
+            )),
         }
     }
 }
@@ -226,6 +255,13 @@ pub struct JobConfig {
     /// modeled time. Off by default: the spacing then depends only on
     /// `adaptive_checkpoint_factor`, exactly as before.
     pub fault_aware_checkpoint: bool,
+    /// Per-block residual threshold for [`Mode::Async`] pseudo-rounds: a
+    /// block stops iterating its interior once the maximum
+    /// `VertexProgram::residual` of its last round is at or below this.
+    pub async_residual: f64,
+    /// Hard cap on pseudo-rounds per superstep in [`Mode::Async`] (the
+    /// regenerating round 0 plus at most this many dirty rounds).
+    pub async_max_rounds: u64,
 }
 
 impl JobConfig {
@@ -266,6 +302,8 @@ impl JobConfig {
             resume: None,
             worker_disks: None,
             fault_aware_checkpoint: false,
+            async_residual: 1e-9,
+            async_max_rounds: 8,
         }
     }
 
@@ -376,6 +414,18 @@ impl JobConfig {
         self
     }
 
+    /// Sets the per-block residual threshold for `Async` pseudo-rounds.
+    pub fn with_async_residual(mut self, residual: f64) -> Self {
+        self.async_residual = residual;
+        self
+    }
+
+    /// Caps the dirty pseudo-rounds per superstep in `Async` mode.
+    pub fn with_async_max_rounds(mut self, rounds: u64) -> Self {
+        self.async_max_rounds = rounds;
+        self
+    }
+
     /// True if the limited-memory scenario is configured.
     pub fn memory_limited(&self) -> bool {
         self.buffer_messages != usize::MAX
@@ -416,7 +466,41 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(Mode::BPull.label(), "b-pull");
+        assert_eq!(Mode::Async.label(), "async");
         assert_eq!(Mode::ALL.len(), 5);
+        assert!(
+            !Mode::ALL.contains(&Mode::Async),
+            "Async is not a figure mode and must not shift positional tags"
+        );
+    }
+
+    #[test]
+    fn mode_parsing_lists_valid_modes_on_error() {
+        for (s, m) in [
+            ("push", Mode::Push),
+            ("pushM", Mode::PushM),
+            ("pull", Mode::Pull),
+            ("b-pull", Mode::BPull),
+            ("bpull", Mode::BPull),
+            ("hybrid", Mode::Hybrid),
+            ("async", Mode::Async),
+        ] {
+            assert_eq!(s.parse::<Mode>(), Ok(m), "{s}");
+        }
+        let err = "warp".parse::<Mode>().unwrap_err();
+        for name in ["push", "pushM", "pull", "b-pull", "hybrid", "async"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn async_knob_defaults_and_builders() {
+        let c = JobConfig::new(Mode::Async, 2);
+        assert_eq!(c.async_max_rounds, 8);
+        assert!(c.async_residual > 0.0);
+        let c = c.with_async_residual(1e-6).with_async_max_rounds(3);
+        assert_eq!(c.async_residual, 1e-6);
+        assert_eq!(c.async_max_rounds, 3);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //!   respawn-and-rollback recovery path.
 
 pub mod bitset;
+pub mod blockexec;
 pub mod config;
 pub mod fault;
 pub mod metrics;
@@ -40,11 +41,12 @@ pub mod snapshot;
 pub mod switch;
 pub mod worker;
 
+pub use blockexec::{BlockClassification, InteriorIndex};
 pub use config::{BarrierSink, CheckpointPolicy, JobConfig, Mode, ResumeState, WorkerDisks};
 pub use fault::{FaultPhase, FaultPlan, MasterKillPoint};
 pub use metrics::{
-    FailureEvent, JobMetrics, NetOverhead, RecoveryMetrics, SemanticBytes, StepKind, StepReport,
-    SuperstepMetrics,
+    AsyncStepStats, FailureEvent, JobMetrics, NetOverhead, RecoveryMetrics, SemanticBytes,
+    StepKind, StepReport, SuperstepMetrics,
 };
 pub use pacer::StepPacer;
 pub use program::{GraphInfo, Update, VertexProgram};
@@ -52,5 +54,6 @@ pub use runner::{run_job, JobError, JobResult};
 pub use shared::SharedStores;
 pub use snapshot::{adaptive_spacing_secs, MasterState, MtbfEstimator};
 pub use switch::{
-    b_lower_bound, decode_qt_audits, encode_qt_audits, q_metric, CostInputs, Switcher,
+    async_gain, b_lower_bound, decode_qt_audits, encode_qt_audits, q_metric, AsyncCostInputs,
+    CostInputs, Switcher,
 };

@@ -27,6 +27,14 @@ pub enum StepKind {
     /// b-pull then an immediate pushRes on the new values — the switch
     /// superstep b-pull → push (Fig. 6).
     BPullThenPush,
+    /// GraphHP-style hybrid sync/async: interior vertices iterate in
+    /// block-local pseudo-rounds between global barriers; boundary
+    /// messages queue for the barrier as usual.
+    Async,
+    /// Async compute followed by a full push send (interior destinations
+    /// included) — the switch superstep async → push, leaving the inbox
+    /// exactly as a strict push superstep would.
+    AsyncThenPush,
 }
 
 impl StepKind {
@@ -37,12 +45,16 @@ impl StepKind {
             StepKind::PushM => Mode::PushM,
             StepKind::Pull => Mode::Pull,
             StepKind::BPull | StepKind::BPullThenPush => Mode::BPull,
+            StepKind::Async | StepKind::AsyncThenPush => Mode::Async,
         }
     }
 
-    /// True for the two fused switching supersteps.
+    /// True for the fused switching supersteps.
     pub fn is_switch(self) -> bool {
-        matches!(self, StepKind::PushNoSend | StepKind::BPullThenPush)
+        matches!(
+            self,
+            StepKind::PushNoSend | StepKind::BPullThenPush | StepKind::AsyncThenPush
+        )
     }
 
     /// Short figure label.
@@ -54,7 +66,54 @@ impl StepKind {
             StepKind::Pull => "pull",
             StepKind::BPull => "b-pull",
             StepKind::BPullThenPush => "b-pull>push",
+            StepKind::Async => "async",
+            StepKind::AsyncThenPush => "async>push",
         }
+    }
+}
+
+/// Per-superstep measurements specific to the `Async` mode's block-local
+/// pseudo-rounds. All-zero for strict-BSP step kinds.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct AsyncStepStats {
+    /// Block-local pseudo-rounds executed inside this superstep (max over
+    /// workers; round 0 is the sweep every async superstep performs, so a
+    /// converged superstep still reports 1).
+    pub pseudo_rounds: u64,
+    /// Interior `update()` calls beyond round 0 — the duplicated compute
+    /// the `Q_t` async term charges.
+    pub interior_updates: u64,
+    /// Interior messages regenerated in-memory across all pseudo-rounds
+    /// (never hit the fabric or the spill store).
+    pub interior_messages: u64,
+    /// Bytes of those interior messages — I/O and network traffic the
+    /// pseudo-rounds avoided versus strict BSP.
+    pub interior_msg_bytes: u64,
+    /// Boundary vertices that updated in round 0.
+    pub boundary_active: u64,
+    /// Interior vertices that updated in round 0.
+    pub interior_active: u64,
+    /// Blocks that entered the pseudo-round loop with at least one dirty
+    /// interior vertex.
+    pub blocks_active: u64,
+    /// Blocks whose pseudo-round loop reached the residual threshold
+    /// before the round cap.
+    pub blocks_converged: u64,
+}
+
+impl AsyncStepStats {
+    /// Merge one worker's stats into the master aggregate: rounds are a
+    /// max (workers iterate independently between the same barriers),
+    /// counts are sums.
+    pub fn merge(&mut self, o: &AsyncStepStats) {
+        self.pseudo_rounds = self.pseudo_rounds.max(o.pseudo_rounds);
+        self.interior_updates += o.interior_updates;
+        self.interior_messages += o.interior_messages;
+        self.interior_msg_bytes += o.interior_msg_bytes;
+        self.boundary_active += o.boundary_active;
+        self.interior_active += o.interior_active;
+        self.blocks_active += o.blocks_active;
+        self.blocks_converged += o.blocks_converged;
     }
 }
 
@@ -156,6 +215,13 @@ pub struct StepReport {
     pub cache_misses: u64,
     /// Entries this worker's inserts displaced from the shared cache.
     pub cache_evictions: u64,
+    /// Async pseudo-round measurements (all-zero for strict-BSP kinds).
+    pub asy: AsyncStepStats,
+    /// Maximum [`residual`](crate::program::VertexProgram::residual) over
+    /// this worker's updates, tracked only when the program declares a
+    /// [`tolerance`](crate::program::VertexProgram::tolerance); 0.0
+    /// otherwise.
+    pub max_residual: f64,
 }
 
 /// Master-side aggregation of one superstep.
@@ -219,6 +285,12 @@ pub struct SuperstepMetrics {
     pub cache_misses: u64,
     /// Summed shared-cache evictions caused by this job's inserts.
     pub cache_evictions: u64,
+    /// Async pseudo-round measurements (rounds max'd, counts summed over
+    /// workers; all-zero for strict-BSP kinds).
+    pub asy: AsyncStepStats,
+    /// Maximum per-update residual across workers (0.0 unless the program
+    /// declares a convergence tolerance).
+    pub max_residual: f64,
 }
 
 /// Loading-phase measurements (Fig. 16).
@@ -236,6 +308,15 @@ pub struct LoadReport {
     pub num_vblocks: usize,
     /// The mode hybrid starts in (after Theorem 2 or override).
     pub initial_mode: Mode,
+    /// Total vertices loaded across workers.
+    pub num_vertices: u64,
+    /// Vertices with at least one block-crossing in- or out-edge
+    /// (GraphHP boundary set; 0 for non-`Async` jobs, which skip the
+    /// classification pass).
+    pub boundary_vertices: u64,
+    /// Vertices all of whose edges stay inside their own Vblock (eligible
+    /// for async pseudo-round iteration).
+    pub interior_vertices: u64,
 }
 
 /// One recovered worker failure.
@@ -405,6 +486,36 @@ impl JobMetrics {
     pub fn total_cache_misses(&self) -> u64 {
         self.steps.iter().map(|s| s.cache_misses).sum()
     }
+
+    /// Total async pseudo-rounds over the job (each is a block-local
+    /// iteration a strict-BSP run would have paid a global barrier for;
+    /// round 0 of every async superstep is the superstep itself).
+    pub fn total_pseudo_rounds(&self) -> u64 {
+        self.steps.iter().map(|s| s.asy.pseudo_rounds).sum()
+    }
+
+    /// Global barriers the async pseudo-rounds absorbed: pseudo-rounds
+    /// beyond round 0, summed over async supersteps. A strict-BSP run
+    /// making the same progress would have paid this many extra barriers.
+    pub fn barriers_saved(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.asy.pseudo_rounds.saturating_sub(1))
+            .sum()
+    }
+
+    /// Fraction of loaded vertices that updated in superstep `t`
+    /// (1-based); 0.0 out of range or on an empty graph.
+    pub fn active_fraction(&self, superstep: u64) -> f64 {
+        if self.load.num_vertices == 0 {
+            return 0.0;
+        }
+        self.steps
+            .iter()
+            .find(|s| s.superstep == superstep)
+            .map(|s| s.updated as f64 / self.load.num_vertices as f64)
+            .unwrap_or(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -419,6 +530,40 @@ mod tests {
         assert!(StepKind::BPullThenPush.is_switch());
         assert!(!StepKind::BPull.is_switch());
         assert_eq!(StepKind::PushM.label(), "pushM");
+        assert_eq!(StepKind::Async.mode(), Mode::Async);
+        assert_eq!(StepKind::AsyncThenPush.mode(), Mode::Async);
+        assert!(StepKind::AsyncThenPush.is_switch());
+        assert!(!StepKind::Async.is_switch());
+        assert_eq!(StepKind::Async.label(), "async");
+        assert_eq!(StepKind::AsyncThenPush.label(), "async>push");
+    }
+
+    #[test]
+    fn async_stats_merge_rules() {
+        let mut a = AsyncStepStats {
+            pseudo_rounds: 3,
+            interior_updates: 10,
+            interior_messages: 20,
+            interior_msg_bytes: 160,
+            boundary_active: 2,
+            interior_active: 8,
+            blocks_active: 2,
+            blocks_converged: 1,
+        };
+        a.merge(&AsyncStepStats {
+            pseudo_rounds: 5,
+            interior_updates: 1,
+            interior_messages: 2,
+            interior_msg_bytes: 16,
+            boundary_active: 1,
+            interior_active: 1,
+            blocks_active: 1,
+            blocks_converged: 1,
+        });
+        assert_eq!(a.pseudo_rounds, 5, "rounds are a max across workers");
+        assert_eq!(a.interior_updates, 11);
+        assert_eq!(a.interior_msg_bytes, 176);
+        assert_eq!(a.blocks_converged, 2);
     }
 
     #[test]
@@ -471,6 +616,8 @@ mod tests {
             modeled_net_secs: secs / 2.0,
             wall_secs: secs,
             blocking_secs: 0.0,
+            asy: AsyncStepStats::default(),
+            max_residual: 0.0,
         };
         let m = JobMetrics {
             load: LoadReport::default(),
@@ -488,5 +635,70 @@ mod tests {
         assert_eq!(m.total_net_bytes(), 10);
         assert_eq!(m.total_messages(), 4);
         assert_eq!(m.peak_memory_bytes(), 7);
+        assert_eq!(m.total_pseudo_rounds(), 0);
+        assert_eq!(m.barriers_saved(), 0);
+        assert_eq!(m.active_fraction(1), 0.0, "no vertices loaded");
+    }
+
+    #[test]
+    fn async_job_helpers() {
+        let mut m = JobMetrics {
+            load: LoadReport {
+                num_vertices: 8,
+                boundary_vertices: 3,
+                interior_vertices: 5,
+                ..Default::default()
+            },
+            steps: vec![],
+            switches: vec![],
+            qt_audit: vec![],
+            recovery: RecoveryMetrics::default(),
+            net_overhead: NetOverhead::default(),
+            profile: DeviceProfile::local_hdd(),
+        };
+        let mut step = SuperstepMetrics {
+            superstep: 1,
+            kind: StepKind::Async,
+            io: IoSnapshot::default(),
+            sem: SemanticBytes::default(),
+            net_out_bytes: 0,
+            net_local_bytes: 0,
+            net_raw_messages: 0,
+            net_wire_values: 0,
+            net_saved_messages: 0,
+            net_requests: 0,
+            updated: 4,
+            responders: 4,
+            messages_produced: 0,
+            pending_messages: 0,
+            cio_push_bytes: 0,
+            cio_bpull_bytes: 0,
+            mco: 0,
+            q_metric: 0.0,
+            memory_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            modeled_secs: 0.0,
+            modeled_io_secs: 0.0,
+            modeled_net_secs: 0.0,
+            wall_secs: 0.0,
+            blocking_secs: 0.0,
+            asy: AsyncStepStats {
+                pseudo_rounds: 3,
+                ..Default::default()
+            },
+            max_residual: 0.5,
+        };
+        m.steps.push(step.clone());
+        step.superstep = 2;
+        step.asy.pseudo_rounds = 1;
+        step.updated = 2;
+        m.steps.push(step);
+        assert_eq!(m.total_pseudo_rounds(), 4);
+        assert_eq!(m.barriers_saved(), 2, "rounds beyond round 0");
+        assert_eq!(m.active_fraction(1), 0.5);
+        assert_eq!(m.active_fraction(2), 0.25);
+        assert_eq!(m.active_fraction(9), 0.0);
     }
 }

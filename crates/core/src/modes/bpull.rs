@@ -295,6 +295,7 @@ fn update_block<P: VertexProgram>(
     }
     let program = Arc::clone(&w.program);
     let info = w.info;
+    let track_residual = program.tolerance().is_some();
     let br = w.layout.block_range(block);
     let vals = w.values.read_range(br.clone())?;
     w.note_value_preimage(br.start, &vals);
@@ -304,6 +305,11 @@ fn update_block<P: VertexProgram>(
         debug_assert!(br.contains(&vg), "message for vertex outside block");
         let idx = (vg - br.start) as usize;
         let upd = program.update(v, &info, superstep, &vals[idx], &msgs);
+        if track_residual {
+            rep.max_residual = rep
+                .max_residual
+                .max(program.residual(&vals[idx], &upd.value));
+        }
         rep.updated += 1;
         rep.messages_consumed += msgs.len() as u64;
         let local = w.local(v);

@@ -1,0 +1,345 @@
+//! GraphHP-style hybrid sync/async supersteps.
+//!
+//! One async superstep keeps the BSP shell of push — `load()` the inbox,
+//! update, exchange at the barrier — but inserts block-local
+//! **pseudo-rounds** between the sweep and the exchange: interior
+//! vertices (every edge inside their own Vblock, see
+//! [`crate::blockexec`]) have their inboxes *regenerated in memory* from
+//! in-block neighbors' current values and are updated again, block by
+//! block, until the block's per-round residual drops to
+//! [`async_residual`](crate::config::JobConfig::async_residual) or
+//! [`async_max_rounds`](crate::config::JobConfig::async_max_rounds) is
+//! hit. Each extra round is progress a strict-BSP run would have paid a
+//! global barrier (plus a full value reload and a message exchange) for.
+//!
+//! Boundary vertices keep strict semantics: they update once in the
+//! sweep, and their messages queue for the barrier exactly as in push.
+//! A responding vertex's messages to **interior** destinations are never
+//! sent — regeneration absorbs them (interior vertices' in-edges are all
+//! in-block by definition, so nothing is lost); with `send_all`
+//! (the async → push switch superstep) every destination is sent so the
+//! next strict superstep sees a complete inbox.
+//!
+//! Sender liveness follows the responding flag as a *standing* state: a
+//! vertex contributes to regenerated inboxes iff its most recent update
+//! (this superstep, or last superstep via the checkpointed `respond`
+//! vector) responded. Regeneration always rebuilds a vertex's **whole**
+//! inbox from live in-block senders — never a delta — so overwrite-style
+//! programs (PageRank's `(1-d)/N + d·Σ`) stay correct. Everything is
+//! iterated in canonical block-then-vertex order, so same-seed runs are
+//! byte-identical.
+
+use super::push::{drain_inbox, sink_message};
+use super::send_plain;
+use crate::metrics::StepReport;
+use crate::program::VertexProgram;
+use crate::worker::Worker;
+use hybridgraph_graph::{VertexId, WorkerId};
+use hybridgraph_net::flow::ThresholdBuffer;
+use hybridgraph_net::packet::Packet;
+use hybridgraph_net::wire::{decode_batch, BatchKind};
+use hybridgraph_storage::{AccessClass, Record};
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs one async superstep.
+///
+/// * `send_all` — send to **every** destination instead of boundary-only
+///   (the async → push switch superstep, [`StepKind::AsyncThenPush`]
+///   (crate::metrics::StepKind::AsyncThenPush)).
+pub fn run_async_step<P: VertexProgram>(
+    w: &mut Worker<P>,
+    superstep: u64,
+    send_all: bool,
+) -> io::Result<StepReport> {
+    let t0 = Instant::now();
+    w.begin_superstep(superstep);
+    let mut rep = StepReport::default();
+    let mut blocking = 0.0;
+    let program = Arc::clone(&w.program);
+    let info = w.info;
+    let workers = w.cfg.workers;
+    let residual_cut = w.cfg.async_residual;
+    let max_rounds = w.cfg.async_max_rounds;
+    let base = w.range.start;
+
+    // load(): the messages received at the previous barrier.
+    let work: Vec<(u32, Vec<P::Message>)> = if superstep == 1 {
+        w.range
+            .clone()
+            .filter(|&v| program.initially_active(VertexId(v), &info))
+            .map(|v| (v, Vec::new()))
+            .collect()
+    } else {
+        drain_inbox(w, &mut rep)?
+    };
+    w.trace_phase("load");
+
+    let cls = Arc::clone(w.cls.as_ref().expect("async mode requires classification"));
+    let index = w
+        .interior
+        .take()
+        .expect("async mode requires interior index");
+
+    // Standing sender-liveness: last superstep's responders, updated as
+    // vertices recompute this superstep.
+    let mut live = w.respond.clone();
+    let mut touched = crate::bitset::BitSet::new(w.range.len());
+
+    let mut tbuf: ThresholdBuffer<P::Message> =
+        ThresholdBuffer::new(workers, w.cfg.sending_threshold);
+    let mut max_extra_rounds = 0u64;
+    // `(block index, round, updates, regenerated messages)` per executed
+    // pseudo-round, emitted to the trace after the superstep's spans.
+    let mut round_trace: Vec<(usize, u64, u64, u64)> = Vec::new();
+
+    let mut wi = 0usize;
+    let result = (|| -> io::Result<()> {
+        for (bi, ib) in index.blocks.iter().enumerate() {
+            let br = ib.range.clone();
+            if br.is_empty() {
+                continue;
+            }
+            let block_bytes = br.len() as u64 * P::Value::BYTES as u64;
+            let mut vals = w.values.read_range(br.clone())?;
+            w.note_value_preimage(br.start, &vals);
+            rep.sem.value_update_bytes += block_bytes;
+
+            // Sweep: apply the real inbox (strict semantics, boundary and
+            // interior destinations alike).
+            while wi < work.len() && work[wi].0 < br.end {
+                let (v, msgs) = &work[wi];
+                wi += 1;
+                debug_assert!(br.contains(v));
+                let idx = (v - br.start) as usize;
+                let upd = program.update(VertexId(*v), &info, superstep, &vals[idx], msgs);
+                let residual = program.residual(&vals[idx], &upd.value);
+                rep.max_residual = rep.max_residual.max(residual);
+                rep.updated += 1;
+                rep.messages_consumed += msgs.len() as u64;
+                let local = (v - base) as usize;
+                touched.set(local);
+                if upd.respond {
+                    live.set(local);
+                    w.respond_next.set(local);
+                } else {
+                    live.clear(local);
+                    w.respond_next.clear(local);
+                }
+                if cls.is_boundary(*v) {
+                    rep.asy.boundary_active += 1;
+                } else {
+                    rep.asy.interior_active += 1;
+                }
+                vals[idx] = upd.value;
+            }
+
+            // Pseudo-rounds: regenerate interior inboxes in memory and
+            // iterate until the block's residual settles.
+            let mut extra_rounds = 0u64;
+            if !ib.interior.is_empty() && max_rounds > 0 {
+                // Round 1 visits every interior vertex (the inbox left by
+                // an arbitrary previous mode is consumed by the sweep;
+                // regeneration re-derives the in-block part from current
+                // values). Later rounds visit only dirtied vertices.
+                let mut dirty: Vec<u32> = (0..ib.interior.len() as u32).collect();
+                let mut dirty_mark = vec![false; ib.interior.len()];
+                let mut inbox: Vec<P::Message> = Vec::new();
+                let mut block_active = false;
+                for round in 1..=max_rounds {
+                    let mut round_updates = 0u64;
+                    let mut round_msgs = 0u64;
+                    let mut round_max = 0.0f64;
+                    let mut changed: Vec<u32> = Vec::new();
+                    for &p in &dirty {
+                        let v = ib.interior[p as usize];
+                        inbox.clear();
+                        let (s, e) = (
+                            ib.rev_offsets[p as usize] as usize,
+                            ib.rev_offsets[p as usize + 1] as usize,
+                        );
+                        for (src, edge) in &ib.rev[s..e] {
+                            let slocal = (*src - base) as usize;
+                            if live.get(slocal) {
+                                let sval = &vals[(*src - br.start) as usize];
+                                if let Some(m) = program.message(
+                                    VertexId(*src),
+                                    sval,
+                                    w.out_degrees[slocal],
+                                    edge,
+                                ) {
+                                    inbox.push(m);
+                                }
+                            }
+                        }
+                        // No live in-block sender: under strict semantics
+                        // the vertex would not compute — skip it.
+                        if inbox.is_empty() {
+                            continue;
+                        }
+                        let idx = (v - br.start) as usize;
+                        let upd = program.update(
+                            VertexId(v),
+                            &info,
+                            superstep + round,
+                            &vals[idx],
+                            &inbox,
+                        );
+                        let residual = program.residual(&vals[idx], &upd.value);
+                        round_max = round_max.max(residual);
+                        rep.max_residual = rep.max_residual.max(residual);
+                        round_updates += 1;
+                        round_msgs += inbox.len() as u64;
+                        rep.asy.interior_updates += 1;
+                        rep.asy.interior_messages += inbox.len() as u64;
+                        rep.asy.interior_msg_bytes += inbox.len() as u64 * P::Message::BYTES as u64;
+                        let local = (v - base) as usize;
+                        let was_live = live.get(local);
+                        touched.set(local);
+                        if upd.respond {
+                            live.set(local);
+                            w.respond_next.set(local);
+                        } else {
+                            live.clear(local);
+                            w.respond_next.clear(local);
+                        }
+                        if residual != 0.0 || was_live != upd.respond {
+                            changed.push(p);
+                        }
+                        vals[idx] = upd.value;
+                    }
+                    if round_updates == 0 {
+                        break;
+                    }
+                    extra_rounds = round;
+                    block_active = true;
+                    round_trace.push((bi, round, round_updates, round_msgs));
+                    if round_max <= residual_cut {
+                        rep.asy.blocks_converged += 1;
+                        break;
+                    }
+                    // Dirty propagation: in-block interior destinations of
+                    // every vertex whose value or liveness changed.
+                    dirty_mark.iter_mut().for_each(|d| *d = false);
+                    for &p in &changed {
+                        let j = (ib.interior[p as usize] - br.start) as usize;
+                        let (fs, fe) = (ib.fwd_offsets[j] as usize, ib.fwd_offsets[j + 1] as usize);
+                        for &q in &ib.fwd[fs..fe] {
+                            dirty_mark[q as usize] = true;
+                        }
+                    }
+                    dirty = (0..ib.interior.len() as u32)
+                        .filter(|&q| dirty_mark[q as usize])
+                        .collect();
+                    if dirty.is_empty() {
+                        break;
+                    }
+                }
+                if block_active {
+                    rep.asy.blocks_active += 1;
+                }
+            }
+            max_extra_rounds = max_extra_rounds.max(extra_rounds);
+
+            // pushRes() from final values: every vertex that updated this
+            // superstep and is finally responding sends — to boundary
+            // destinations only, unless this is the async → push switch.
+            for i in (br.start - base) as usize..(br.end - base) as usize {
+                if !(touched.get(i) && live.get(i)) {
+                    continue;
+                }
+                let v = VertexId(base + i as u32);
+                let edges = w.read_out_edges(v, AccessClass::SeqRead, &mut rep)?;
+                let outd = w.out_degrees[i];
+                let idx = (v.0 - br.start) as usize;
+                for e in edges.iter() {
+                    if !send_all && !cls.is_boundary(e.dst.0) {
+                        continue;
+                    }
+                    if let Some(m) = program.message(v, &vals[idx], outd, e) {
+                        rep.messages_produced += 1;
+                        let peer = w.partition.worker_of(e.dst);
+                        if let Some(batch) = tbuf.push(peer, e.dst, m) {
+                            send_plain(w, peer, batch);
+                        }
+                    }
+                }
+            }
+
+            let mem = tbuf.memory_bytes() + block_bytes + index.memory_bytes();
+            w.note_memory(mem + w.standing_memory_bytes());
+            rep.sem.value_update_bytes += block_bytes;
+            w.values.write_range(br.clone(), &vals)?;
+        }
+        Ok(())
+    })();
+    w.interior = Some(index);
+    result?;
+    rep.asy.pseudo_rounds = 1 + max_extra_rounds;
+    w.trace_phase(if send_all {
+        "sweep+rounds+pushAll"
+    } else {
+        "sweep+rounds+pushRes"
+    });
+
+    // Exchange phase (identical to push).
+    for (peer, batch) in tbuf.flush_all() {
+        send_plain(w, peer, batch);
+    }
+    for p in 0..workers {
+        w.ep.send(WorkerId::from(p), Packet::DoneSending);
+    }
+    let mut done = 0usize;
+    let spill_before = w
+        .spill
+        .as_ref()
+        .map(|s| s.spilled_bytes())
+        .unwrap_or_default();
+    while done < workers {
+        let env = w.recv_timed(&mut blocking);
+        match env.packet {
+            Packet::Messages { kind, payload, .. } => {
+                debug_assert_ne!(kind, BatchKind::Concatenated, "async never concatenates");
+                for (dst, m) in decode_batch::<P::Message>(kind, &payload) {
+                    sink_message(w, dst, m, false)?;
+                }
+            }
+            Packet::DoneSending => done += 1,
+            Packet::Abort => return Err(super::abort_error()),
+            other => unreachable!("unexpected packet in async step: {other:?}"),
+        }
+    }
+    let spill_after = w
+        .spill
+        .as_ref()
+        .map(|s| s.spilled_bytes())
+        .unwrap_or_default();
+    rep.sem.msg_spill_bytes += spill_after - spill_before;
+    w.trace_phase("exchange");
+
+    w.finish_superstep(&mut rep);
+    // One instant per executed pseudo-round, after the phase spans: the
+    // per-pseudo-superstep view the graphhp experiment plots. Timestamps
+    // are modeled (the shard clock emit_phase_trace left), so traces stay
+    // bit-reproducible.
+    if let (Some(shard), false) = (w.shard.clone(), w.replay) {
+        let at = shard.clock_us();
+        for (bi, round, updates, msgs) in round_trace {
+            shard.instant_at(
+                at,
+                "async.round",
+                vec![
+                    ("superstep", superstep.into()),
+                    ("block", (bi as u64).into()),
+                    ("round", round.into()),
+                    ("updates", updates.into()),
+                    ("messages", msgs.into()),
+                ],
+            );
+        }
+    }
+    rep.wall_secs = t0.elapsed().as_secs_f64();
+    rep.blocking_secs = blocking;
+    Ok(rep)
+}

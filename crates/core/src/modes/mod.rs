@@ -6,6 +6,7 @@
 //! guarantees isolation between supersteps.
 
 pub mod bpull;
+pub mod hybrid_async;
 pub mod pull;
 pub mod push;
 
@@ -91,6 +92,9 @@ pub(crate) fn init_updates<P: VertexProgram>(
 ) -> io::Result<()> {
     let program = std::sync::Arc::clone(&w.program);
     let info = w.info;
+    // Residuals feed tolerance-based termination only; programs without a
+    // tolerance skip the bookkeeping entirely (byte-identical runs).
+    let track_residual = program.tolerance().is_some();
     for b in w.layout.blocks_of_worker(w.id).collect::<Vec<_>>() {
         let br = w.layout.block_range(b);
         let actives: Vec<u32> = br
@@ -107,6 +111,11 @@ pub(crate) fn init_updates<P: VertexProgram>(
         for v in actives {
             let idx = (v - br.start) as usize;
             let upd = program.update(VertexId(v), &info, 1, &vals[idx], &[]);
+            if track_residual {
+                rep.max_residual = rep
+                    .max_residual
+                    .max(program.residual(&vals[idx], &upd.value));
+            }
             rep.updated += 1;
             if upd.respond {
                 let local = (v - w.range.start) as usize;

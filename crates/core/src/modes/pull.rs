@@ -324,10 +324,14 @@ fn update_cached<P: VertexProgram>(
 ) -> io::Result<()> {
     let program = Arc::clone(&w.program);
     let info = w.info;
+    let track_residual = program.tolerance().is_some();
     for (vg, msgs) in inbox.into_groups() {
         let v = VertexId(vg);
         let current = cached_value(w, v, rep)?;
         let upd = program.update(v, &info, superstep, &current, &msgs);
+        if track_residual {
+            rep.max_residual = rep.max_residual.max(program.residual(&current, &upd.value));
+        }
         rep.updated += 1;
         rep.messages_consumed += msgs.len() as u64;
         if upd.respond {

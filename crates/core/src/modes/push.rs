@@ -46,6 +46,9 @@ pub fn run_push_step<P: VertexProgram>(
     let program = Arc::clone(&w.program);
     let info = w.info;
     let workers = w.cfg.workers;
+    // Residuals only matter to tolerance-terminated programs; others skip
+    // the per-vertex comparison so existing runs stay byte-identical.
+    let track_residual = program.tolerance().is_some();
 
     // load(): messages received in the previous superstep.
     let work: Vec<(u32, Vec<P::Message>)> = if superstep == 1 {
@@ -79,6 +82,11 @@ pub fn run_push_step<P: VertexProgram>(
         let (_, vals) = cur.as_mut().unwrap();
         let idx = (v.0 - br.start) as usize;
         let upd = program.update(v, &info, superstep, &vals[idx], msgs);
+        if track_residual {
+            rep.max_residual = rep
+                .max_residual
+                .max(program.residual(&vals[idx], &upd.value));
+        }
         rep.updated += 1;
         rep.messages_consumed += msgs.len() as u64;
         let local = w.local(v);

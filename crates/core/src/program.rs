@@ -114,6 +114,29 @@ pub trait VertexProgram: Send + Sync + 'static {
     fn max_supersteps(&self) -> Option<u64> {
         None
     }
+
+    /// Scalar change magnitude of one `update()` call, driving `Async`
+    /// mode's per-block pseudo-round cutoff and — when [`Self::tolerance`]
+    /// is set — the job-level convergence test. The default treats any
+    /// value change as residual 1 and an unchanged value as 0, which is
+    /// exact for discrete programs (LPA, WCC); numeric programs override
+    /// it with a metric like `|new − old|`.
+    fn residual(&self, old: &Self::Value, new: &Self::Value) -> f64 {
+        if old == new {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Job-level convergence tolerance: when `Some(eps)`, the master also
+    /// terminates once the superstep's maximum [`Self::residual`] over
+    /// all updated vertices is at or below `eps`. `None` (the default)
+    /// keeps the classic rule (no responders and no pending messages, or
+    /// the superstep budget) — existing programs run exactly as before.
+    fn tolerance(&self) -> Option<f64> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +184,9 @@ mod tests {
         assert!(p.combiner().is_none());
         assert!(p.max_supersteps().is_none());
         assert_eq!(p.init(VertexId(3), &info), 3);
+        assert_eq!(p.residual(&7, &7), 0.0);
+        assert_eq!(p.residual(&7, &8), 1.0);
+        assert!(p.tolerance().is_none());
     }
 
     #[test]

@@ -56,11 +56,12 @@ use crate::metrics::{
     SuperstepMetrics,
 };
 use crate::modes::bpull::run_bpull_step;
+use crate::modes::hybrid_async::run_async_step;
 use crate::modes::pull::run_pull_step;
 use crate::modes::push::run_push_step;
 use crate::program::VertexProgram;
 use crate::snapshot::{adaptive_spacing_secs, MasterState, MtbfEstimator};
-use crate::switch::{self, b_lower_bound, q_metric, CostInputs, Switcher};
+use crate::switch::{self, b_lower_bound, q_metric, AsyncCostInputs, CostInputs, Switcher};
 use crate::worker::{Worker, WorkerLoadReport, WorkerSeed};
 use hybridgraph_graph::{partition::vblock_counts, BlockLayout, Graph, Partition, WorkerId};
 use hybridgraph_net::fabric::{Endpoint, Fabric, NetSnapshot};
@@ -351,6 +352,14 @@ pub fn run_job<P: VertexProgram>(
     };
     let layout = Arc::new(BlockLayout::new(&partition, &counts));
     let reverse = matches!(cfg.mode, Mode::Pull).then(|| graph.reverse());
+    // Async jobs classify every vertex boundary/interior against the
+    // VE-BLOCK layout once, master-side; workers share the read-only view
+    // (a respawned worker reattaches to the same classification).
+    let classification = matches!(cfg.mode, Mode::Async).then(|| {
+        Arc::new(crate::blockexec::BlockClassification::classify(
+            graph, &layout,
+        ))
+    });
 
     // The master holds each worker's VFS so a respawned worker thread
     // reattaches to the same (simulated or real) disk — that is what
@@ -400,6 +409,7 @@ pub fn run_job<P: VertexProgram>(
                 cfg: cfg.clone(),
                 ep,
                 vfs: Arc::clone(&vfss[i]),
+                classification: classification.clone(),
             };
             let rep_tx = rep_tx.clone();
             scope.spawn(move || worker_main::<P>(seed, cmd_rx, rep_tx));
@@ -539,6 +549,9 @@ pub fn run_job<P: VertexProgram>(
             b_lower_bound: b_lower_bound(graph.num_edges() as u64, fragments),
             num_vblocks: layout.num_blocks(),
             initial_mode: initial,
+            num_vertices: n as u64,
+            boundary_vertices: classification.as_ref().map_or(0, |c| c.boundary_total),
+            interior_vertices: classification.as_ref().map_or(0, |c| c.interior_total),
         };
         // Modeled load time: the slowest worker's classified I/O.
         let load_modeled_secs = load_reports
@@ -576,7 +589,7 @@ pub fn run_job<P: VertexProgram>(
         // ---- Superstep loop ---------------------------------------------
         let mut cur = initial;
         let mut switcher = Switcher::new(
-            if matches!(initial, Mode::Push | Mode::BPull) {
+            if matches!(initial, Mode::Push | Mode::BPull | Mode::Async) {
                 initial
             } else {
                 Mode::Push
@@ -771,6 +784,12 @@ pub fn run_job<P: VertexProgram>(
                     Mode::BPull => StepKind::BPull,
                     _ => unreachable!("hybrid only alternates push and b-pull"),
                 }),
+                Mode::Async => pending_kind.take().unwrap_or(match cur {
+                    Mode::Push => StepKind::Push,
+                    Mode::BPull => StepKind::BPull,
+                    Mode::Async => StepKind::Async,
+                    _ => unreachable!("async alternates push, b-pull and async"),
+                }),
             };
             let t_step = Instant::now();
             let base_us = sink.as_ref().map(|s| s.master().clock_us()).unwrap_or(0);
@@ -844,7 +863,7 @@ pub fn run_job<P: VertexProgram>(
                 // undoable. Anything else falls back to global rollback.
                 let confined = cfg.message_logging
                     && failures.len() == 1
-                    && !matches!(cfg.mode, Mode::Pull | Mode::PushM)
+                    && !matches!(cfg.mode, Mode::Pull | Mode::PushM | Mode::Async)
                     && failures[0].2.is_some()
                     && recoveries_used < cfg.max_recoveries
                     && ((ck + 1)..superstep).all(|s| steps.iter().any(|m| m.superstep == s))
@@ -1086,6 +1105,20 @@ pub fn run_job<P: VertexProgram>(
             let pending = metrics.pending_messages;
             let responders = metrics.responders;
             let step_secs = metrics.modeled_secs;
+            let step_max_residual = metrics.max_residual;
+            // The async extension term's inputs: the duplicated-compute
+            // side is exactly what the pseudo-rounds did beyond the first
+            // sweep, the savings side is what a strict replacement
+            // superstep would have streamed.
+            let asy_inputs = AsyncCostInputs {
+                extra_rounds: metrics.asy.pseudo_rounds.saturating_sub(1),
+                value_io_bytes: metrics.sem.value_update_bytes,
+                interior_msg_bytes: metrics.asy.interior_msg_bytes,
+                dup_updates: metrics.asy.interior_updates,
+                dup_messages: metrics.asy.interior_messages,
+                cpu_us_per_vertex: cfg.cpu_us_per_vertex,
+                cpu_us_per_message: cfg.cpu_us_per_message,
+            };
             // Physical/logical ratio of this superstep's classified I/O,
             // recorded alongside every Q_t audit entry (1.0 with no codec).
             let step_io_ratio = {
@@ -1177,16 +1210,42 @@ pub fn run_job<P: VertexProgram>(
             if pending == 0 && responders == 0 {
                 break;
             }
-            if cfg.mode == Mode::Hybrid && superstep + 1 < max_steps {
-                if let Some(new_mode) =
+            // Tolerance-based termination: once the largest per-vertex
+            // residual of a superstep falls to `eps`, further supersteps
+            // cannot move the result past the program's own tolerance.
+            // Guarded past superstep 1 so an initially-quiet frontier
+            // does not end the job before any message flowed.
+            if let Some(eps) = program.tolerance() {
+                if superstep >= 2 && step_max_residual <= eps {
+                    break;
+                }
+            }
+            if matches!(cfg.mode, Mode::Hybrid | Mode::Async) && superstep + 1 < max_steps {
+                let decision = if cfg.mode == Mode::Async {
+                    switcher.decide_async(
+                        superstep,
+                        &cfg.profile,
+                        &q_inputs,
+                        &asy_inputs,
+                        step_secs,
+                        step_io_ratio,
+                    )
+                } else {
                     switcher.decide(superstep, &cfg.profile, &q_inputs, step_secs, step_io_ratio)
-                {
+                };
+                if let Some(new_mode) = decision {
                     let from = cur;
-                    pending_kind = Some(match new_mode {
-                        Mode::Push => StepKind::BPullThenPush,
-                        Mode::BPull => StepKind::PushNoSend,
-                        _ => unreachable!(),
-                    });
+                    // The transition step that reconciles the two legs'
+                    // message state. push→async needs none: push already
+                    // delivered to every destination, async's next sweep
+                    // just drains the inbox.
+                    pending_kind = match (from, new_mode) {
+                        (Mode::BPull, Mode::Push | Mode::Async) => Some(StepKind::BPullThenPush),
+                        (Mode::Push | Mode::Async, Mode::BPull) => Some(StepKind::PushNoSend),
+                        (Mode::Async, Mode::Push) => Some(StepKind::AsyncThenPush),
+                        (Mode::Push, Mode::Async) => None,
+                        _ => unreachable!("switcher only moves between push, b-pull and async"),
+                    };
                     cur = new_mode;
                     switches.push((superstep + 1, from, new_mode));
                     if let Some(s) = &sink {
@@ -1419,6 +1478,8 @@ fn run_step_kind<P: VertexProgram>(
         StepKind::Pull => run_pull_step(worker, superstep),
         StepKind::BPull => run_bpull_step(worker, superstep, false),
         StepKind::BPullThenPush => run_bpull_step(worker, superstep, true),
+        StepKind::Async => run_async_step(worker, superstep, false),
+        StepKind::AsyncThenPush => run_async_step(worker, superstep, true),
     }
 }
 
@@ -1700,7 +1761,12 @@ fn aggregate(
     }
 
     // Push-side quantities: actual when push ran, estimated otherwise.
-    let push_ran = matches!(kind, StepKind::Push | StepKind::PushM);
+    // Async supersteps are push-flavoured — the boundary exchange is a
+    // real push whose spill and edge traffic were measured.
+    let push_ran = matches!(
+        kind,
+        StepKind::Push | StepKind::PushM | StepKind::Async | StepKind::AsyncThenPush
+    );
     let pull_ran = matches!(kind, StepKind::BPull | StepKind::BPullThenPush);
     let mdisk_est = msg_bytes * produced.saturating_sub(b_total);
     let (io_e_push, io_mdisk) = if push_ran {
@@ -1749,6 +1815,15 @@ fn aggregate(
     };
     let q = q_metric(&cfg.profile, &inputs);
 
+    // Pseudo-round stats: rounds are a max (workers iterate in lockstep
+    // between two barriers), the work counts are sums.
+    let asy = reports
+        .iter()
+        .fold(crate::metrics::AsyncStepStats::default(), |mut acc, r| {
+            acc.merge(&r.asy);
+            acc
+        });
+
     let metrics = SuperstepMetrics {
         superstep,
         kind,
@@ -1777,6 +1852,8 @@ fn aggregate(
         modeled_net_secs: modeled_net,
         wall_secs: wall,
         blocking_secs: reports.iter().map(|r| r.blocking_secs).fold(0.0, f64::max),
+        asy,
+        max_residual: reports.iter().map(|r| r.max_residual).fold(0.0, f64::max),
     };
     (metrics, inputs)
 }

@@ -42,6 +42,8 @@ fn kind_tag(k: StepKind) -> u8 {
         StepKind::Pull => 3,
         StepKind::BPull => 4,
         StepKind::BPullThenPush => 5,
+        StepKind::Async => 6,
+        StepKind::AsyncThenPush => 7,
     }
 }
 
@@ -53,6 +55,8 @@ fn kind_from_tag(tag: u8) -> io::Result<StepKind> {
         3 => StepKind::Pull,
         4 => StepKind::BPull,
         5 => StepKind::BPullThenPush,
+        6 => StepKind::Async,
+        7 => StepKind::AsyncThenPush,
         _ => return Err(corrupt("unknown step kind tag")),
     })
 }
@@ -122,10 +126,24 @@ fn put_step(w: &mut PayloadWriter, m: &SuperstepMetrics) {
     w.put_f64(m.modeled_net_secs);
     w.put_f64(m.wall_secs);
     w.put_f64(m.blocking_secs);
+    // The async extension rides only on the async step kinds (tags 6–7),
+    // so strict-BSP snapshots — including the committed WAL byte counts
+    // in BENCH_service_restart.json — keep their exact pre-async layout.
+    if matches!(m.kind, StepKind::Async | StepKind::AsyncThenPush) {
+        w.put_u64(m.asy.pseudo_rounds);
+        w.put_u64(m.asy.interior_updates);
+        w.put_u64(m.asy.interior_messages);
+        w.put_u64(m.asy.interior_msg_bytes);
+        w.put_u64(m.asy.boundary_active);
+        w.put_u64(m.asy.interior_active);
+        w.put_u64(m.asy.blocks_active);
+        w.put_u64(m.asy.blocks_converged);
+        w.put_f64(m.max_residual);
+    }
 }
 
 fn get_step(r: &mut PayloadReader<'_>) -> io::Result<SuperstepMetrics> {
-    Ok(SuperstepMetrics {
+    let mut m = SuperstepMetrics {
         superstep: r.get_u64()?,
         kind: kind_from_tag(r.get_u8()?)?,
         io: get_io(r)?,
@@ -160,7 +178,21 @@ fn get_step(r: &mut PayloadReader<'_>) -> io::Result<SuperstepMetrics> {
         modeled_net_secs: r.get_f64()?,
         wall_secs: r.get_f64()?,
         blocking_secs: r.get_f64()?,
-    })
+        asy: crate::metrics::AsyncStepStats::default(),
+        max_residual: 0.0,
+    };
+    if matches!(m.kind, StepKind::Async | StepKind::AsyncThenPush) {
+        m.asy.pseudo_rounds = r.get_u64()?;
+        m.asy.interior_updates = r.get_u64()?;
+        m.asy.interior_messages = r.get_u64()?;
+        m.asy.interior_msg_bytes = r.get_u64()?;
+        m.asy.boundary_active = r.get_u64()?;
+        m.asy.interior_active = r.get_u64()?;
+        m.asy.blocks_active = r.get_u64()?;
+        m.asy.blocks_converged = r.get_u64()?;
+        m.max_residual = r.get_f64()?;
+    }
+    Ok(m)
 }
 
 fn put_recovery(w: &mut PayloadWriter, rec: &RecoveryMetrics) {
@@ -519,6 +551,8 @@ mod tests {
             modeled_net_secs: 0.004,
             wall_secs: 0.0009,
             blocking_secs: 0.0001,
+            asy: crate::metrics::AsyncStepStats::default(),
+            max_residual: 0.0,
         }
     }
 
@@ -577,6 +611,71 @@ mod tests {
         assert_eq!(back.switches, vec![(3, Mode::Push, Mode::BPull)]);
         assert_eq!(back.recovery.failures.len(), 1);
         assert_eq!(back.mtbf, st.mtbf);
+    }
+
+    #[test]
+    fn async_step_roundtrips_and_stays_conditional() {
+        // A strict step encodes exactly as before; an async step appends
+        // its stats block (8 u64 + 1 f64 = 72 bytes).
+        let strict = sample_step(1);
+        let mut w = PayloadWriter::new();
+        put_step(&mut w, &strict);
+        let strict_len = w.into_bytes().len();
+
+        let mut asy_step = sample_step(2);
+        asy_step.kind = StepKind::Async;
+        asy_step.asy = crate::metrics::AsyncStepStats {
+            pseudo_rounds: 4,
+            interior_updates: 30,
+            interior_messages: 44,
+            interior_msg_bytes: 352,
+            boundary_active: 3,
+            interior_active: 9,
+            blocks_active: 2,
+            blocks_converged: 2,
+        };
+        asy_step.max_residual = 1.25e-3;
+        let mut w = PayloadWriter::new();
+        put_step(&mut w, &asy_step);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), strict_len + 72);
+
+        let mut r = PayloadReader::new(&bytes);
+        let back = get_step(&mut r).unwrap();
+        assert!(r.done());
+        assert_eq!(back.kind, StepKind::Async);
+        assert_eq!(back.asy, asy_step.asy);
+        assert_eq!(back.max_residual.to_bits(), asy_step.max_residual.to_bits());
+
+        // AsyncThenPush carries the block too, and survives MasterState.
+        let mut fused = asy_step.clone();
+        fused.kind = StepKind::AsyncThenPush;
+        let st = MasterState {
+            superstep: 2,
+            prev_checkpoint: None,
+            last_ckpt_worker_bytes: 1,
+            epoch: 0,
+            workers: 2,
+            cur: Mode::Async,
+            pending_kind: Some(StepKind::AsyncThenPush),
+            recoveries_used: 0,
+            cum_logical: 0,
+            accum_step_secs: 0.0,
+            pending_release_secs: 0.0,
+            audit_seen: 0,
+            switcher: Switcher::new(Mode::Async, 2, 0.1),
+            steps: vec![asy_step, fused],
+            switches: vec![(2, Mode::Async, Mode::Push)],
+            recovery: RecoveryMetrics::default(),
+            mtbf: MtbfEstimator::new(),
+            trace: None,
+        };
+        let enc = st.encode();
+        let dec = MasterState::decode(&enc).unwrap();
+        assert_eq!(dec.encode(), enc);
+        assert_eq!(dec.cur, Mode::Async);
+        assert!(matches!(dec.pending_kind, Some(StepKind::AsyncThenPush)));
+        assert_eq!(dec.steps[0].asy.pseudo_rounds, 4);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   supersteps") and requests a switch when the sign flips.
 
 use crate::config::Mode;
-use hybridgraph_obs::{QtAudit, QtInputs, QtTerms, QtVerdict};
+use hybridgraph_obs::{QtAsync, QtAudit, QtInputs, QtTerms, QtVerdict};
 use hybridgraph_storage::service_log::{PayloadReader, PayloadWriter};
 use hybridgraph_storage::DeviceProfile;
 use std::io;
@@ -84,6 +84,49 @@ impl CostInputs {
     }
 }
 
+/// Inputs to the GraphHP-style barrier-savings term: what the `Async`
+/// mode's extra pseudo-rounds bought versus what they duplicated, all
+/// measured (or estimated) from one superstep.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct AsyncCostInputs {
+    /// Pseudo-rounds executed beyond the first sweep — each one replaces
+    /// a whole strict-BSP superstep (its global barrier included).
+    pub extra_rounds: u64,
+    /// Value-segment bytes one superstep streams (read + write-back); a
+    /// strict mode would pay this again for every replaced superstep,
+    /// async iterates the resident block instead.
+    pub value_io_bytes: u64,
+    /// Encoded bytes of interior-destined messages async never
+    /// materializes into the message store (strict push writes them).
+    pub interior_msg_bytes: u64,
+    /// Interior `update()` calls beyond one per touched vertex — the
+    /// duplicated compute async pays for iterating ahead of the barrier.
+    pub dup_updates: u64,
+    /// Interior messages regenerated beyond one per in-block edge use.
+    pub dup_messages: u64,
+    /// Modeled CPU microseconds per vertex update (`JobConfig`).
+    pub cpu_us_per_vertex: f64,
+    /// Modeled CPU microseconds per message handled (`JobConfig`).
+    pub cpu_us_per_message: f64,
+}
+
+/// The async extension term: modeled seconds saved by replacing strict
+/// supersteps with in-memory pseudo-rounds, minus the modeled cost of the
+/// duplicated interior compute. Positive favours `Async`. All-zero
+/// inputs (an empty frontier) produce exactly `0.0` — never NaN.
+pub fn async_gain(profile: &DeviceProfile, c: &AsyncCostInputs) -> QtAsync {
+    let barrier_saved_secs = c.extra_rounds as f64 * c.value_io_bytes as f64 / (profile.ssr * MB)
+        + c.interior_msg_bytes as f64 / (profile.srw * MB);
+    let dup_compute_secs = (c.dup_updates as f64 * c.cpu_us_per_vertex
+        + c.dup_messages as f64 * c.cpu_us_per_message)
+        * 1e-6;
+    QtAsync {
+        barrier_saved_secs,
+        dup_compute_secs,
+        q_async: barrier_saved_secs - dup_compute_secs,
+    }
+}
+
 /// Theorem 2 — `B⊥ = |E|/2 − f` in messages. If the cluster-wide message
 /// buffer `B ≤ B⊥`, then `C_io(push) ≥ C_io(b-pull)` on a workload where
 /// every vertex broadcasts, so b-pull is the safe initial mode.
@@ -127,7 +170,7 @@ impl Switcher {
     /// A switcher starting in `initial` with decision interval `interval`
     /// (the paper sets 2) and the relative gain `threshold`.
     pub fn new(initial: Mode, interval: u64, threshold: f64) -> Self {
-        assert!(matches!(initial, Mode::Push | Mode::BPull));
+        assert!(matches!(initial, Mode::Push | Mode::BPull | Mode::Async));
         Switcher {
             interval: interval.max(1),
             current: initial,
@@ -195,6 +238,36 @@ impl Switcher {
         step_secs: f64,
         io_ratio: f64,
     ) -> Option<Mode> {
+        self.decide_inner(t, profile, inputs, None, step_secs, io_ratio)
+    }
+
+    /// The three-way variant for `Async`-flavoured jobs: Eq. 11 still
+    /// arbitrates push vs b-pull, and the [`async_gain`] term then decides
+    /// whether replacing strict supersteps with pseudo-rounds beats the
+    /// strict winner. Every evaluation records its [`QtAsync`] extension
+    /// in the audit.
+    pub fn decide_async(
+        &mut self,
+        t: u64,
+        profile: &DeviceProfile,
+        inputs: &CostInputs,
+        asy: &AsyncCostInputs,
+        step_secs: f64,
+        io_ratio: f64,
+    ) -> Option<Mode> {
+        let gain = async_gain(profile, asy);
+        self.decide_inner(t, profile, inputs, Some(gain), step_secs, io_ratio)
+    }
+
+    fn decide_inner(
+        &mut self,
+        t: u64,
+        profile: &DeviceProfile,
+        inputs: &CostInputs,
+        asy: Option<QtAsync>,
+        step_secs: f64,
+        io_ratio: f64,
+    ) -> Option<Mode> {
         let terms = q_terms(profile, inputs);
         let q = terms.net + terms.rw - terms.rr + terms.sr;
         self.history.push((t, q));
@@ -203,11 +276,27 @@ impl Switcher {
         let (verdict, switched) = if too_early {
             (QtVerdict::TooEarly, None)
         } else {
-            let want = if q >= 0.0 { Mode::BPull } else { Mode::Push };
+            let strict_want = if q >= 0.0 { Mode::BPull } else { Mode::Push };
+            let want = match asy {
+                Some(g) if g.q_async > 0.0 => Mode::Async,
+                // Exactly zero gain is an empty frontier — no evidence
+                // either way, so a job already in async holds instead of
+                // flapping to the strict winner.
+                Some(g) if g.q_async == 0.0 && self.current == Mode::Async => Mode::Async,
+                _ => strict_want,
+            };
+            // The gate compares the gain of moving against the superstep's
+            // modeled time: crossing the async boundary is judged by the
+            // async term, a push<->b-pull flip by Eq. 11 as before.
+            let gate = if want == Mode::Async || self.current == Mode::Async {
+                asy.map(|g| g.q_async.abs()).unwrap_or(0.0)
+            } else {
+                q.abs()
+            };
             self.last_decision = t;
             if want == self.current {
                 (QtVerdict::Hold, None)
-            } else if q.abs() < self.threshold * step_secs.max(0.0) {
+            } else if gate < self.threshold * step_secs.max(0.0) {
                 (QtVerdict::BelowThreshold, None)
             } else {
                 self.current = want;
@@ -225,6 +314,7 @@ impl Switcher {
             mode_before: before.label(),
             mode_after: self.current.label(),
             verdict,
+            asy,
         });
         switched
     }
@@ -301,10 +391,21 @@ fn snap_corrupt(what: &str) -> io::Error {
 }
 
 pub(crate) fn mode_tag(m: Mode) -> u8 {
-    Mode::ALL.iter().position(|x| *x == m).unwrap() as u8
+    // Tags 0..=4 are positional in `Mode::ALL` (the wire format existing
+    // snapshots were written with); `Async` extends past the array.
+    match Mode::ALL.iter().position(|x| *x == m) {
+        Some(i) => i as u8,
+        None => {
+            debug_assert_eq!(m, Mode::Async);
+            Mode::ALL.len() as u8
+        }
+    }
 }
 
 pub(crate) fn mode_from_tag(tag: u8) -> io::Result<Mode> {
+    if tag as usize == Mode::ALL.len() {
+        return Ok(Mode::Async);
+    }
     Mode::ALL
         .get(tag as usize)
         .copied()
@@ -312,6 +413,9 @@ pub(crate) fn mode_from_tag(tag: u8) -> io::Result<Mode> {
 }
 
 fn mode_label_static(label: &str) -> io::Result<&'static str> {
+    if label == Mode::Async.label() {
+        return Ok(Mode::Async.label());
+    }
     Mode::ALL
         .iter()
         .map(|m| m.label())
@@ -358,36 +462,68 @@ pub fn encode_qt_audit(w: &mut PayloadWriter, a: &QtAudit) {
     w.put_f64(a.threshold);
     w.put_str(a.mode_before);
     w.put_str(a.mode_after);
-    w.put_u8(verdict_tag(a.verdict));
+    // The async extension rides on the verdict byte's high bit so audit
+    // records of strict push/b-pull jobs serialize byte-for-byte as they
+    // always have (committed baselines depend on those byte counts).
+    match &a.asy {
+        Some(x) => {
+            w.put_u8(verdict_tag(a.verdict) | 0x80);
+            w.put_f64(x.barrier_saved_secs);
+            w.put_f64(x.dup_compute_secs);
+            w.put_f64(x.q_async);
+        }
+        None => w.put_u8(verdict_tag(a.verdict)),
+    }
 }
 
 /// Rebuilds one audit record; mode labels are re-interned to the engine's
 /// own `'static` labels.
 pub fn decode_qt_audit(r: &mut PayloadReader<'_>) -> io::Result<QtAudit> {
+    let superstep = r.get_u64()?;
+    let inputs = QtInputs {
+        mco: r.get_u64()?,
+        bytes_per_saved: r.get_u64()?,
+        io_mdisk: r.get_u64()?,
+        io_vrr: r.get_u64()?,
+        io_e_push: r.get_u64()?,
+        io_e_bpull: r.get_u64()?,
+        io_f: r.get_u64()?,
+    };
+    let terms = QtTerms {
+        net: r.get_f64()?,
+        rw: r.get_f64()?,
+        rr: r.get_f64()?,
+        sr: r.get_f64()?,
+    };
+    let q = r.get_f64()?;
+    let step_secs = r.get_f64()?;
+    let io_ratio = r.get_f64()?;
+    let threshold = r.get_f64()?;
+    let mode_before = mode_label_static(&r.get_str()?)?;
+    let mode_after = mode_label_static(&r.get_str()?)?;
+    let tag = r.get_u8()?;
+    let verdict = verdict_from_tag(tag & 0x7f)?;
+    let asy = if tag & 0x80 != 0 {
+        Some(QtAsync {
+            barrier_saved_secs: r.get_f64()?,
+            dup_compute_secs: r.get_f64()?,
+            q_async: r.get_f64()?,
+        })
+    } else {
+        None
+    };
     Ok(QtAudit {
-        superstep: r.get_u64()?,
-        inputs: QtInputs {
-            mco: r.get_u64()?,
-            bytes_per_saved: r.get_u64()?,
-            io_mdisk: r.get_u64()?,
-            io_vrr: r.get_u64()?,
-            io_e_push: r.get_u64()?,
-            io_e_bpull: r.get_u64()?,
-            io_f: r.get_u64()?,
-        },
-        terms: QtTerms {
-            net: r.get_f64()?,
-            rw: r.get_f64()?,
-            rr: r.get_f64()?,
-            sr: r.get_f64()?,
-        },
-        q: r.get_f64()?,
-        step_secs: r.get_f64()?,
-        io_ratio: r.get_f64()?,
-        threshold: r.get_f64()?,
-        mode_before: mode_label_static(&r.get_str()?)?,
-        mode_after: mode_label_static(&r.get_str()?)?,
-        verdict: verdict_from_tag(r.get_u8()?)?,
+        superstep,
+        inputs,
+        terms,
+        q,
+        step_secs,
+        io_ratio,
+        threshold,
+        mode_before,
+        mode_after,
+        verdict,
+        asy,
     })
 }
 
@@ -742,6 +878,154 @@ mod tests {
         );
         let table = decode_qt_audits(&encode_qt_audits(s.audit())).unwrap();
         assert_eq!(table, s.audit());
+    }
+
+    /// The barrier-savings term pulls in its documented directions:
+    /// extra rounds and avoided interior-message bytes favour async,
+    /// duplicated updates/messages count against it.
+    #[test]
+    fn async_gain_directions() {
+        let p = hdd();
+        let mib = 1024 * 1024;
+        let saving = AsyncCostInputs {
+            extra_rounds: 3,
+            value_io_bytes: 8 * mib,
+            interior_msg_bytes: 2 * mib,
+            ..Default::default()
+        };
+        let g = async_gain(&p, &saving);
+        assert!(g.barrier_saved_secs > 0.0);
+        assert_eq!(g.dup_compute_secs, 0.0);
+        assert!(g.q_async > 0.0);
+
+        let dup_only = AsyncCostInputs {
+            dup_updates: 1_000_000,
+            dup_messages: 2_000_000,
+            cpu_us_per_vertex: 0.5,
+            cpu_us_per_message: 0.5,
+            ..Default::default()
+        };
+        let g = async_gain(&p, &dup_only);
+        assert_eq!(g.barrier_saved_secs, 0.0);
+        assert!(g.dup_compute_secs > 0.0);
+        assert!(g.q_async < 0.0);
+
+        // More duplicated compute monotonically erodes the same savings.
+        let mixed = AsyncCostInputs {
+            dup_updates: 1_000_000,
+            cpu_us_per_vertex: 0.5,
+            ..saving
+        };
+        assert!(async_gain(&p, &mixed).q_async < async_gain(&p, &saving).q_async);
+    }
+
+    /// An empty frontier produces exact zeros (never NaN) and the
+    /// three-way decision holds the current mode.
+    #[test]
+    fn async_gain_zero_frontier() {
+        let p = hdd();
+        let g = async_gain(&p, &AsyncCostInputs::default());
+        assert_eq!(g.barrier_saved_secs, 0.0);
+        assert_eq!(g.dup_compute_secs, 0.0);
+        assert_eq!(g.q_async, 0.0);
+        assert!(!g.q_async.is_nan());
+
+        let mut s = Switcher::new(Mode::Async, 2, 0.1);
+        let out = s.decide_async(
+            2,
+            &p,
+            &CostInputs::default(),
+            &AsyncCostInputs::default(),
+            0.0,
+            1.0,
+        );
+        assert_eq!(out, None, "zero frontier must not force a switch");
+        assert_eq!(s.current(), Mode::Async);
+        let a = s.audit().last().unwrap();
+        assert_eq!(a.asy.unwrap().q_async, 0.0);
+        assert_eq!(a.verdict, QtVerdict::Hold);
+    }
+
+    /// Three-way decisions: a positive async gain wins the superstep, a
+    /// negative one hands control back to the Eq. 11 winner.
+    #[test]
+    fn decide_async_switches_both_ways() {
+        let p = hdd();
+        let mib = 1024 * 1024;
+        let mut s = Switcher::new(Mode::Push, 2, 0.0);
+        let favour_async = AsyncCostInputs {
+            extra_rounds: 4,
+            value_io_bytes: 64 * mib,
+            ..Default::default()
+        };
+        assert_eq!(
+            s.decide_async(2, &p, &CostInputs::default(), &favour_async, 0.1, 1.0),
+            Some(Mode::Async)
+        );
+        // Async stopped paying (all duplication): fall back to the Eq. 11
+        // winner — a b-pull-favouring profile here.
+        let favour_strict = AsyncCostInputs {
+            dup_updates: 10_000_000,
+            cpu_us_per_vertex: 1.0,
+            ..Default::default()
+        };
+        let bpull_favoring = CostInputs {
+            io_mdisk: 100 * mib,
+            ..Default::default()
+        };
+        assert_eq!(
+            s.decide_async(4, &p, &bpull_favoring, &favour_strict, 0.1, 1.0),
+            Some(Mode::BPull)
+        );
+        assert_eq!(s.audit().len(), 2);
+        assert!(s.audit().iter().all(|a| a.asy.is_some()));
+        assert_eq!(s.audit()[0].mode_after, "async");
+        assert_eq!(s.audit()[1].mode_before, "async");
+    }
+
+    /// Async audit records round-trip through the canonical byte run, and
+    /// the extension bytes appear only when the record carries one.
+    #[test]
+    fn async_audit_bytes_roundtrip_and_stay_conditional() {
+        let p = hdd();
+        let mut strict = Switcher::new(Mode::BPull, 2, 0.0);
+        strict.decide(2, &p, &CostInputs::default(), 0.1, 1.0);
+        let strict_bytes = encode_qt_audits(strict.audit());
+
+        let mut asy = Switcher::new(Mode::Async, 2, 0.0);
+        asy.decide_async(
+            2,
+            &p,
+            &CostInputs::default(),
+            &AsyncCostInputs {
+                extra_rounds: 2,
+                value_io_bytes: 1024 * 1024,
+                ..Default::default()
+            },
+            0.1,
+            1.0,
+        );
+        let asy_bytes = encode_qt_audits(asy.audit());
+        assert_eq!(
+            asy_bytes.len(),
+            strict_bytes.len() + 24 - ("b-pull".len() - "async".len()) * 2,
+            "extension adds exactly three f64s (minus the shorter labels)"
+        );
+        let decoded = decode_qt_audits(&asy_bytes).unwrap();
+        assert_eq!(decoded, asy.audit());
+        assert_eq!(decoded[0].asy, asy.audit()[0].asy);
+        let strict_decoded = decode_qt_audits(&strict_bytes).unwrap();
+        assert!(strict_decoded[0].asy.is_none());
+    }
+
+    #[test]
+    fn async_mode_tag_roundtrip() {
+        for m in Mode::ALL.into_iter().chain([Mode::Async]) {
+            assert_eq!(mode_from_tag(mode_tag(m)).unwrap(), m);
+        }
+        assert_eq!(mode_tag(Mode::Async), 5);
+        assert!(mode_from_tag(6).is_err());
+        assert_eq!(mode_label_static("async").unwrap(), "async");
     }
 
     #[test]

@@ -224,6 +224,9 @@ pub struct WorkerSeed<'g, P: VertexProgram> {
     pub ep: Endpoint,
     /// This worker's simulated disk.
     pub vfs: Arc<dyn Vfs>,
+    /// Boundary/interior classification (`Async` mode only; `None`
+    /// otherwise — strict modes never pay for it).
+    pub classification: Option<Arc<crate::blockexec::BlockClassification>>,
 }
 
 /// In-memory pre-images captured at the start of a superstep so a
@@ -305,6 +308,10 @@ pub struct Worker<P: VertexProgram> {
     pub hotset: Option<HotSet<P::Message>>,
     /// Pull baseline's LRU vertex-value cache.
     pub lru: Option<LruCache<u32, P::Value>>,
+    /// Global boundary/interior classification (`Async` mode).
+    pub cls: Option<Arc<crate::blockexec::BlockClassification>>,
+    /// This worker's interior-iteration index (`Async` mode).
+    pub interior: Option<crate::blockexec::InteriorIndex>,
 
     /// Value updates staged during a (b-)pull superstep, flushed once no
     /// peer can read this worker's values anymore.
@@ -351,6 +358,7 @@ impl<P: VertexProgram> Worker<P> {
             cfg,
             ep,
             vfs,
+            classification,
         } = seed;
         let t0 = Instant::now();
         let range = partition.worker_range(id);
@@ -368,11 +376,13 @@ impl<P: VertexProgram> Worker<P> {
         let values = ValueStore::create(vfs.as_ref(), "values", range.start, &init)?;
 
         // pull's scatter phase reads out-edges to signal destinations.
+        // Async jobs can switch into push *and* b-pull supersteps, so
+        // they build both stores, like Hybrid.
         let needs_adj = matches!(
             cfg.mode,
-            Mode::Push | Mode::PushM | Mode::Hybrid | Mode::Pull
+            Mode::Push | Mode::PushM | Mode::Hybrid | Mode::Pull | Mode::Async
         );
-        let needs_ve = matches!(cfg.mode, Mode::BPull | Mode::Hybrid);
+        let needs_ve = matches!(cfg.mode, Mode::BPull | Mode::Hybrid | Mode::Async);
         let needs_gather = matches!(cfg.mode, Mode::Pull);
 
         let mut report = WorkerLoadReport::default();
@@ -451,7 +461,10 @@ impl<P: VertexProgram> Worker<P> {
             Vec::new()
         };
 
-        let spill = if matches!(cfg.mode, Mode::Push | Mode::PushM | Mode::Hybrid) {
+        let spill = if matches!(
+            cfg.mode,
+            Mode::Push | Mode::PushM | Mode::Hybrid | Mode::Async
+        ) {
             Some(SpillBuffer::with_codec(
                 vfs.as_ref(),
                 "spill",
@@ -474,6 +487,14 @@ impl<P: VertexProgram> Worker<P> {
             Some(Self::new_value_lru(&cfg))
         } else {
             None
+        };
+
+        let (cls, interior) = if matches!(cfg.mode, Mode::Async) {
+            let c = classification.expect("Async mode requires the block classification");
+            let idx = crate::blockexec::InteriorIndex::build(graph, &layout, &c, id);
+            (Some(c), Some(idx))
+        } else {
+            (None, None)
         };
 
         report.wall_secs = t0.elapsed().as_secs_f64();
@@ -504,6 +525,8 @@ impl<P: VertexProgram> Worker<P> {
             spill,
             hotset,
             lru,
+            cls,
+            interior,
             staged: Vec::new(),
             superstep: 0,
             io_baseline: IoSnapshot::default(),
@@ -607,6 +630,9 @@ impl<P: VertexProgram> Worker<P> {
         }
         if let Some(l) = &self.lru {
             m += l.used_weight() as u64;
+        }
+        if let Some(ix) = &self.interior {
+            m += ix.memory_bytes();
         }
         m += self.staged.len() as u64 * (4 + P::Value::BYTES as u64);
         m

@@ -20,6 +20,23 @@ pub struct QtInputs {
     pub io_f: u64,
 }
 
+/// The async extension of one evaluation: the barrier-savings vs
+/// duplicated-interior-compute trade the GraphHP-style `Async` mode adds
+/// as a second decision axis next to Eq. 11's push/b-pull sign.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct QtAsync {
+    /// Modeled seconds the extra pseudo-rounds saved versus paying a
+    /// full strict-BSP superstep (value reload + boundary exchange) for
+    /// each of them.
+    pub barrier_saved_secs: f64,
+    /// Modeled seconds of duplicated interior compute: updates and
+    /// regenerated messages async ran beyond what one strict superstep
+    /// would have.
+    pub dup_compute_secs: f64,
+    /// `barrier_saved_secs − dup_compute_secs`; positive favours Async.
+    pub q_async: f64,
+}
+
 /// The four Eq. 11 terms in seconds: `Q = net + rw − rr + sr`.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct QtTerms {
@@ -83,6 +100,10 @@ pub struct QtAudit {
     /// Mode for superstep `t + 1` after the verdict.
     pub mode_after: &'static str,
     pub verdict: QtVerdict,
+    /// The async barrier-savings term, recorded only when the evaluation
+    /// considered the `Async` mode. `None` for plain push/b-pull jobs —
+    /// their audit records (and serialized bytes) are unchanged.
+    pub asy: Option<QtAsync>,
 }
 
 fn fmt_secs(v: f64) -> String {
@@ -103,9 +124,18 @@ pub fn render_table(audits: &[QtAudit]) -> String {
         "net_s", "rw_s", "-rr_s", "sr_s", "Q_t+2", "step_s", "p/l", "before", "after"
     );
     for a in audits {
+        let asy = match &a.asy {
+            Some(x) => format!(
+                " [async saved={} dup={} q_async={}]",
+                fmt_secs(x.barrier_saved_secs),
+                fmt_secs(x.dup_compute_secs),
+                fmt_secs(x.q_async),
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9.3} {:>6.3} | {:<7} -> {:<7} {}",
+            "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9.3} {:>6.3} | {:<7} -> {:<7} {}{}",
             a.superstep,
             a.inputs.mco,
             a.inputs.bytes_per_saved,
@@ -124,6 +154,7 @@ pub fn render_table(audits: &[QtAudit]) -> String {
             a.mode_before,
             a.mode_after,
             a.verdict.label(),
+            asy,
         );
     }
     out
@@ -147,6 +178,7 @@ mod tests {
                 mode_before: "b-pull",
                 mode_after: "b-pull",
                 verdict: QtVerdict::TooEarly,
+                asy: None,
             },
             QtAudit {
                 superstep: 2,
@@ -169,6 +201,7 @@ mod tests {
                 mode_before: "b-pull",
                 mode_after: "push",
                 verdict: QtVerdict::Switch,
+                asy: None,
             },
         ];
         let table = render_table(&audits);
@@ -177,5 +210,32 @@ mod tests {
         assert!(table.contains("b-pull  -> push"));
         assert!(table.contains("0.620"), "compression ratio column rendered");
         assert_eq!(table.lines().count(), 4);
+        assert!(!table.contains("q_async"), "no async column without asy");
+    }
+
+    #[test]
+    fn table_renders_async_extension() {
+        let audits = vec![QtAudit {
+            superstep: 3,
+            inputs: QtInputs::default(),
+            terms: QtTerms::default(),
+            q: 0.0,
+            step_secs: 0.4,
+            io_ratio: 1.0,
+            threshold: 0.1,
+            mode_before: "async",
+            mode_after: "async",
+            verdict: QtVerdict::Hold,
+            asy: Some(QtAsync {
+                barrier_saved_secs: 0.25,
+                dup_compute_secs: 0.05,
+                q_async: 0.2,
+            }),
+        }];
+        let table = render_table(&audits);
+        assert!(table.contains("async   -> async"));
+        assert!(table.contains("q_async=+0.200000"));
+        assert!(table.contains("saved=+0.250000"));
+        assert!(table.contains("dup=+0.050000"));
     }
 }

@@ -1,0 +1,235 @@
+//! GraphHP-style hybrid sync/async execution: correctness, determinism
+//! and recovery of `Mode::Async`.
+//!
+//! The async engine iterates interior vertices in-place between global
+//! barriers (pseudo-rounds), so its superstep count must *drop* against
+//! strict BSP while the converged values stay within the program's
+//! tolerance. Runs are deterministic: same seed, same byte-identical
+//! values, audits and traces.
+
+use hybridgraph::prelude::*;
+use hybridgraph_graph::gen;
+use std::sync::Arc;
+
+fn pagerank_graph() -> Graph {
+    gen::rmat(256, 2048, gen::RmatParams::default(), 11)
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Two same-seed async runs produce byte-identical values, superstep
+/// metrics, Q_t audits (async extension included) and traces.
+#[test]
+fn async_same_seed_runs_are_byte_identical() {
+    let g = pagerank_graph();
+    let program = PageRank::until(1e-10, 60);
+    let run = || {
+        let sink = Arc::new(TraceSink::new(4));
+        let cfg = JobConfig::new(Mode::Async, 4)
+            .with_buffer(256)
+            .with_trace(Arc::clone(&sink));
+        let res = run_job(Arc::new(program.clone()), &g, cfg).unwrap();
+        (res, sink.export_states())
+    };
+    let (a, ta) = run();
+    let (b, tb) = run();
+    assert_eq!(bits(&a.values), bits(&b.values), "values diverged");
+    assert_eq!(a.metrics.steps.len(), b.metrics.steps.len());
+    for (x, y) in a.metrics.steps.iter().zip(&b.metrics.steps) {
+        assert_eq!(x.kind, y.kind);
+        assert_eq!(x.sem, y.sem, "superstep {}", x.superstep);
+        assert_eq!(x.asy, y.asy, "superstep {}", x.superstep);
+        assert_eq!(
+            x.max_residual.to_bits(),
+            y.max_residual.to_bits(),
+            "superstep {}",
+            x.superstep
+        );
+    }
+    assert_eq!(a.metrics.qt_audit, b.metrics.qt_audit, "audits diverged");
+    assert_eq!(ta, tb, "traces diverged");
+    // Async supersteps carry the Q_t async extension in their audits.
+    assert!(
+        a.metrics.qt_audit.iter().any(|r| r.asy.is_some()),
+        "async job must audit the async gain term"
+    );
+}
+
+/// Async PageRank converges to the same fixed point as strict BSP — the
+/// per-vertex gap stays within 100× the convergence tolerance — while
+/// saving at least 30% of the global barriers. The graph is id-localized
+/// (RMAT skew, community-clustered ids), the partition-friendly shape
+/// GraphHP's pseudo-rounds exploit; random-id RMAT leaves too few
+/// interior vertices to shorten the barrier chain.
+#[test]
+fn async_pagerank_converges_and_saves_barriers() {
+    let g = gen::localize(
+        &gen::rmat(1024, 8192, gen::RmatParams::default(), 11),
+        0.9,
+        60,
+        7,
+    );
+    let eps = 1e-9;
+    let program = PageRank::until(eps, 300);
+
+    let bsp = run_job(Arc::new(program.clone()), &g, JobConfig::new(Mode::Push, 2)).unwrap();
+    let asy = run_job(Arc::new(program), &g, JobConfig::new(Mode::Async, 2)).unwrap();
+
+    for (v, (got, want)) in asy.values.iter().zip(&bsp.values).enumerate() {
+        assert!(
+            (got - want).abs() <= 100.0 * eps,
+            "v{v}: async {got} vs bsp {want}"
+        );
+    }
+    let bsp_barriers = bsp.metrics.steps.len() as u64;
+    let asy_barriers = asy.metrics.steps.len() as u64;
+    assert!(
+        asy_barriers * 10 <= bsp_barriers * 7,
+        "async must cut ≥30% of barriers: {asy_barriers} vs {bsp_barriers}"
+    );
+    assert!(asy.metrics.barriers_saved() > 0);
+    assert_eq!(
+        asy.metrics.total_pseudo_rounds(),
+        asy_barriers + asy.metrics.barriers_saved(),
+        "each superstep contributes one real barrier plus its saved ones"
+    );
+}
+
+/// LPA under async execution still reaches a fixed point (no label moved
+/// in the final superstep) and stops early against its superstep cap.
+#[test]
+fn async_lpa_converges_to_fixed_point() {
+    let g = gen::rmat(128, 1024, gen::RmatParams::web(), 3);
+    let program = Lpa::converging(40);
+    let res = run_job(
+        Arc::new(program),
+        &g,
+        JobConfig::new(Mode::Async, 3).with_buffer(128),
+    )
+    .unwrap();
+    let last = res.metrics.steps.last().unwrap();
+    assert_eq!(last.max_residual, 0.0, "final superstep moved a label");
+    assert!(
+        (res.metrics.steps.len() as u64) < 40,
+        "tolerance must terminate before the cap"
+    );
+}
+
+/// A worker killed mid-pseudo-superstep rolls back globally and the job
+/// finishes byte-identical to a fault-free async run.
+#[test]
+fn async_recovers_byte_identically_after_worker_kill() {
+    let g = pagerank_graph();
+    let program = PageRank::until(1e-9, 60);
+    let base = JobConfig::new(Mode::Async, 4).with_buffer(256);
+
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+    assert_eq!(clean.metrics.recovery.rollbacks, 0);
+
+    let plan = Arc::new(FaultPlan::new().kill(1, 3, FaultPhase::Compute));
+    let cfg = base
+        .with_checkpoint(CheckpointPolicy::EveryK(2))
+        .with_fault_plan(Arc::clone(&plan));
+    let faulted = run_job(Arc::new(program), &g, cfg).unwrap();
+
+    assert_eq!(plan.fired(), 1, "the kill order must have fired");
+    assert_eq!(faulted.metrics.recovery.rollbacks, 1);
+    assert_eq!(bits(&clean.values), bits(&faulted.values));
+    assert_eq!(clean.metrics.steps.len(), faulted.metrics.steps.len());
+    for (c, f) in clean.metrics.steps.iter().zip(&faulted.metrics.steps) {
+        assert_eq!(c.kind, f.kind, "superstep {}", c.superstep);
+        assert_eq!(c.sem, f.sem, "superstep {}", c.superstep);
+        assert_eq!(c.asy, f.asy, "superstep {}", c.superstep);
+    }
+}
+
+/// Async mode stays on even with message logging: confined recovery is
+/// excluded (pseudo-round receive state is not undoable), so a single
+/// death falls back to global rollback — and still ends byte-identical.
+#[test]
+fn async_excludes_confined_recovery() {
+    let g = pagerank_graph();
+    let program = PageRank::until(1e-9, 60);
+    let base = JobConfig::new(Mode::Async, 4).with_buffer(256);
+    let clean = run_job(Arc::new(program.clone()), &g, base.clone()).unwrap();
+
+    let plan = Arc::new(FaultPlan::new().kill(2, 4, FaultPhase::Barrier));
+    let cfg = base
+        .with_checkpoint(CheckpointPolicy::EveryK(2))
+        .with_message_logging(true)
+        .with_fault_plan(plan);
+    let faulted = run_job(Arc::new(program), &g, cfg).unwrap();
+    assert_eq!(faulted.metrics.recovery.confined_recoveries, 0);
+    assert_eq!(faulted.metrics.recovery.rollbacks, 1);
+    assert_eq!(bits(&clean.values), bits(&faulted.values));
+}
+
+/// Regression guard: strict BSP modes are untouched by the async
+/// subsystem — no pseudo-round stats, no residual tracking without a
+/// tolerance, no Async step kinds, and classification counters stay 0.
+#[test]
+fn strict_bsp_modes_carry_no_async_state() {
+    let g = pagerank_graph();
+    for mode in [
+        Mode::Push,
+        Mode::PushM,
+        Mode::Pull,
+        Mode::BPull,
+        Mode::Hybrid,
+    ] {
+        let res = run_job(
+            Arc::new(PageRank::new(5)),
+            &g,
+            JobConfig::new(mode, 3).with_buffer(128),
+        )
+        .unwrap();
+        assert_eq!(res.metrics.load.boundary_vertices, 0, "{mode:?}");
+        assert_eq!(res.metrics.load.interior_vertices, 0, "{mode:?}");
+        assert_eq!(res.metrics.barriers_saved(), 0, "{mode:?}");
+        assert_eq!(res.metrics.total_pseudo_rounds(), 0, "{mode:?}");
+        for s in &res.metrics.steps {
+            assert_eq!(
+                s.asy,
+                Default::default(),
+                "{mode:?} superstep {}",
+                s.superstep
+            );
+            assert_eq!(s.max_residual, 0.0, "{mode:?} superstep {}", s.superstep);
+            assert!(
+                !matches!(
+                    s.kind,
+                    hybridgraph_core::StepKind::Async | hybridgraph_core::StepKind::AsyncThenPush
+                ),
+                "{mode:?} ran an async step"
+            );
+        }
+    }
+}
+
+/// The per-superstep active fraction and the load-report classification
+/// are populated for async jobs.
+#[test]
+fn async_job_reports_classification_and_activity() {
+    let g = pagerank_graph();
+    let res = run_job(
+        Arc::new(PageRank::until(1e-9, 60)),
+        &g,
+        JobConfig::new(Mode::Async, 4).with_buffer(256),
+    )
+    .unwrap();
+    let load = &res.metrics.load;
+    assert_eq!(load.num_vertices, g.num_vertices() as u64);
+    assert_eq!(
+        load.boundary_vertices + load.interior_vertices,
+        load.num_vertices
+    );
+    assert!(
+        load.interior_vertices > 0,
+        "rmat blocks must have interiors"
+    );
+    let last = res.metrics.steps.last().unwrap().superstep;
+    let f = res.metrics.active_fraction(last);
+    assert!(f > 0.0 && f <= 1.0, "active fraction {f}");
+}

@@ -1,0 +1,77 @@
+//! The perf gate CLI: diff fresh `BENCH_*.json` reports against the
+//! committed copies.
+//!
+//! ```text
+//! bench_diff [--tolerance FRAC] <committed.json> <fresh.json> [more pairs...]
+//! ```
+//!
+//! Compares the modeled seconds and physical I/O bytes of every row
+//! (matched by label) and fails — exit 1 — when any fresh number exceeds
+//! its committed counterpart by more than the tolerance (default 0.10,
+//! i.e. +10%). Vanished rows and mismatched experiment names also fail;
+//! improvements and new rows are printed as notes. Wall-clock fields
+//! are never compared.
+
+use hybridgraph_bench::report::diff::{diff_reports, parse_report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.10f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("bad --tolerance value"));
+            }
+            "--help" | "-h" => usage(""),
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() || !files.len().is_multiple_of(2) {
+        usage("expected one or more <committed.json> <fresh.json> pairs");
+    }
+
+    let mut failed = false;
+    for pair in files.chunks(2) {
+        let (committed_path, fresh_path) = (&pair[0], &pair[1]);
+        let committed = load(committed_path);
+        let fresh = load(fresh_path);
+        let outcome = diff_reports(&committed, &fresh, tolerance);
+        println!(
+            "{}: {} vs {} — {}",
+            committed.experiment,
+            committed_path,
+            fresh_path,
+            if outcome.passed() { "OK" } else { "FAILED" }
+        );
+        print!("{}", outcome.render());
+        failed |= !outcome.passed();
+    }
+    if failed {
+        eprintln!("perf gate failed (tolerance {:.0}%)", tolerance * 100.0);
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &str) -> hybridgraph_bench::report::diff::GatedReport {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_report(&src).unwrap_or_else(|e| {
+        eprintln!("error: parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: bench_diff [--tolerance FRAC] <committed.json> <fresh.json> [...]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,120 @@
+//! CI determinism probe for the gateway over a multi-engine pool.
+//!
+//! Runs a fixed three-tenant batch through the full client → wire →
+//! server → `EnginePool` stack over the loopback transport: three
+//! traced hybrid PageRank jobs on a 2-wide pool — two tenants whose
+//! names place them on engine 0 (their interleaving inside that engine
+//! is seed-decided, and they contend through its small shared cache)
+//! and one on engine 1 — batch-submitted under the all-engine pause.
+//! The output blob concatenates each job's value bytes, `Q_t` audit
+//! bytes and Chrome trace (length-prefixed). The `gateway-determinism`
+//! CI job runs this twice per seed and requires the outputs to compare
+//! byte-identical with `cmp` — values, audits and traces all at once.
+//!
+//! Usage: `gateway_trace <seed> <out.bin>`
+
+use hybridgraph_core::Mode;
+use hybridgraph_gateway::{
+    GatewayClient, GatewayConfig, GatewayServer, JobOptions, LoopbackTransport, ProgramSpec,
+    SubmitReq,
+};
+use hybridgraph_service::{EnginePool, ServiceConfig};
+use hybridgraph_storage::CodecChoice;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("usage: gateway_trace <seed> <out.bin>");
+    let out = args.next().expect("usage: gateway_trace <seed> <out.bin>");
+
+    let cfg = ServiceConfig {
+        seed,
+        cache_bytes: 32 * 1024,
+        cache_slots: 8,
+        ..ServiceConfig::default()
+    };
+    let pool = EnginePool::new(cfg, 2);
+    // Three tenants over two engines: two sharing engine 0 (seed-decided
+    // interleaving plus cache contention) and one alone on engine 1
+    // (genuine cross-engine dispatch).
+    let mut names: Vec<String> = Vec::new();
+    for engine in [0usize, 0, 1] {
+        let name = (0..)
+            .map(|i| format!("t{i}"))
+            .find(|n| pool.placement(n) == engine && !names.contains(n))
+            .unwrap();
+        names.push(name);
+    }
+
+    let server = GatewayServer::new(pool, GatewayConfig::default());
+    let transport = LoopbackTransport::new();
+    let handle = server.serve(transport.clone());
+    let mut client = GatewayClient::connect_loopback(&transport).expect("connect");
+
+    use hybridgraph_graph::gen;
+    let graphs = [
+        gen::rmat(256, 2048, gen::RmatParams::default(), 11),
+        gen::uniform(200, 1600, 5),
+        gen::rmat(224, 1792, gen::RmatParams::default(), 23),
+    ];
+    for (i, (name, g)) in names.iter().zip(&graphs).enumerate() {
+        let vblocks = if i == 0 { 2 } else { 1 };
+        client
+            .register_graph(name, g, 3, vblocks, CodecChoice::None)
+            .expect("register");
+    }
+
+    let options = JobOptions {
+        mode: Mode::Hybrid,
+        buffer_messages: 2048,
+        trace: true,
+        max_supersteps: 0,
+    };
+    let jobs = client
+        .submit_batch(
+            names
+                .iter()
+                .map(|name| SubmitReq {
+                    graph: name.clone(),
+                    program: ProgramSpec::PageRank { supersteps: 4 },
+                    options,
+                })
+                .collect(),
+        )
+        .expect("batch");
+
+    let mut blob = Vec::new();
+    let mut supersteps = Vec::new();
+    for &id in &jobs {
+        let o = client.fetch(id).expect("fetch");
+        for part in [
+            &o.values[..],
+            &o.audits[..],
+            o.trace.as_deref().unwrap().as_bytes(),
+        ] {
+            blob.extend_from_slice(&(part.len() as u64).to_le_bytes());
+            blob.extend_from_slice(part);
+        }
+        supersteps.push(o.supersteps);
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.join();
+
+    std::fs::write(&out, &blob).unwrap();
+    println!(
+        "seed {seed}: jobs {jobs:?} on engines {:?}, {} supersteps, {} blob bytes -> {out}",
+        names
+            .iter()
+            .map(|n| server.pool().placement(n))
+            .collect::<Vec<_>>(),
+        supersteps
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("+"),
+        blob.len(),
+    );
+}

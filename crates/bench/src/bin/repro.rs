@@ -4,12 +4,19 @@
 //! repro [--scale N] [--codec C] [--mode M] [--trace F] [--metrics F] \
 //!       [--explain-switch] <experiment> [<experiment> ...]
 //! repro all
+//! repro serve [--addr HOST:PORT] [--engines N] [--seed S]
+//! repro client <addr> <command> [flags]
 //! ```
 //!
 //! Experiments: datasets, fig2, fig7, fig8, fig9, fig10, fig11, fig12,
 //! fig13, fig14, fig15, fig16, fig17, fig18, table5, vblocks (figs
 //! 23–25), fig26, theorems, observe, io_compress, multi_tenant,
-//! service_restart, graphhp.
+//! service_restart, graphhp, gateway.
+//!
+//! `serve` / `client` are the network front door: `serve` runs a TCP
+//! gateway over an [`EnginePool`](hybridgraph_service::EnginePool),
+//! `client` speaks the wire protocol to it (see
+//! [`hybridgraph_bench::gwcli`]).
 //!
 //! `--scale N` generates datasets at 1/N of the paper's sizes
 //! (default 2000). Modeled runtimes are projected back by ×N.
@@ -57,6 +64,7 @@ const EXPERIMENTS: &[&str] = &[
     "multi_tenant",
     "service_restart",
     "graphhp",
+    "gateway",
 ];
 
 fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bool {
@@ -87,6 +95,7 @@ fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bo
         "multi_tenant" => exp::multi_tenant::run(scale),
         "service_restart" => exp::service_restart::run(scale),
         "graphhp" => exp::graphhp::run(scale),
+        "gateway" => exp::gateway::run(scale),
         _ => return false,
     }
     eprintln!("[{name}: {:.1}s]", t.elapsed().as_secs_f64());
@@ -95,6 +104,25 @@ fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bo
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The gateway CLI pair dispatches before experiment parsing: its
+    // flags (`--addr`, `--engines`, ...) are not experiment flags.
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            if let Err(e) = hybridgraph_bench::gwcli::serve(&args[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            return;
+        }
+        Some("client") => {
+            if let Err(e) = hybridgraph_bench::gwcli::client(&args[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            return;
+        }
+        _ => {}
+    }
     let mut scale = Scale::default_scale();
     let mut observe = exp::observe::ObserveOpts::default();
     let mut targets: Vec<String> = Vec::new();

@@ -167,8 +167,7 @@ pub fn run(scale: Scale) {
     );
 
     t.print();
-    let path = report.write();
-    println!("report:  {}", path.display());
+    report.write_announced();
 }
 
 fn barriers(m: &JobMetrics) -> u64 {
@@ -192,8 +191,7 @@ fn table_row(t: &mut Table, algo: &str, mode: &str, m: &JobMetrics, converged: b
 }
 
 fn bench_row(label: &str, m: &JobMetrics) -> BenchRow {
-    let mut row = BenchRow::from_metrics(label, m);
-    row.wall_secs = 0.0;
+    let row = BenchRow::deterministic(label, m);
     let last = m.steps.last().map_or(0, |s| s.superstep);
     row.with_extra("barriers", barriers(m) as f64)
         .with_extra("barriers_saved", m.barriers_saved() as f64)

@@ -10,6 +10,7 @@ pub mod fig16;
 pub mod fig17_18;
 pub mod fig2;
 pub mod fig26;
+pub mod gateway;
 pub mod graphhp;
 pub mod io_compress;
 pub mod multi_tenant;

@@ -146,7 +146,7 @@ pub fn run(scale: Scale) {
                 seq.join(" "),
             ]);
             report.push(
-                BenchRow::from_metrics(&label, &m)
+                BenchRow::deterministic(&label, &m)
                     .with_extra("cache_hits", m.total_cache_hits() as f64)
                     .with_extra("cache_misses", m.total_cache_misses() as f64)
                     .with_extra("cache_evictions", evictions as f64),
@@ -187,8 +187,7 @@ pub fn run(scale: Scale) {
     println!("# audit, {label} (neighbour evictions restore IO(E_push)):");
     println!("{}", render_table(&contended.qt_audit));
 
-    let path = report.write();
-    println!("report:  {}", path.display());
+    report.write_announced();
 }
 
 /// A job's audited decision sequence: `(t, mode_after)` per evaluation.

@@ -181,8 +181,7 @@ pub fn run(scale: Scale) {
             m.recovery.recomputed_supersteps.to_string(),
             secs(m.modeled_total_secs()),
         ]);
-        let mut row = BenchRow::from_metrics(format!("adaptive/fault_aware={fault_aware}"), &m);
-        row.wall_secs = 0.0;
+        let row = BenchRow::deterministic(format!("adaptive/fault_aware={fault_aware}"), &m);
         report.push(
             row.with_extra("checkpoints_taken", m.recovery.checkpoints_taken as f64)
                 .with_extra("rollbacks", m.recovery.rollbacks as f64)
@@ -195,8 +194,7 @@ pub fn run(scale: Scale) {
     }
     t.print();
 
-    let path = report.write();
-    println!("report:  {}", path.display());
+    report.write_announced();
 }
 
 struct Restored {

@@ -1,0 +1,271 @@
+//! The `repro serve` / `repro client` CLI pair over the gateway.
+//!
+//! ```text
+//! repro serve [--addr HOST:PORT] [--engines N] [--seed S]
+//! repro client <addr> register --name G --dataset D [--scale N]
+//!              [--workers W] [--vblocks V] [--codec C]
+//! repro client <addr> submit --graph G [--algo A] [--steps K]
+//!              [--mode M] [--buffer B] [--source V] [--trace] [--watch]
+//! repro client <addr> status <job> | watch <job> | fetch <job>
+//! repro client <addr> evict <name> | metrics | shutdown
+//! ```
+//!
+//! `serve` binds a TCP gateway (port 0 lets the OS pick; the chosen
+//! address is printed as `listening on ADDR` before the accept loop
+//! starts) and runs until a client sends `shutdown`. Each `client`
+//! invocation opens one connection, performs one command, and prints a
+//! deterministic summary — `fetch` includes an FNV-1a hash of the value
+//! blob so two runs can be compared without shipping the values.
+
+use hybridgraph_core::Mode;
+use hybridgraph_gateway::{
+    GatewayClient, GatewayConfig, GatewayServer, JobOptions, JobStatusInfo, ProgramSpec,
+    ProgressEvent, TcpTransport,
+};
+use hybridgraph_service::{EnginePool, ServiceConfig};
+use hybridgraph_storage::CodecChoice;
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// FNV-1a 64 over a byte blob — the printed value fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pulls `--flag value` out of `args`; the flag may repeat (last wins).
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .rposition(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad {name} value '{v}'")),
+        None => Ok(default),
+    }
+}
+
+/// `repro serve`: a TCP gateway until shutdown.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let engines: usize = parse_flag(args, "--engines", 1)?;
+    let seed: u64 = parse_flag(args, "--seed", 1)?;
+    if engines == 0 {
+        return Err("--engines must be at least 1".into());
+    }
+    let cfg = ServiceConfig {
+        seed,
+        ..ServiceConfig::default()
+    };
+    let server = GatewayServer::new(EnginePool::new(cfg, engines), GatewayConfig::default());
+    let transport =
+        Arc::new(TcpTransport::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?);
+    println!("listening on {}", transport.local_addr());
+    println!("engines {engines}, seed {seed} — send `client <addr> shutdown` to stop");
+    std::io::stdout().flush().ok();
+    server.serve(transport).join();
+    println!("gateway stopped");
+    Ok(())
+}
+
+fn connect(addr: &str) -> Result<GatewayClient, String> {
+    GatewayClient::connect_tcp(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn parse_job_id(args: &[String]) -> Result<u64, String> {
+    args.first()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "expected a job id".to_string())
+}
+
+fn program_from(args: &[String]) -> Result<ProgramSpec, String> {
+    let algo = flag(args, "--algo").unwrap_or_else(|| "pagerank".to_string());
+    let steps: u64 = parse_flag(args, "--steps", 5)?;
+    Ok(match algo.as_str() {
+        "pagerank" => ProgramSpec::PageRank { supersteps: steps },
+        "sssp" => ProgramSpec::Sssp {
+            source: parse_flag(args, "--source", 0u32)?,
+        },
+        "lpa" => ProgramSpec::Lpa { supersteps: steps },
+        "wcc" => ProgramSpec::Wcc,
+        "sa" => ProgramSpec::Sa {
+            ratio: parse_flag(args, "--ratio", 8u32)?,
+            seed: parse_flag(args, "--sa-seed", 42u64)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown --algo '{other}' (pagerank | sssp | lpa | wcc | sa)"
+            ))
+        }
+    })
+}
+
+fn print_event(ev: &ProgressEvent) {
+    match ev {
+        ProgressEvent::Loaded { modeled_secs } => {
+            println!("loaded: modeled {modeled_secs:.6}s");
+        }
+        ProgressEvent::Superstep {
+            superstep,
+            mode,
+            modeled_secs,
+        } => {
+            println!(
+                "superstep {superstep}: {} ({modeled_secs:.6}s modeled)",
+                mode.label()
+            );
+        }
+        ProgressEvent::Done => println!("done"),
+        ProgressEvent::Failed { code, message } => {
+            println!("failed (job error {code}): {message}");
+        }
+    }
+}
+
+fn print_status(s: &JobStatusInfo) {
+    match s {
+        JobStatusInfo::Running { supersteps_done } => {
+            println!("running: {supersteps_done} supersteps done");
+        }
+        JobStatusInfo::Done => println!("done"),
+        JobStatusInfo::Failed { code, message } => {
+            println!("failed (job error {code}): {message}");
+        }
+    }
+}
+
+/// `repro client <addr> <command> [...]`: one connection, one command.
+pub fn client(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("client needs <addr>")?;
+    let cmd = args.get(1).ok_or("client needs a command")?.as_str();
+    let rest = &args[2..];
+    let mut c = connect(addr)?;
+    match cmd {
+        "register" => {
+            let name = flag(rest, "--name").ok_or("register needs --name")?;
+            let dataset = flag(rest, "--dataset")
+                .ok_or("register needs --dataset (livej | wiki | orkut | twi | fri | uk)")?;
+            let scale: u64 = parse_flag(rest, "--scale", 2000)?;
+            let workers: usize = parse_flag(rest, "--workers", 4)?;
+            let vblocks: usize = parse_flag(rest, "--vblocks", 1)?;
+            let codec: CodecChoice = flag(rest, "--codec")
+                .map(|c| c.parse())
+                .transpose()
+                .map_err(|_| "bad --codec (none | gaps | block | auto)".to_string())?
+                .unwrap_or(CodecChoice::None);
+            let (engine, graph_id) = c
+                .register_dataset(&name, &dataset, scale, workers, vblocks, codec)
+                .map_err(|e| e.to_string())?;
+            println!("registered '{name}' ({dataset} at 1/{scale}) on engine {engine} as graph {graph_id}");
+        }
+        "submit" => {
+            let graph = flag(rest, "--graph").ok_or("submit needs --graph")?;
+            let mode: Mode = flag(rest, "--mode")
+                .map(|m| m.parse())
+                .transpose()?
+                .unwrap_or(Mode::Hybrid);
+            let options = JobOptions {
+                mode,
+                buffer_messages: parse_flag(rest, "--buffer", u64::MAX)?,
+                trace: has_flag(rest, "--trace"),
+                max_supersteps: 0,
+            };
+            let job = c
+                .submit(&graph, program_from(rest)?, options)
+                .map_err(|e| e.to_string())?;
+            println!("job {job}");
+            if has_flag(rest, "--watch") {
+                let status = c.subscribe(job, print_event).map_err(|e| e.to_string())?;
+                print_status(&status);
+            }
+        }
+        "status" => {
+            let status = c.status(parse_job_id(rest)?).map_err(|e| e.to_string())?;
+            print_status(&status);
+        }
+        "watch" => {
+            let status = c
+                .subscribe(parse_job_id(rest)?, print_event)
+                .map_err(|e| e.to_string())?;
+            print_status(&status);
+        }
+        "fetch" => {
+            let o = c.fetch(parse_job_id(rest)?).map_err(|e| e.to_string())?;
+            println!(
+                "modeled {:.6}s, {} physical / {} logical bytes, {} supersteps",
+                o.modeled_secs, o.physical_bytes, o.logical_bytes, o.supersteps
+            );
+            if !o.switches.is_empty() {
+                println!("switches: {}", o.switches.join(" "));
+            }
+            println!(
+                "values: {:#018x} (fnv1a over the value blob)",
+                fnv1a(&o.values)
+            );
+            println!("audits: {:#018x}", fnv1a(&o.audits));
+            if let Some(trace) = &o.trace {
+                println!("trace: {} bytes", trace.len());
+            }
+        }
+        "evict" => {
+            let name = rest.first().ok_or("evict needs a graph name")?;
+            c.evict(name).map_err(|e| e.to_string())?;
+            println!("evicted '{name}'");
+        }
+        "metrics" => {
+            print!("{}", c.metrics_text().map_err(|e| e.to_string())?);
+        }
+        "shutdown" => {
+            c.shutdown().map_err(|e| e.to_string())?;
+            println!("gateway shutting down");
+        }
+        other => {
+            return Err(format!(
+                "unknown client command '{other}' (register | submit | status | \
+                 watch | fetch | evict | metrics | shutdown)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing_last_wins() {
+        let args: Vec<String> = ["--seed", "1", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag(&args, "--seed").as_deref(), Some("7"));
+        assert_eq!(parse_flag(&args, "--seed", 0u64), Ok(7));
+        assert_eq!(parse_flag(&args, "--engines", 3usize), Ok(3));
+        assert!(parse_flag::<u64>(&args, "--seed", 0).is_ok());
+    }
+
+    #[test]
+    fn program_specs_parse() {
+        let args: Vec<String> = ["--algo", "sssp", "--source", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(program_from(&args), Ok(ProgramSpec::Sssp { source: 9 }));
+        assert!(program_from(&["--algo".into(), "nope".into()]).is_err());
+        assert_eq!(
+            program_from(&[]),
+            Ok(ProgramSpec::PageRank { supersteps: 5 })
+        );
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`table`] — fixed-width table printing for the figure output.
 
 pub mod experiments;
+pub mod gwcli;
 pub mod report;
 pub mod table;
 

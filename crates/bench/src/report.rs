@@ -12,6 +12,8 @@
 //! seconds are the one timing-driven field (reported for orientation,
 //! never compared).
 
+pub mod diff;
+
 use hybridgraph_core::JobMetrics;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -53,6 +55,15 @@ impl BenchRow {
                 .collect(),
             extra: Vec::new(),
         }
+    }
+
+    /// A row with the wall clock zeroed: every remaining field is
+    /// modeled and deterministic, so a report built only from these rows
+    /// is byte-identical run to run and CI can diff the committed copy.
+    pub fn deterministic(label: impl Into<String>, m: &JobMetrics) -> BenchRow {
+        let mut row = BenchRow::from_metrics(label, m);
+        row.wall_secs = 0.0;
+        row
     }
 
     /// Attaches a numeric extra.
@@ -129,6 +140,14 @@ impl BenchReport {
     pub fn write(&self) -> PathBuf {
         let path = PathBuf::from(format!("BENCH_{}.json", self.experiment));
         std::fs::write(&path, self.to_json()).expect("write bench report");
+        path
+    }
+
+    /// [`BenchReport::write`] plus the `report:  <path>` line every
+    /// experiment prints as its tail.
+    pub fn write_announced(&self) -> PathBuf {
+        let path = self.write();
+        println!("report:  {}", path.display());
         path
     }
 }

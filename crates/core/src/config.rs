@@ -17,6 +17,25 @@ pub trait BarrierSink: Send + Sync + std::fmt::Debug {
     fn commit(&self, superstep: u64, state: &[u8]) -> io::Result<()>;
 }
 
+/// Observer for a running job's coarse progress: the load phase and each
+/// completed superstep barrier. Installed via
+/// [`JobConfig::with_progress`]; the gateway uses it to stream superstep
+/// events to subscribed clients. Calls happen on the master thread
+/// *after* the superstep's metrics are final, and the sink must not
+/// block for long — it is on the barrier path. Progress reporting is
+/// observation only: it never touches modeled time or I/O accounting,
+/// so attaching a sink cannot perturb byte-identical replay.
+pub trait ProgressSink: Send + Sync + std::fmt::Debug {
+    /// The graph is loaded and partitioned; `modeled_secs` is the modeled
+    /// load time.
+    fn loaded(&self, modeled_secs: f64) {
+        let _ = modeled_secs;
+    }
+    /// Superstep `superstep` completed under `mode` taking `modeled_secs`
+    /// of modeled time.
+    fn superstep(&self, superstep: u64, mode: Mode, modeled_secs: f64);
+}
+
 /// An encoded master snapshot a resumed job restarts from (the bytes a
 /// [`BarrierSink`] committed at the job's last barrier).
 #[derive(Clone)]
@@ -255,6 +274,10 @@ pub struct JobConfig {
     /// modeled time. Off by default: the spacing then depends only on
     /// `adaptive_checkpoint_factor`, exactly as before.
     pub fault_aware_checkpoint: bool,
+    /// Coarse progress observer: notified after the load phase and after
+    /// every completed superstep barrier. `None` (the default) reports
+    /// nothing. Purely observational — see [`ProgressSink`].
+    pub progress: Option<Arc<dyn ProgressSink>>,
     /// Per-block residual threshold for [`Mode::Async`] pseudo-rounds: a
     /// block stops iterating its interior once the maximum
     /// `VertexProgram::residual` of its last round is at or below this.
@@ -302,6 +325,7 @@ impl JobConfig {
             resume: None,
             worker_disks: None,
             fault_aware_checkpoint: false,
+            progress: None,
             async_residual: 1e-9,
             async_max_rounds: 8,
         }
@@ -405,6 +429,12 @@ impl JobConfig {
     /// `workers` (checked by the runner).
     pub fn with_worker_disks(mut self, disks: WorkerDisks) -> Self {
         self.worker_disks = Some(disks);
+        self
+    }
+
+    /// Installs a coarse progress observer (see [`ProgressSink`]).
+    pub fn with_progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.progress = Some(sink);
         self
     }
 

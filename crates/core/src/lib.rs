@@ -42,7 +42,9 @@ pub mod switch;
 pub mod worker;
 
 pub use blockexec::{BlockClassification, InteriorIndex};
-pub use config::{BarrierSink, CheckpointPolicy, JobConfig, Mode, ResumeState, WorkerDisks};
+pub use config::{
+    BarrierSink, CheckpointPolicy, JobConfig, Mode, ProgressSink, ResumeState, WorkerDisks,
+};
 pub use fault::{FaultPhase, FaultPlan, MasterKillPoint};
 pub use metrics::{
     AsyncStepStats, FailureEvent, JobMetrics, NetOverhead, RecoveryMetrics, SemanticBytes,

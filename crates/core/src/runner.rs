@@ -138,6 +138,27 @@ pub enum JobError {
     Io(io::Error),
 }
 
+impl JobError {
+    /// Stable numeric code for wire protocols: clients match on the code
+    /// instead of parsing the display string. Codes are append-only —
+    /// never renumber.
+    ///
+    /// | code | variant          |
+    /// |------|------------------|
+    /// | 1    | `WorkerFailed`   |
+    /// | 2    | `BudgetExceeded` |
+    /// | 3    | `Halted`         |
+    /// | 4    | `Io`             |
+    pub fn code(&self) -> u16 {
+        match self {
+            JobError::WorkerFailed { .. } => 1,
+            JobError::BudgetExceeded { .. } => 2,
+            JobError::Halted { .. } => 3,
+            JobError::Io(_) => 4,
+        }
+    }
+}
+
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -753,6 +774,9 @@ pub fn run_job<P: VertexProgram>(
             if let Some(p) = &pacer {
                 p.release(load_modeled_secs);
             }
+            if let Some(ps) = &cfg.progress {
+                ps.loaded(load_modeled_secs);
+            }
             // Per-job budget enforcement: cumulative logical bytes (the
             // device-independent measure, so codecs don't mask overuse)
             // and the per-superstep summed memory high-water mark.
@@ -1184,6 +1208,9 @@ pub fn run_job<P: VertexProgram>(
             mtbf.advance(step_secs);
             if let Some(p) = &pacer {
                 p.release(step_secs);
+            }
+            if let Some(ps) = &cfg.progress {
+                ps.superstep(superstep, kind.mode(), step_secs);
             }
             cum_logical += step_logical;
             if let Some(b) = cfg.logical_io_budget {

@@ -1,0 +1,387 @@
+//! The byte layer: one [`Transport`] trait, two implementations.
+//!
+//! * [`LoopbackTransport`] — a deterministic in-process pipe pair. Tests
+//!   and benches run the full client/server/frame stack over it, so the
+//!   repo's byte-identity and same-seed replay guarantees carry over to
+//!   the gateway without touching a socket.
+//! * [`TcpTransport`] — real `std::net` sockets with per-connection read
+//!   timeouts. Same server code, same frames; only the bytes' carrier
+//!   differs.
+//!
+//! Both sides of a connection implement [`Conn`]: blocking reads and
+//! writes plus an optional read timeout (a stalled or hostile peer can
+//! hold a connection open, never a server thread forever).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One side of an established connection.
+pub trait Conn: Read + Write + Send {
+    /// Caps how long a single `read` may block; `None` blocks forever.
+    /// A timeout surfaces as [`io::ErrorKind::WouldBlock`] or
+    /// [`io::ErrorKind::TimedOut`].
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Human-readable peer label for logs.
+    fn peer(&self) -> String;
+}
+
+/// A listener producing [`Conn`]s.
+pub trait Transport: Send + Sync {
+    /// Blocks for the next inbound connection.
+    fn accept(&self) -> io::Result<Box<dyn Conn>>;
+
+    /// Wakes a blocked [`Transport::accept`] for shutdown; subsequent
+    /// accepts fail.
+    fn unblock(&self);
+
+    /// Human-readable bind label for logs.
+    fn label(&self) -> String;
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+/// One direction of a loopback connection: a byte queue with EOF.
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    cv: Condvar,
+}
+
+impl Pipe {
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "loopback peer closed",
+            ));
+        }
+        st.buf.extend(data);
+        self.cv.notify_all();
+        Ok(data.len())
+    }
+
+    fn read(&self, out: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if !st.buf.is_empty() {
+                let n = out.len().min(st.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = st.buf.pop_front().unwrap();
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0); // EOF
+            }
+            match timeout {
+                None => st = self.cv.wait(st).unwrap(),
+                Some(t) => {
+                    let (guard, res) = self.cv.wait_timeout(st, t).unwrap();
+                    st = guard;
+                    if res.timed_out() && st.buf.is_empty() && !st.closed {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "loopback read timed out",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One endpoint of an in-process connection. Dropping it closes both
+/// directions, so the peer sees EOF (clean between frames, torn inside
+/// one — exactly like a socket).
+pub struct LoopbackConn {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    timeout: Option<Duration>,
+    label: &'static str,
+}
+
+impl Read for LoopbackConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.rx.read(buf, self.timeout)
+    }
+}
+
+impl Write for LoopbackConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Conn for LoopbackConn {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        self.label.to_string()
+    }
+}
+
+impl Drop for LoopbackConn {
+    fn drop(&mut self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+#[derive(Default)]
+struct LoopbackState {
+    pending: VecDeque<LoopbackConn>,
+    closed: bool,
+}
+
+/// The in-process transport: [`LoopbackTransport::connect`] hands one
+/// end to the client and queues the other for [`Transport::accept`].
+#[derive(Default)]
+pub struct LoopbackTransport {
+    state: Mutex<LoopbackState>,
+    cv: Condvar,
+}
+
+impl LoopbackTransport {
+    /// A fresh loopback listener.
+    pub fn new() -> Arc<LoopbackTransport> {
+        Arc::new(LoopbackTransport::default())
+    }
+
+    /// Establishes a connection; returns the client end.
+    pub fn connect(&self) -> io::Result<Box<dyn Conn>> {
+        let c2s = Arc::new(Pipe::default());
+        let s2c = Arc::new(Pipe::default());
+        let client = LoopbackConn {
+            rx: Arc::clone(&s2c),
+            tx: Arc::clone(&c2s),
+            timeout: None,
+            label: "loopback-server",
+        };
+        let server = LoopbackConn {
+            rx: c2s,
+            tx: s2c,
+            timeout: None,
+            label: "loopback-client",
+        };
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "loopback transport closed",
+            ));
+        }
+        st.pending.push_back(server);
+        self.cv.notify_all();
+        Ok(Box::new(client))
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(conn) = st.pending.pop_front() {
+                return Ok(Box::new(conn));
+            }
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "loopback transport closed",
+                ));
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn unblock(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    fn label(&self) -> String {
+        "loopback".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+struct TcpConn {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl Read for TcpConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl Write for TcpConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+impl Conn for TcpConn {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// Real sockets behind the same [`Transport`] trait. Bind with port 0
+/// to let the OS pick; [`TcpTransport::local_addr`] reports the result.
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+    closed: AtomicBool,
+}
+
+impl TcpTransport {
+    /// Binds a listener.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpTransport {
+            listener,
+            addr,
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connects a client end to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Box<dyn Conn>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".to_string());
+        Ok(Box::new(TcpConn { stream, peer }))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        let (stream, peer) = self.listener.accept()?;
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "tcp transport closed",
+            ));
+        }
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(TcpConn {
+            stream,
+            peer: peer.to_string(),
+        }))
+    }
+
+    fn unblock(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Wake the blocked accept with a throwaway connection to
+        // ourselves; accept() sees the flag and bails.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn label(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_moves_bytes_both_ways() {
+        let t = LoopbackTransport::new();
+        let mut client = t.connect().unwrap();
+        let mut server = t.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        server.write_all(b"pong").unwrap();
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn loopback_drop_gives_peer_eof() {
+        let t = LoopbackTransport::new();
+        let client = t.connect().unwrap();
+        let mut server = t.accept().unwrap();
+        drop(client);
+        let mut buf = [0u8; 1];
+        assert_eq!(server.read(&mut buf).unwrap(), 0, "EOF after peer drop");
+    }
+
+    #[test]
+    fn loopback_read_timeout_fires() {
+        let t = LoopbackTransport::new();
+        let _client = t.connect().unwrap();
+        let mut server = t.accept().unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        let err = server.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn unblock_aborts_accept() {
+        let t = LoopbackTransport::new();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.accept().is_err());
+        std::thread::sleep(Duration::from_millis(20));
+        t.unblock();
+        assert!(h.join().unwrap(), "accept must fail after unblock");
+    }
+}

@@ -1,0 +1,270 @@
+//! The frame layer: length-prefixed, versioned binary frames.
+//!
+//! Every message on a gateway connection travels inside one frame:
+//!
+//! ```text
+//! +-------+---------+------+--------------+------------+
+//! | magic | version | kind | len (varint) | body bytes |
+//! |  4 B  |   1 B   | 1 B  |   1..10 B    |   len B    |
+//! +-------+---------+------+--------------+------------+
+//! ```
+//!
+//! * `magic` is the constant `b"HGWP"` — a stray client speaking another
+//!   protocol is rejected on its first four bytes.
+//! * `version` is [`VERSION`]; a mismatch is a typed error, never a
+//!   silent misparse.
+//! * `kind` tags the message (see [`crate::proto`] for the assignments).
+//! * `len` is the body length as the same LEB128 varint
+//!   `hybridgraph-codec` uses on disk, capped by the receiver's
+//!   `max_frame` before any allocation happens.
+//!
+//! Torn frames are rejected, not healed: a connection that dies mid-frame
+//! surfaces [`WireError::Truncated`] and the connection is dropped. (The
+//! WAL heals torn *tails* because a log is replayed; a live connection
+//! has a peer to re-send.)
+
+use hybridgraph_codec::varint;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"HGWP";
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Default cap on a frame's body length (64 MiB).
+pub const DEFAULT_MAX_FRAME: u64 = 64 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed cleanly before the first byte of a frame.
+    Closed,
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte did not match [`VERSION`].
+    BadVersion(u8),
+    /// The declared body length exceeds the receiver's cap.
+    FrameTooLarge {
+        /// Declared body length.
+        len: u64,
+        /// The receiver's cap.
+        max: u64,
+    },
+    /// The stream ended (or the buffer ran out) mid-frame.
+    Truncated(&'static str),
+    /// The frame parsed but its body didn't decode as the tagged message.
+    Malformed(String),
+    /// An I/O error below the frame layer (includes read timeouts).
+    Io(io::Error),
+}
+
+impl WireError {
+    /// Stable numeric code for the wire (protocol error domain). Codes
+    /// are append-only — never renumber.
+    ///
+    /// | code | variant         |
+    /// |------|-----------------|
+    /// | 1    | `Closed`        |
+    /// | 2    | `BadMagic`      |
+    /// | 3    | `BadVersion`    |
+    /// | 4    | `FrameTooLarge` |
+    /// | 5    | `Truncated`     |
+    /// | 6    | `Malformed`     |
+    /// | 7    | `Io`            |
+    pub fn code(&self) -> u16 {
+        match self {
+            WireError::Closed => 1,
+            WireError::BadMagic(_) => 2,
+            WireError::BadVersion(_) => 3,
+            WireError::FrameTooLarge { .. } => 4,
+            WireError::Truncated(_) => 5,
+            WireError::Malformed(_) => 6,
+            WireError::Io(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => {
+                write!(f, "protocol version {v} (this side speaks {VERSION})")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Truncated(what) => write!(f, "frame truncated reading {what}"),
+            WireError::Malformed(e) => write!(f, "malformed frame body: {e}"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One decoded frame: the kind tag and the raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind tag.
+    pub kind: u8,
+    /// Raw body bytes (decoded by [`crate::proto`]).
+    pub body: Vec<u8>,
+}
+
+/// Encodes one frame into a fresh buffer.
+pub fn encode_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 1 + 10 + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    varint::write_u64(&mut out, body.len() as u64);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes one frame; returns the number of bytes put on the wire.
+pub fn write_frame(w: &mut dyn Write, kind: u8, body: &[u8]) -> io::Result<usize> {
+    let bytes = encode_frame(kind, body);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads exactly `buf.len()` bytes, mapping a mid-read EOF to
+/// [`WireError::Truncated`] tagged with `what`.
+fn read_exact_or(r: &mut dyn Read, buf: &mut [u8], what: &'static str) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated(what)
+        } else {
+            WireError::Io(e)
+        }
+    })
+}
+
+/// Reads one frame from a stream. Returns [`WireError::Closed`] on a
+/// clean EOF *before* a frame starts, [`WireError::Truncated`] on an EOF
+/// anywhere inside one. The body is only allocated after the declared
+/// length passes the `max_frame` cap, so a hostile length prefix cannot
+/// balloon memory. Also returns the total bytes consumed off the wire.
+pub fn read_frame(r: &mut dyn Read, max_frame: u64) -> Result<(Frame, usize), WireError> {
+    // First byte by hand: a clean close between frames is `Closed`, not
+    // `Truncated` — the server treats one as normal and one as an error.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(WireError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let mut magic = [0u8; 4];
+    magic[0] = first[0];
+    read_exact_or(r, &mut magic[1..], "magic")?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let mut vk = [0u8; 2];
+    read_exact_or(r, &mut vk, "version/kind")?;
+    if vk[0] != VERSION {
+        return Err(WireError::BadVersion(vk[0]));
+    }
+    let kind = vk[1];
+    // LEB128 length, one byte at a time (a stream has no lookahead).
+    let mut len: u64 = 0;
+    let mut shift = 0u32;
+    let mut len_bytes = 0usize;
+    loop {
+        let mut b = [0u8; 1];
+        read_exact_or(r, &mut b, "length varint")?;
+        len_bytes += 1;
+        if shift >= 64 || (shift == 63 && b[0] & 0x7e != 0) {
+            return Err(WireError::Malformed("length varint overflows u64".into()));
+        }
+        len |= ((b[0] & 0x7f) as u64) << shift;
+        if b[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len > max_frame {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_or(r, &mut body, "body")?;
+    Ok((Frame { kind, body }, 4 + 2 + len_bytes + len as usize))
+}
+
+/// Decodes one frame from an in-memory buffer (the fuzz target): returns
+/// the frame and the bytes consumed. Exactly the same acceptance rules
+/// as [`read_frame`], with buffer exhaustion mapped to
+/// [`WireError::Truncated`].
+pub fn decode_frame(buf: &[u8], max_frame: u64) -> Result<(Frame, usize), WireError> {
+    let mut cursor = io::Cursor::new(buf);
+    match read_frame(&mut cursor, max_frame) {
+        Ok(ok) => Ok(ok),
+        // An in-memory buffer "closing" means it was empty — that is a
+        // truncation from the decoder's point of view.
+        Err(WireError::Closed) if buf.is_empty() => Err(WireError::Truncated("magic")),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let bytes = encode_frame(7, b"hello");
+        let (f, used) = decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(f.kind, 7);
+        assert_eq!(f.body, b"hello");
+    }
+
+    #[test]
+    fn empty_body_roundtrip() {
+        let bytes = encode_frame(0, b"");
+        let (f, used) = decode_frame(&bytes, 0).unwrap();
+        assert_eq!(used, bytes.len());
+        assert!(f.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(1);
+        hybridgraph_codec::varint::write_u64(&mut bytes, u64::MAX);
+        match decode_frame(&bytes, 1024) {
+            Err(WireError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u64::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}

@@ -34,7 +34,7 @@ pub use audit::{render_table, QtAsync, QtAudit, QtInputs, QtTerms, QtVerdict};
 pub use chrome::{export_chrome_trace, export_chrome_trace_jobs, json_escape};
 pub use event::{intern_arg_key, ArgValue, EventKind, TraceEvent};
 pub use json::validate_json;
-pub use prom::{export_prometheus, ExtraMetric};
+pub use prom::{export_prometheus, export_prometheus_gauges, ExtraMetric};
 pub use sink::{
     decode_shard_states, encode_shard_states, maybe_instant, maybe_span, ShardState, TraceShard,
     TraceSink, DEFAULT_SHARD_CAPACITY,

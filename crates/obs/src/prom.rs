@@ -173,11 +173,27 @@ pub fn export_prometheus(sink: &TraceSink, extras: &[ExtraMetric]) -> String {
         let _ = writeln!(out, "{m}{labels} {v}");
     }
 
+    render_gauges(&mut out, prefix, extras);
+
+    let _ = writeln!(out, "# TYPE {prefix}_trace_events_dropped gauge");
+    let _ = writeln!(
+        out,
+        "{prefix}_trace_events_dropped {}",
+        sink.total_dropped()
+    );
+    out
+}
+
+fn render_gauges(out: &mut String, prefix: &str, extras: &[ExtraMetric]) {
     let mut extra_sorted: Vec<&ExtraMetric> = extras.iter().collect();
     extra_sorted.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+    let mut last: Option<&str> = None;
     for e in extra_sorted {
         let m = format!("{prefix}_{}", sanitize(&e.name));
-        let _ = writeln!(out, "# TYPE {m} gauge");
+        if last != Some(e.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            last = Some(e.name.as_str());
+        }
         if e.labels.is_empty() {
             let _ = writeln!(out, "{m} {}", e.value);
         } else {
@@ -189,13 +205,17 @@ pub fn export_prometheus(sink: &TraceSink, extras: &[ExtraMetric]) -> String {
             let _ = writeln!(out, "{m}{{{}}} {}", pairs.join(","), e.value);
         }
     }
+}
 
-    let _ = writeln!(out, "# TYPE {prefix}_trace_events_dropped gauge");
-    let _ = writeln!(
-        out,
-        "{prefix}_trace_events_dropped {}",
-        sink.total_dropped()
-    );
+/// Render caller-supplied gauges alone as Prometheus text exposition —
+/// no trace sink required. The gateway uses this for its frame/byte
+/// counters and per-engine queue-depth gauges, where there is no single
+/// job trace to aggregate. Output ordering is deterministic (sorted by
+/// name, then labels), and repeated names share one `# TYPE` line as
+/// the exposition format requires.
+pub fn export_prometheus_gauges(extras: &[ExtraMetric]) -> String {
+    let mut out = String::new();
+    render_gauges(&mut out, "hybridgraph", extras);
     out
 }
 

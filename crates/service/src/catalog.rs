@@ -84,6 +84,29 @@ pub enum CatalogError {
     Io(String),
 }
 
+impl CatalogError {
+    /// Stable numeric code for wire protocols: clients match on the code
+    /// instead of parsing the display string. Codes are append-only —
+    /// never renumber.
+    ///
+    /// | code | variant          |
+    /// |------|------------------|
+    /// | 1    | `NameTaken`      |
+    /// | 2    | `Unknown`        |
+    /// | 3    | `Pinned`         |
+    /// | 4    | `TooManyWorkers` |
+    /// | 5    | `Io`             |
+    pub fn code(&self) -> u16 {
+        match self {
+            CatalogError::NameTaken(_) => 1,
+            CatalogError::Unknown(_) => 2,
+            CatalogError::Pinned { .. } => 3,
+            CatalogError::TooManyWorkers { .. } => 4,
+            CatalogError::Io(_) => 5,
+        }
+    }
+}
+
 impl fmt::Display for CatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -35,12 +35,14 @@
 //! [`GraphService::resume_job`] for the crash-restart lifecycle.
 
 pub mod catalog;
+pub mod pool;
 pub mod retry;
 pub mod scheduler;
 pub mod service;
 pub mod wal;
 
 pub use catalog::{Catalog, CatalogError, GraphSpec, RegisteredGraph};
+pub use pool::{EnginePool, PoolRecoveredJob};
 pub use retry::{is_transient, RetryPolicy};
 pub use scheduler::{LaneHandle, RoundRobinScheduler};
 pub use service::{

@@ -33,7 +33,7 @@ use hybridgraph_core::StepPacer;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// SplitMix64 — the same tiny generator the graph crate seeds with.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

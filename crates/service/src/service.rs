@@ -166,6 +166,31 @@ pub enum AdmissionError {
     LogFailed(String),
 }
 
+impl AdmissionError {
+    /// Stable numeric code for wire protocols: clients match on the code
+    /// instead of parsing the display string. Codes are append-only —
+    /// never renumber.
+    ///
+    /// | code | variant               |
+    /// |------|-----------------------|
+    /// | 1    | `UnknownGraph`        |
+    /// | 2    | `QueueFull`           |
+    /// | 3    | `BudgetTooLarge`      |
+    /// | 4    | `TraceWorkerMismatch` |
+    /// | 5    | `Overloaded`          |
+    /// | 6    | `LogFailed`           |
+    pub fn code(&self) -> u16 {
+        match self {
+            AdmissionError::UnknownGraph(_) => 1,
+            AdmissionError::QueueFull { .. } => 2,
+            AdmissionError::BudgetTooLarge { .. } => 3,
+            AdmissionError::TraceWorkerMismatch { .. } => 4,
+            AdmissionError::Overloaded { .. } => 5,
+            AdmissionError::LogFailed(_) => 6,
+        }
+    }
+}
+
 impl fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -39,11 +39,14 @@
 //! partitioning), [`storage`] (simulated disk, VE-BLOCK), [`net`]
 //! (simulated fabric), [`core`] (the engine), [`algos`] (PageRank,
 //! SSSP, LPA, SA, WCC), [`service`] (multi-tenant `GraphService`:
-//! register graphs once, run many concurrent deterministic jobs).
+//! register graphs once, run many concurrent deterministic jobs),
+//! [`gateway`] (network front door: binary wire protocol, RPC
+//! server/client, multi-engine dispatch).
 
 pub use hybridgraph_algos as algos;
 pub use hybridgraph_codec as codec;
 pub use hybridgraph_core as core;
+pub use hybridgraph_gateway as gateway;
 pub use hybridgraph_graph as graph;
 pub use hybridgraph_net as net;
 pub use hybridgraph_obs as obs;
@@ -58,6 +61,9 @@ pub mod prelude {
         JobMetrics, JobResult, MasterKillPoint, Mode, NetOverhead, RecoveryMetrics, Update,
         VertexProgram,
     };
+    pub use hybridgraph_gateway::{
+        GatewayClient, GatewayConfig, GatewayServer, LoopbackTransport, TcpTransport,
+    };
     pub use hybridgraph_graph::{
         Dataset, Edge, Graph, GraphBuilder, Partition, VertexId, WorkerId,
     };
@@ -66,8 +72,8 @@ pub mod prelude {
         export_chrome_trace, export_prometheus, render_table, validate_json, TraceSink,
     };
     pub use hybridgraph_service::{
-        AdmissionError, CatalogError, GraphService, GraphSpec, JobRequest, RecoveredJob,
-        ServiceConfig,
+        AdmissionError, CatalogError, EnginePool, GraphService, GraphSpec, JobRequest,
+        RecoveredJob, ServiceConfig,
     };
     pub use hybridgraph_storage::{CodecChoice, DeviceProfile, MemVfs, Vfs};
 }

@@ -21,8 +21,9 @@
 //! `--scale N` generates datasets at 1/N of the paper's sizes
 //! (default 2000). Modeled runtimes are projected back by ×N.
 //!
-//! `--codec C` (none | gaps | block | auto) sets the on-disk codec for
-//! the `observe` experiment; `io_compress` sweeps all four regardless.
+//! `--codec C` (none | gaps | block | bv | auto) sets the on-disk codec
+//! for the `observe` experiment; `io_compress` sweeps all of them
+//! regardless.
 //!
 //! `--mode M` (push | pushM | pull | b-pull | hybrid | async) pins the
 //! `observe` experiment to one execution mode instead of the default
@@ -61,6 +62,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation",
     "observe",
     "io_compress",
+    "billion",
     "multi_tenant",
     "service_restart",
     "graphhp",
@@ -92,6 +94,7 @@ fn dispatch(name: &str, scale: Scale, observe: &exp::observe::ObserveOpts) -> bo
         "ablation" => exp::ablation::run(scale),
         "observe" => exp::observe::run(scale, observe),
         "io_compress" => exp::io_compress::run(scale),
+        "billion" => exp::billion::run(scale),
         "multi_tenant" => exp::multi_tenant::run(scale),
         "service_restart" => exp::service_restart::run(scale),
         "graphhp" => exp::graphhp::run(scale),
@@ -146,9 +149,9 @@ fn main() {
             }
             "--codec" => {
                 let c = it.next().unwrap_or_else(|| usage("missing --codec value"));
-                observe.codec = c
-                    .parse()
-                    .unwrap_or_else(|_| usage("--codec takes none | gaps | block | auto"));
+                // `CodecChoice::from_str` already enumerates every valid
+                // choice in its error; surface it verbatim.
+                observe.codec = c.parse().unwrap_or_else(|e: String| usage(&e));
             }
             "--mode" => {
                 let m = it.next().unwrap_or_else(|| usage("missing --mode value"));
@@ -188,6 +191,7 @@ fn usage(err: &str) -> ! {
 #[cfg(test)]
 mod tests {
     use hybridgraph_core::Mode;
+    use hybridgraph_storage::CodecChoice;
 
     /// The `--mode` flag surfaces `Mode::from_str`'s error verbatim, so
     /// a typo must name the offender and list every valid mode.
@@ -209,5 +213,25 @@ mod tests {
         }
         assert_eq!("bpull".parse::<Mode>(), Ok(Mode::BPull));
         assert_eq!("pushm".parse::<Mode>(), Ok(Mode::PushM));
+    }
+
+    /// Same contract for `--codec`: the `CodecChoice::from_str` error
+    /// names the offender and lists every valid choice, including `bv`.
+    #[test]
+    fn codec_parse_error_lists_all_choices() {
+        let err = "zstd".parse::<CodecChoice>().unwrap_err();
+        assert!(err.contains("unknown codec 'zstd'"), "{err}");
+        for codec in CodecChoice::ALL {
+            let label = codec.label();
+            assert!(err.contains(label), "error must list '{label}': {err}");
+        }
+    }
+
+    /// Every advertised label round-trips to its choice.
+    #[test]
+    fn codec_parse_accepts_all_labels() {
+        for codec in CodecChoice::ALL {
+            assert_eq!(codec.label().parse::<CodecChoice>(), Ok(codec));
+        }
     }
 }

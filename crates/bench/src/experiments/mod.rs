@@ -3,6 +3,7 @@
 //! figure plots.
 
 pub mod ablation;
+pub mod billion;
 pub mod datasets;
 pub mod fig14;
 pub mod fig15;

@@ -90,7 +90,7 @@ pub fn run(scale: Scale, opts: &ObserveOpts) {
         // Job-level, timing-driven quantities live here — never in the
         // Chrome trace, which must stay byte-identical run to run.
         let no = &m.net_overhead;
-        let extras = vec![
+        let mut extras = vec![
             gauge("job_modeled_secs", m.modeled_total_secs()),
             gauge("job_wall_secs", m.wall_total_secs()),
             gauge("job_supersteps", m.supersteps() as f64),
@@ -117,6 +117,42 @@ pub fn run(scale: Scale, opts: &ObserveOpts) {
                     .map_or(0.0, |s| m.active_fraction(s.superstep)),
             ),
         ];
+        // Per-tier compression ratios over the whole job: physical over
+        // logical bytes summed across supersteps, one series per access
+        // class. All 1.0 without a codec.
+        let tier = |phys: u64, logi: u64| {
+            if logi == 0 {
+                1.0
+            } else {
+                phys as f64 / logi as f64
+            }
+        };
+        let sums = |f: fn(&hybridgraph_storage::IoSnapshot) -> (u64, u64)| {
+            m.steps
+                .iter()
+                .map(|s| f(&s.io))
+                .fold((0, 0), |(p, l), (dp, dl)| (p + dp, l + dl))
+        };
+        for (name, (p, l)) in [
+            (
+                "seq_read",
+                sums(|io| (io.seq_read_bytes, io.seq_read_logical_bytes)),
+            ),
+            (
+                "seq_write",
+                sums(|io| (io.seq_write_bytes, io.seq_write_logical_bytes)),
+            ),
+            (
+                "rand_read",
+                sums(|io| (io.rand_read_bytes, io.rand_read_logical_bytes)),
+            ),
+            (
+                "rand_write",
+                sums(|io| (io.rand_write_bytes, io.rand_write_logical_bytes)),
+            ),
+        ] {
+            extras.push(gauge("job_codec_ratio", tier(p, l)).label("tier", name));
+        }
         let text = export_prometheus(&sink, &extras);
         write_artifact(path, &text);
         println!("metrics: {} ({} bytes)", path.display(), text.len());

@@ -124,14 +124,14 @@ pub fn read_packed(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<u32>
 //   repeated `svertex u32 LE | count u32 LE | count × (id u32 LE, w f32 LE)`.
 // * Edge list (AdjacencyStore runs): repeated `id u32 LE | w f32 LE`.
 
-struct Frags {
-    svertices: Vec<u32>,
-    counts: Vec<u32>,
-    ids: Vec<u32>,
-    weights: Vec<u32>,
+pub(crate) struct Frags {
+    pub(crate) svertices: Vec<u32>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) ids: Vec<u32>,
+    pub(crate) weights: Vec<u32>,
 }
 
-fn parse_raw_fragments(raw: &[u8]) -> Result<Frags, CodecError> {
+pub(crate) fn parse_raw_fragments(raw: &[u8]) -> Result<Frags, CodecError> {
     let mut f = Frags {
         svertices: Vec::new(),
         counts: Vec::new(),

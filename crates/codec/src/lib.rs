@@ -23,7 +23,10 @@
 //! this crate entirely and their on-disk bytes stay byte-for-byte what
 //! they were before compression existed.
 
+pub mod bits;
 pub mod block;
+pub mod bv;
+pub mod ef;
 pub mod gaps;
 pub mod varint;
 
@@ -67,16 +70,22 @@ pub enum CodecChoice {
     Gaps,
     /// The general RLE+LZ byte codec everywhere.
     Block,
+    /// WebGraph-class BV tier: reference-chain copy-lists, interval
+    /// coding and ζ residual gaps for adjacency data (format v3); blobs
+    /// get the block codec. Falls back to raw per extent when the BV
+    /// structural assumptions don't hold.
+    Bv,
     /// Per extent, the smallest of raw / gaps / block.
     Auto,
 }
 
 impl CodecChoice {
     /// All choices, for sweeps.
-    pub const ALL: [CodecChoice; 4] = [
+    pub const ALL: [CodecChoice; 5] = [
         CodecChoice::None,
         CodecChoice::Gaps,
         CodecChoice::Block,
+        CodecChoice::Bv,
         CodecChoice::Auto,
     ];
 
@@ -86,6 +95,7 @@ impl CodecChoice {
             CodecChoice::None => "none",
             CodecChoice::Gaps => "gaps",
             CodecChoice::Block => "block",
+            CodecChoice::Bv => "bv",
             CodecChoice::Auto => "auto",
         }
     }
@@ -104,9 +114,10 @@ impl FromStr for CodecChoice {
             "none" => Ok(CodecChoice::None),
             "gaps" => Ok(CodecChoice::Gaps),
             "block" => Ok(CodecChoice::Block),
+            "bv" => Ok(CodecChoice::Bv),
             "auto" => Ok(CodecChoice::Auto),
             other => Err(format!(
-                "unknown codec '{other}' (expected none|gaps|block|auto)"
+                "unknown codec '{other}' (expected none|gaps|block|bv|auto)"
             )),
         }
     }
@@ -183,6 +194,9 @@ pub const TAG_RAW: u8 = 0;
 pub const TAG_GAPS: u8 = 1;
 /// Extent tag: RLE+LZ coded bytes follow.
 pub const TAG_BLOCK: u8 = 2;
+/// Extent tag: BV-coded adjacency data follows (format v3; readers
+/// accept tags 0–3, so v1/v2 extents keep decoding unchanged).
+pub const TAG_BV: u8 = 3;
 
 /// The record structure inside an adjacency extent, which decides how
 /// gap coding parses the raw bytes.
@@ -200,7 +214,10 @@ pub enum ExtentKind {
 /// [`CodecChoice::None`] — the raw, untagged path belongs to the caller.
 ///
 /// Candidates are tried per the choice and the smallest wins; ties keep
-/// the earlier of raw → gaps → block, so output is deterministic.
+/// the earlier of raw → gaps → block → bv, so output is deterministic.
+/// [`CodecChoice::Auto`] deliberately excludes the BV candidate so its
+/// extents stay byte-identical to the pre-v3 format; `Bv` is its own
+/// tier (raw fallback included).
 pub fn encode_extent(choice: CodecChoice, kind: ExtentKind, raw: &[u8]) -> Vec<u8> {
     debug_assert!(!choice.is_none(), "None bypasses extent framing");
     let gaps_coded = match choice {
@@ -212,6 +229,13 @@ pub fn encode_extent(choice: CodecChoice, kind: ExtentKind, raw: &[u8]) -> Vec<u
     };
     let block_coded = match choice {
         CodecChoice::Block | CodecChoice::Auto => Some(block::compress(raw)),
+        _ => None,
+    };
+    let bv_coded = match choice {
+        CodecChoice::Bv => match kind {
+            ExtentKind::Fragments => bv::fragments_from_raw(raw).ok(),
+            ExtentKind::Edges => bv::edges_from_raw(raw).ok(),
+        },
         _ => None,
     };
     let mut best_tag = TAG_RAW;
@@ -226,6 +250,12 @@ pub fn encode_extent(choice: CodecChoice, kind: ExtentKind, raw: &[u8]) -> Vec<u
         if b.len() < best.len() {
             best_tag = TAG_BLOCK;
             best = b;
+        }
+    }
+    if let Some(v) = bv_coded.as_deref() {
+        if v.len() < best.len() {
+            best_tag = TAG_BV;
+            best = v;
         }
     }
     let mut out = Vec::with_capacity(best.len() + 1);
@@ -249,6 +279,10 @@ pub fn decode_extent(
             ExtentKind::Edges => gaps::raw_from_edges(body)?,
         },
         TAG_BLOCK => block::decompress(body, logical_len)?,
+        TAG_BV => match kind {
+            ExtentKind::Fragments => bv::raw_from_fragments(body)?,
+            ExtentKind::Edges => bv::raw_from_edges(body)?,
+        },
         _ => return Err(CodecError::Corrupt("unknown extent tag")),
     };
     if raw.len() != logical_len {
@@ -264,12 +298,15 @@ pub fn decode_extent(
 /// `tag u8 | logical varint | payload_len varint | payload`.
 ///
 /// Blobs have no adjacency structure, so gaps never applies; under
-/// [`CodecChoice::Gaps`] the payload stays raw (only framed). Must not be
-/// called with [`CodecChoice::None`].
+/// [`CodecChoice::Gaps`] the payload stays raw (only framed), while
+/// [`CodecChoice::Bv`] hands blobs to the block codec — spills and
+/// checkpoints are a real share of physical bytes and BV is meant to be
+/// the everything-tightened tier. Must not be called with
+/// [`CodecChoice::None`].
 pub fn encode_blob_frame(choice: CodecChoice, raw: &[u8]) -> Vec<u8> {
     debug_assert!(!choice.is_none(), "None bypasses blob framing");
     let block_coded = match choice {
-        CodecChoice::Block | CodecChoice::Auto => Some(block::compress(raw)),
+        CodecChoice::Block | CodecChoice::Auto | CodecChoice::Bv => Some(block::compress(raw)),
         _ => None,
     };
     let (tag, payload): (u8, &[u8]) = match block_coded.as_deref() {
@@ -332,7 +369,12 @@ mod tests {
         frags.extend_from_slice(&3u32.to_le_bytes());
         frags.extend_from_slice(&200u32.to_le_bytes());
         frags.extend_from_slice(&edges);
-        for choice in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for choice in [
+            CodecChoice::Gaps,
+            CodecChoice::Block,
+            CodecChoice::Bv,
+            CodecChoice::Auto,
+        ] {
             for (kind, raw) in [(ExtentKind::Edges, &edges), (ExtentKind::Fragments, &frags)] {
                 let coded = encode_extent(choice, kind, raw);
                 assert_eq!(
@@ -359,10 +401,53 @@ mod tests {
 
     #[test]
     fn empty_extent_roundtrips() {
-        for choice in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for choice in [
+            CodecChoice::Gaps,
+            CodecChoice::Block,
+            CodecChoice::Bv,
+            CodecChoice::Auto,
+        ] {
             let coded = encode_extent(choice, ExtentKind::Edges, &[]);
             assert_eq!(decode_extent(ExtentKind::Edges, &coded, 0).unwrap(), vec![]);
         }
+    }
+
+    #[test]
+    fn bv_extent_beats_gaps_on_sorted_edges() {
+        // The tier's reason to exist, at the extent level: bit-granular
+        // codes under the same tag framing.
+        let raw = raw_edges(1000);
+        let gaps = encode_extent(CodecChoice::Gaps, ExtentKind::Edges, &raw);
+        let bv = encode_extent(CodecChoice::Bv, ExtentKind::Edges, &raw);
+        assert_eq!(bv[0], TAG_BV);
+        assert!(
+            bv.len() < gaps.len(),
+            "bv {} vs gaps {}",
+            bv.len(),
+            gaps.len()
+        );
+        assert_eq!(
+            decode_extent(ExtentKind::Edges, &bv, raw.len()).unwrap(),
+            raw
+        );
+    }
+
+    #[test]
+    fn auto_never_emits_bv_tags() {
+        // Auto's output is the pre-v3 format; BV extents only appear
+        // when the job explicitly opts into the new tier.
+        let raw = raw_edges(500);
+        let coded = encode_extent(CodecChoice::Auto, ExtentKind::Edges, &raw);
+        assert_ne!(coded[0], TAG_BV);
+    }
+
+    #[test]
+    fn bv_blob_frames_use_block_codec() {
+        let a = vec![7u8; 4096];
+        let framed = encode_blob_frame(CodecChoice::Bv, &a);
+        assert!(framed.len() < 64, "{}", framed.len());
+        let mut pos = 0;
+        assert_eq!(decode_blob_frame(&framed, &mut pos).unwrap(), a);
     }
 
     #[test]
@@ -379,7 +464,12 @@ mod tests {
     fn blob_frames_roundtrip_and_concatenate() {
         let a = vec![7u8; 4096];
         let b: Vec<u8> = (0..255u8).collect();
-        for choice in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for choice in [
+            CodecChoice::Gaps,
+            CodecChoice::Block,
+            CodecChoice::Bv,
+            CodecChoice::Auto,
+        ] {
             let mut stream = encode_blob_frame(choice, &a);
             stream.extend(encode_blob_frame(choice, &b));
             let mut pos = 0;

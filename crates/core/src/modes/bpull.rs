@@ -99,6 +99,8 @@ pub fn run_bpull_step<P: VertexProgram>(
 
     let mut my_done = false;
     let mut done_peers = 0usize;
+    let mut push_inbound: Vec<Vec<(VertexId, P::Message)>> =
+        (0..workers).map(|_| Vec::new()).collect();
     loop {
         if inflight.is_empty() && pending.is_empty() && !my_done {
             my_done = true;
@@ -137,13 +139,11 @@ pub fn run_bpull_step<P: VertexProgram>(
                 for_block: None,
                 ..
             } => {
-                // Push messages arriving during the fused switch step.
-                let spill_before = w.spill.as_ref().map(|s| s.spilled_bytes()).unwrap_or(0);
-                for (dst, m) in decode_batch::<P::Message>(kind, &payload) {
-                    sink_message(w, dst, m, false)?;
-                }
-                let spill_after = w.spill.as_ref().map(|s| s.spilled_bytes()).unwrap_or(0);
-                rep.sem.msg_spill_bytes += spill_after - spill_before;
+                // Push messages arriving during the fused switch step:
+                // staged per sender, sunk in worker-id order after the
+                // loop so the spill file's content stays deterministic
+                // (see the push executor's exchange phase).
+                push_inbound[env.from.index()].extend(decode_batch::<P::Message>(kind, &payload));
             }
             Packet::EndOfResponses { block } => {
                 let pos = inflight
@@ -173,6 +173,15 @@ pub fn run_bpull_step<P: VertexProgram>(
             other => unreachable!("unexpected packet in b-pull step: {other:?}"),
         }
     }
+
+    let spill_before = w.spill.as_ref().map(|s| s.spilled_bytes()).unwrap_or(0);
+    for pairs in push_inbound {
+        for (dst, m) in pairs {
+            sink_message(w, dst, m, false)?;
+        }
+    }
+    let spill_after = w.spill.as_ref().map(|s| s.spilled_bytes()).unwrap_or(0);
+    rep.sem.msg_spill_bytes += spill_after - spill_before;
 
     w.trace_phase("Pull-Respond+update");
     w.flush_staged()?;

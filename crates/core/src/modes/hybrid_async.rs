@@ -296,18 +296,25 @@ pub fn run_async_step<P: VertexProgram>(
         .as_ref()
         .map(|s| s.spilled_bytes())
         .unwrap_or_default();
+    // Staged per sender, sunk in worker-id order — keeps the spill
+    // file's content (and so its coded frames) deterministic; see the
+    // push executor's exchange phase.
+    let mut inbound: Vec<Vec<(VertexId, P::Message)>> = (0..workers).map(|_| Vec::new()).collect();
     while done < workers {
         let env = w.recv_timed(&mut blocking);
         match env.packet {
             Packet::Messages { kind, payload, .. } => {
                 debug_assert_ne!(kind, BatchKind::Concatenated, "async never concatenates");
-                for (dst, m) in decode_batch::<P::Message>(kind, &payload) {
-                    sink_message(w, dst, m, false)?;
-                }
+                inbound[env.from.index()].extend(decode_batch::<P::Message>(kind, &payload));
             }
             Packet::DoneSending => done += 1,
             Packet::Abort => return Err(super::abort_error()),
             other => unreachable!("unexpected packet in async step: {other:?}"),
+        }
+    }
+    for pairs in inbound {
+        for (dst, m) in pairs {
+            sink_message(w, dst, m, false)?;
         }
     }
     let spill_after = w

@@ -137,18 +137,30 @@ pub fn run_push_step<P: VertexProgram>(
             .as_ref()
             .map(|s| s.spilled_bytes())
             .unwrap_or_default();
+        // Batches are staged per sender and sunk in worker-id order
+        // below: arrival interleaving across senders is scheduling-
+        // dependent, and sinking in slot order makes the spill file's
+        // *content* (not just its byte count) a pure function of the
+        // superstep — coded spill frames compress to the same bytes run
+        // to run, the spill-side twin of `MsgAccumulator::
+        // merge_in_order`.
+        let mut inbound: Vec<Vec<(VertexId, P::Message)>> =
+            (0..workers).map(|_| Vec::new()).collect();
         while done < workers {
             let env = w.recv_timed(&mut blocking);
             match env.packet {
                 Packet::Messages { kind, payload, .. } => {
                     debug_assert_ne!(kind, BatchKind::Concatenated, "push never concatenates");
-                    for (dst, m) in decode_batch::<P::Message>(kind, &payload) {
-                        sink_message(w, dst, m, online)?;
-                    }
+                    inbound[env.from.index()].extend(decode_batch::<P::Message>(kind, &payload));
                 }
                 Packet::DoneSending => done += 1,
                 Packet::Abort => return Err(super::abort_error()),
                 other => unreachable!("unexpected packet in push step: {other:?}"),
+            }
+        }
+        for pairs in inbound {
+            for (dst, m) in pairs {
+                sink_message(w, dst, m, online)?;
             }
         }
         let spill_after = w

@@ -66,7 +66,7 @@ use crate::worker::{Worker, WorkerLoadReport, WorkerSeed};
 use hybridgraph_graph::{partition::vblock_counts, BlockLayout, Graph, Partition, WorkerId};
 use hybridgraph_net::fabric::{Endpoint, Fabric, NetSnapshot};
 use hybridgraph_net::packet::Packet;
-use hybridgraph_obs::secs_to_us;
+use hybridgraph_obs::{secs_to_us, QtTiers};
 use hybridgraph_storage::msg_log::{self, MsgLogReader};
 use hybridgraph_storage::vfs::{DirVfs, MemVfs, Vfs};
 use hybridgraph_storage::{IoSnapshot, Record};
@@ -1260,6 +1260,26 @@ pub fn run_job<P: VertexProgram>(
                 } else {
                     switcher.decide(superstep, &cfg.profile, &q_inputs, step_secs, step_io_ratio)
                 };
+                // Break `step_io_ratio` out by access class for jobs
+                // running with a codec: the audit then shows *which* I/O
+                // tier the codec compressed (adjacency extents are
+                // sequential reads; value point reads stay 1.0).
+                if !cfg.codec.is_none() {
+                    let tier = |phys: u64, logi: u64| {
+                        if logi == 0 {
+                            1.0
+                        } else {
+                            phys as f64 / logi as f64
+                        }
+                    };
+                    let io = &steps.last().expect("step just pushed").io;
+                    switcher.annotate_tiers(QtTiers {
+                        seq_read: tier(io.seq_read_bytes, io.seq_read_logical_bytes),
+                        seq_write: tier(io.seq_write_bytes, io.seq_write_logical_bytes),
+                        rand_read: tier(io.rand_read_bytes, io.rand_read_logical_bytes),
+                        rand_write: tier(io.rand_write_bytes, io.rand_write_logical_bytes),
+                    });
+                }
                 if let Some(new_mode) = decision {
                     let from = cur;
                     // The transition step that reconciles the two legs'

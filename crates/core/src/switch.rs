@@ -15,7 +15,7 @@
 //!   supersteps") and requests a switch when the sign flips.
 
 use crate::config::Mode;
-use hybridgraph_obs::{QtAsync, QtAudit, QtInputs, QtTerms, QtVerdict};
+use hybridgraph_obs::{QtAsync, QtAudit, QtInputs, QtTerms, QtTiers, QtVerdict};
 use hybridgraph_storage::service_log::{PayloadReader, PayloadWriter};
 use hybridgraph_storage::DeviceProfile;
 use std::io;
@@ -315,8 +315,19 @@ impl Switcher {
             mode_after: self.current.label(),
             verdict,
             asy,
+            tiers: None,
         });
         switched
+    }
+
+    /// Attaches the per-tier compression breakdown to the most recent
+    /// audit record. The engine calls this right after `decide` for jobs
+    /// running with a codec; codec-less jobs never do, so their audit
+    /// bytes are unchanged.
+    pub fn annotate_tiers(&mut self, tiers: QtTiers) {
+        if let Some(a) = self.audit.last_mut() {
+            a.tiers = Some(tiers);
+        }
     }
 
     /// Serializes the switcher's full state (mode, decision cursor, `R_co`,
@@ -462,17 +473,28 @@ pub fn encode_qt_audit(w: &mut PayloadWriter, a: &QtAudit) {
     w.put_f64(a.threshold);
     w.put_str(a.mode_before);
     w.put_str(a.mode_after);
-    // The async extension rides on the verdict byte's high bit so audit
-    // records of strict push/b-pull jobs serialize byte-for-byte as they
-    // always have (committed baselines depend on those byte counts).
-    match &a.asy {
-        Some(x) => {
-            w.put_u8(verdict_tag(a.verdict) | 0x80);
-            w.put_f64(x.barrier_saved_secs);
-            w.put_f64(x.dup_compute_secs);
-            w.put_f64(x.q_async);
-        }
-        None => w.put_u8(verdict_tag(a.verdict)),
+    // Optional extensions ride on the verdict byte's high bits (0x80 =
+    // async term, 0x40 = per-tier ratios) so audit records of plain
+    // push/b-pull codec-less jobs serialize byte-for-byte as they always
+    // have (committed baselines depend on those byte counts).
+    let mut tag = verdict_tag(a.verdict);
+    if a.asy.is_some() {
+        tag |= 0x80;
+    }
+    if a.tiers.is_some() {
+        tag |= 0x40;
+    }
+    w.put_u8(tag);
+    if let Some(x) = &a.asy {
+        w.put_f64(x.barrier_saved_secs);
+        w.put_f64(x.dup_compute_secs);
+        w.put_f64(x.q_async);
+    }
+    if let Some(t) = &a.tiers {
+        w.put_f64(t.seq_read);
+        w.put_f64(t.seq_write);
+        w.put_f64(t.rand_read);
+        w.put_f64(t.rand_write);
     }
 }
 
@@ -502,12 +524,22 @@ pub fn decode_qt_audit(r: &mut PayloadReader<'_>) -> io::Result<QtAudit> {
     let mode_before = mode_label_static(&r.get_str()?)?;
     let mode_after = mode_label_static(&r.get_str()?)?;
     let tag = r.get_u8()?;
-    let verdict = verdict_from_tag(tag & 0x7f)?;
+    let verdict = verdict_from_tag(tag & 0x3f)?;
     let asy = if tag & 0x80 != 0 {
         Some(QtAsync {
             barrier_saved_secs: r.get_f64()?,
             dup_compute_secs: r.get_f64()?,
             q_async: r.get_f64()?,
+        })
+    } else {
+        None
+    };
+    let tiers = if tag & 0x40 != 0 {
+        Some(QtTiers {
+            seq_read: r.get_f64()?,
+            seq_write: r.get_f64()?,
+            rand_read: r.get_f64()?,
+            rand_write: r.get_f64()?,
         })
     } else {
         None
@@ -524,6 +556,7 @@ pub fn decode_qt_audit(r: &mut PayloadReader<'_>) -> io::Result<QtAudit> {
         mode_after,
         verdict,
         asy,
+        tiers,
     })
 }
 
@@ -1016,6 +1049,48 @@ mod tests {
         assert_eq!(decoded[0].asy, asy.audit()[0].asy);
         let strict_decoded = decode_qt_audits(&strict_bytes).unwrap();
         assert!(strict_decoded[0].asy.is_none());
+    }
+
+    /// Per-tier ratio annotations round-trip through the canonical byte
+    /// run (0x40 flag), survive a full switcher snapshot, and add bytes
+    /// only to records that carry them.
+    #[test]
+    fn tier_audit_bytes_roundtrip_and_stay_conditional() {
+        let p = hdd();
+        let mut plain = Switcher::new(Mode::BPull, 2, 0.0);
+        plain.decide(2, &p, &CostInputs::default(), 0.1, 1.0);
+        let plain_bytes = encode_qt_audits(plain.audit());
+
+        let mut coded = Switcher::new(Mode::BPull, 2, 0.0);
+        coded.decide(2, &p, &CostInputs::default(), 0.1, 0.42);
+        coded.annotate_tiers(QtTiers {
+            seq_read: 0.36,
+            seq_write: 1.0,
+            rand_read: 1.0,
+            rand_write: 0.9,
+        });
+        let coded_bytes = encode_qt_audits(coded.audit());
+        assert_eq!(
+            coded_bytes.len(),
+            plain_bytes.len() + 32,
+            "tier extension adds exactly four f64s"
+        );
+        let decoded = decode_qt_audits(&coded_bytes).unwrap();
+        assert_eq!(decoded, coded.audit());
+        assert_eq!(decoded[0].tiers.unwrap().seq_read, 0.36);
+        assert!(decode_qt_audits(&plain_bytes).unwrap()[0].tiers.is_none());
+
+        // The full switcher snapshot carries the annotation too.
+        let mut w = PayloadWriter::new();
+        coded.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Switcher::decode(&mut PayloadReader::new(&bytes)).unwrap();
+        assert_eq!(back.audit(), coded.audit());
+
+        // Annotating with no audit record yet is a no-op, not a panic.
+        let mut empty = Switcher::new(Mode::Push, 2, 0.0);
+        empty.annotate_tiers(QtTiers::default());
+        assert!(empty.audit().is_empty());
     }
 
     #[test]

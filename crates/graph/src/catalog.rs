@@ -16,6 +16,7 @@
 
 use crate::csr::Graph;
 use crate::gen::{self, RmatParams};
+use crate::rng::SplitMix64;
 
 /// Which paper dataset a spec stands in for.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -193,6 +194,103 @@ impl DatasetSpec {
     }
 }
 
+/// A catalog entry generated *streaming*: each vertex's successor list
+/// is a pure function of `(spec, vertex)`, so a billion-edge store can
+/// be built block-at-a-time — one source block of adjacency in memory at
+/// a time — without ever materializing the edge list the way
+/// [`DatasetSpec::build`] does.
+///
+/// The twitter-scale entry ([`StreamSpec::twitter`]) is the scale path
+/// for ROADMAP item 2: ~2^25 vertices at average degree 34 is ≥1 B
+/// edges, far past what an in-memory [`Graph`] can hold, yet a
+/// `StreamSpec` walk plus the storage crate's streaming Eblock writer
+/// keeps the resident set at one source block plus the Elias-Fano
+/// directory.
+///
+/// Successors are drawn inside a window around a per-vertex base, which
+/// gives the gap distribution (small, clustered) that real crawl-ordered
+/// social graphs show and that the BV/gap codecs exist to exploit. A
+/// ~1/1024 fraction of vertices are hubs with 16× the degree and a wider
+/// window, standing in for twitter's heavy skew.
+#[derive(Copy, Clone, Debug)]
+pub struct StreamSpec {
+    /// Catalog name of the entry.
+    pub name: &'static str,
+    /// Vertex count (ids are `0..vertices`, must fit `u32`).
+    pub vertices: u64,
+    /// Target average out-degree (actual is slightly lower after dedup).
+    pub avg_degree: u32,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// The twitter-scale entry: 2^25 vertices × avg degree 34 ≈ 1.1 B
+    /// edges (the paper's `twi` is 41.7 M × 35.3).
+    pub fn twitter() -> StreamSpec {
+        StreamSpec {
+            name: "twi-stream",
+            vertices: 1 << 25,
+            avg_degree: 34,
+            seed: 0x0771_77e8,
+        }
+    }
+
+    /// The entry at `1/denominator` of its vertex count (degree and
+    /// structure preserved), floored so tests keep a multi-block grid.
+    pub fn scaled(&self, denominator: usize) -> StreamSpec {
+        StreamSpec {
+            vertices: (self.vertices / denominator.max(1) as u64).max(4096),
+            ..*self
+        }
+    }
+
+    /// Approximate total edge count (draws mean `avg_degree`, hubs add
+    /// ~1.5%, dedup removes ~6% at the default window).
+    pub fn expected_edges(&self) -> u64 {
+        self.vertices * u64::from(self.avg_degree)
+    }
+
+    /// Source-block size for the Eblock grid: 8192 at full scale,
+    /// shrinking with the entry so scaled-down runs still exercise a
+    /// many-block grid.
+    pub fn block_size(&self) -> u32 {
+        (self.vertices / 64).clamp(64, 8192) as u32
+    }
+
+    /// Number of vertex blocks (`ceil(vertices / block_size)`).
+    pub fn nblocks(&self) -> u32 {
+        let bs = u64::from(self.block_size());
+        self.vertices.div_ceil(bs) as u32
+    }
+
+    /// Writes `v`'s successors into `out` (cleared first): strictly
+    /// ascending, distinct, in `0..vertices`. Deterministic per
+    /// `(seed, v)` and independent of call order — the streaming
+    /// contract.
+    pub fn out_dsts(&self, v: u64, out: &mut Vec<u32>) {
+        out.clear();
+        debug_assert!(v < self.vertices && self.vertices <= u64::from(u32::MAX));
+        let mut r = SplitMix64::new(self.seed ^ (v + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut draws = r.below_u32(2 * self.avg_degree + 1);
+        let mut window = (u64::from(self.avg_degree) * 8).clamp(1, self.vertices);
+        if r.below_u32(1024) == 0 {
+            // Hub: 16× the degree over a 16× window.
+            draws = draws.saturating_mul(16).min(4096);
+            window = (window * 16).min(self.vertices);
+        }
+        if draws == 0 {
+            return;
+        }
+        let base = r.below_u64(self.vertices - window + 1);
+        for _ in 0..draws {
+            out.push((base + r.below_u64(window)) as u32);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +346,55 @@ mod tests {
         let g = Dataset::LiveJ.build_scaled(1_000_000_000);
         assert!(g.num_vertices() >= 16);
         assert!(g.num_edges() >= 64);
+    }
+
+    #[test]
+    fn stream_twitter_is_billion_scale() {
+        let s = StreamSpec::twitter();
+        assert!(s.expected_edges() >= 1_000_000_000);
+        assert_eq!(s.block_size(), 8192);
+        assert_eq!(s.nblocks(), 4096);
+    }
+
+    #[test]
+    fn stream_lists_are_sorted_distinct_in_range_and_deterministic() {
+        let s = StreamSpec::twitter().scaled(2000);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for v in (0..s.vertices).step_by(97) {
+            s.out_dsts(v, &mut a);
+            s.out_dsts(v, &mut b);
+            assert_eq!(a, b, "v={v} not deterministic");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "v={v} not ascending");
+            assert!(a.iter().all(|&d| u64::from(d) < s.vertices));
+        }
+    }
+
+    #[test]
+    fn stream_degree_tracks_target_with_hub_skew() {
+        let s = StreamSpec::twitter().scaled(1000);
+        let mut buf = Vec::new();
+        let mut total = 0u64;
+        let mut max_deg = 0usize;
+        for v in 0..s.vertices {
+            s.out_dsts(v, &mut buf);
+            total += buf.len() as u64;
+            max_deg = max_deg.max(buf.len());
+        }
+        let avg = total as f64 / s.vertices as f64;
+        let target = f64::from(s.avg_degree);
+        assert!(
+            (avg - target).abs() / target < 0.15,
+            "avg degree {avg:.1} vs target {target}"
+        );
+        // Hubs exist: someone has several times the average degree.
+        assert!(max_deg as f64 > 6.0 * avg, "max {max_deg} avg {avg:.1}");
+    }
+
+    #[test]
+    fn stream_scaled_keeps_structure() {
+        let s = StreamSpec::twitter().scaled(2000);
+        assert_eq!(s.avg_degree, StreamSpec::twitter().avg_degree);
+        assert!(s.nblocks() >= 8, "scaled grid too coarse: {}", s.nblocks());
+        assert!(s.vertices >= 4096);
     }
 }

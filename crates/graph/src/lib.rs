@@ -24,7 +24,7 @@ pub mod partition;
 pub mod rng;
 
 pub use builder::GraphBuilder;
-pub use catalog::{Dataset, DatasetSpec};
+pub use catalog::{Dataset, DatasetSpec, StreamSpec};
 pub use csr::Graph;
 pub use edge::Edge;
 pub use ids::{BlockId, VertexId, WorkerId};

@@ -37,6 +37,33 @@ pub struct QtAsync {
     pub q_async: f64,
 }
 
+/// Per-access-class physical/logical ratios of the superstep whose
+/// measurements fed this evaluation — the codec's effect broken out by
+/// I/O tier (a tier with no logical traffic reports 1.0). Attached only
+/// for jobs running with a codec configured, so codec-less audit
+/// records serialize byte-for-byte as they always have.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct QtTiers {
+    pub seq_read: f64,
+    pub seq_write: f64,
+    pub rand_read: f64,
+    pub rand_write: f64,
+}
+
+impl QtTiers {
+    /// `(tier label, ratio)` pairs in stable exposition order — the
+    /// labels double as the `tier` label values of the
+    /// `job_codec_ratio` Prometheus gauge.
+    pub fn pairs(&self) -> [(&'static str, f64); 4] {
+        [
+            ("seq_read", self.seq_read),
+            ("seq_write", self.seq_write),
+            ("rand_read", self.rand_read),
+            ("rand_write", self.rand_write),
+        ]
+    }
+}
+
 /// The four Eq. 11 terms in seconds: `Q = net + rw − rr + sr`.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct QtTerms {
@@ -104,6 +131,9 @@ pub struct QtAudit {
     /// considered the `Async` mode. `None` for plain push/b-pull jobs —
     /// their audit records (and serialized bytes) are unchanged.
     pub asy: Option<QtAsync>,
+    /// Per-tier compression breakdown of `io_ratio`, recorded only for
+    /// jobs running with a codec.
+    pub tiers: Option<QtTiers>,
 }
 
 fn fmt_secs(v: f64) -> String {
@@ -133,9 +163,20 @@ pub fn render_table(audits: &[QtAudit]) -> String {
             ),
             None => String::new(),
         };
+        let tiers = match &a.tiers {
+            Some(x) => {
+                let mut s = String::from(" [p/l");
+                for (k, v) in x.pairs() {
+                    let _ = write!(s, " {k}={v:.3}");
+                }
+                s.push(']');
+                s
+            }
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9.3} {:>6.3} | {:<7} -> {:<7} {}{}",
+            "{:>4} | {:>10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9.3} {:>6.3} | {:<7} -> {:<7} {}{}{}",
             a.superstep,
             a.inputs.mco,
             a.inputs.bytes_per_saved,
@@ -155,6 +196,7 @@ pub fn render_table(audits: &[QtAudit]) -> String {
             a.mode_after,
             a.verdict.label(),
             asy,
+            tiers,
         );
     }
     out
@@ -179,6 +221,7 @@ mod tests {
                 mode_after: "b-pull",
                 verdict: QtVerdict::TooEarly,
                 asy: None,
+                tiers: None,
             },
             QtAudit {
                 superstep: 2,
@@ -202,6 +245,7 @@ mod tests {
                 mode_after: "push",
                 verdict: QtVerdict::Switch,
                 asy: None,
+                tiers: None,
             },
         ];
         let table = render_table(&audits);
@@ -211,6 +255,33 @@ mod tests {
         assert!(table.contains("0.620"), "compression ratio column rendered");
         assert_eq!(table.lines().count(), 4);
         assert!(!table.contains("q_async"), "no async column without asy");
+        assert!(!table.contains("seq_read"), "no tier column without tiers");
+    }
+
+    #[test]
+    fn table_renders_tier_breakdown() {
+        let audits = vec![QtAudit {
+            superstep: 2,
+            inputs: QtInputs::default(),
+            terms: QtTerms::default(),
+            q: 0.0,
+            step_secs: 0.4,
+            io_ratio: 0.5,
+            threshold: 0.1,
+            mode_before: "b-pull",
+            mode_after: "b-pull",
+            verdict: QtVerdict::Hold,
+            asy: None,
+            tiers: Some(QtTiers {
+                seq_read: 0.42,
+                seq_write: 1.0,
+                rand_read: 1.0,
+                rand_write: 0.9,
+            }),
+        }];
+        let table = render_table(&audits);
+        assert!(table.contains("seq_read=0.420"));
+        assert!(table.contains("rand_write=0.900"));
     }
 
     #[test]
@@ -231,6 +302,7 @@ mod tests {
                 dup_compute_secs: 0.05,
                 q_async: 0.2,
             }),
+            tiers: None,
         }];
         let table = render_table(&audits);
         assert!(table.contains("async   -> async"));

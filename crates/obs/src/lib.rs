@@ -30,7 +30,7 @@ pub mod prom;
 pub mod sink;
 pub mod tap;
 
-pub use audit::{render_table, QtAsync, QtAudit, QtInputs, QtTerms, QtVerdict};
+pub use audit::{render_table, QtAsync, QtAudit, QtInputs, QtTerms, QtTiers, QtVerdict};
 pub use chrome::{export_chrome_trace, export_chrome_trace_jobs, json_escape};
 pub use event::{intern_arg_key, ArgValue, EventKind, TraceEvent};
 pub use json::validate_json;

@@ -11,11 +11,62 @@
 use crate::record::Record;
 use crate::stats::AccessClass;
 use crate::vfs::{Vfs, VfsFile};
+use hybridgraph_codec::ef::EliasFano;
 use hybridgraph_codec::{decode_extent, encode_extent, CodecChoice, ExtentKind};
 use hybridgraph_graph::{Edge, Graph, VertexId};
 use std::io;
 use std::ops::Range;
 use std::sync::Arc;
+
+/// The per-vertex extent directory: cumulative physical byte offsets,
+/// `n + 1` entries. Under [`CodecChoice::Bv`] the flat 8-bytes-per-entry
+/// vector is replaced by an Elias-Fano sequence (~2 bytes/entry) with
+/// O(1)-ish random access — the piece that keeps 100M+ vertex indices
+/// resident.
+#[derive(Clone)]
+enum OffsetDir {
+    Flat(Arc<Vec<u64>>),
+    Ef(Arc<EliasFano>),
+}
+
+impl OffsetDir {
+    fn from_flat(offsets: Vec<u64>, codec: CodecChoice) -> OffsetDir {
+        if codec == CodecChoice::Bv {
+            let ef = EliasFano::build(&offsets).expect("cumulative offsets are monotone");
+            OffsetDir::Ef(Arc::new(ef))
+        } else {
+            OffsetDir::Flat(Arc::new(offsets))
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        match self {
+            OffsetDir::Flat(v) => v[i],
+            OffsetDir::Ef(ef) => ef.get(i as u64),
+        }
+    }
+
+    /// Number of entries (vertex count + 1).
+    fn len(&self) -> usize {
+        match self {
+            OffsetDir::Flat(v) => v.len(),
+            OffsetDir::Ef(ef) => ef.len() as usize,
+        }
+    }
+
+    fn last(&self) -> u64 {
+        self.get(self.len() - 1)
+    }
+
+    /// Resident bytes of the directory itself.
+    fn memory_bytes(&self) -> u64 {
+        match self {
+            OffsetDir::Flat(v) => v.len() as u64 * 8,
+            OffsetDir::Ef(ef) => ef.memory_bytes(),
+        }
+    }
+}
 
 impl Record for Edge {
     const BYTES: usize = 8;
@@ -39,11 +90,11 @@ impl Record for Edge {
 pub struct AdjacencyStore {
     file: VfsFile,
     base: u32,
-    /// `offsets[i]..offsets[i + 1]` is the *physical* byte extent of
-    /// vertex `base + i`'s edge run in the file; length `count + 1`.
-    /// Without a codec, physical extents equal logical edge bytes.
-    /// Arc-shared so cross-job views are cheap.
-    offsets: Arc<Vec<u64>>,
+    /// `offsets.get(i)..offsets.get(i + 1)` is the *physical* byte
+    /// extent of vertex `base + i`'s edge run in the file; length
+    /// `count + 1`. Without a codec, physical extents equal logical edge
+    /// bytes. Arc-shared so cross-job views are cheap.
+    offsets: OffsetDir,
     /// Per-vertex out-degrees, kept only when a codec is active (the
     /// physical extents no longer encode the edge counts then).
     degrees: Option<Arc<Vec<u32>>>,
@@ -106,7 +157,7 @@ impl AdjacencyStore {
         Ok(AdjacencyStore {
             file,
             base: range.start,
-            offsets: Arc::new(offsets),
+            offsets: OffsetDir::from_flat(offsets, codec),
             degrees: degrees.map(Arc::new),
             total_logical,
             codec,
@@ -122,7 +173,7 @@ impl AdjacencyStore {
         AdjacencyStore {
             file: self.file.with_stats(stats),
             base: self.base,
-            offsets: Arc::clone(&self.offsets),
+            offsets: self.offsets.clone(),
             degrees: self.degrees.as_ref().map(Arc::clone),
             total_logical: self.total_logical,
             codec: self.codec,
@@ -158,7 +209,9 @@ impl AdjacencyStore {
         let i = self.local(v);
         match &self.degrees {
             Some(d) => d[i] as usize,
-            Option::None => ((self.offsets[i + 1] - self.offsets[i]) / Edge::BYTES as u64) as usize,
+            Option::None => {
+                ((self.offsets.get(i + 1) - self.offsets.get(i)) / Edge::BYTES as u64) as usize
+            }
         }
     }
 
@@ -171,7 +224,14 @@ impl AdjacencyStore {
     /// [`AdjacencyStore::edge_bytes_of`] without a codec.
     pub fn stored_bytes_of(&self, v: VertexId) -> u64 {
         let i = self.local(v);
-        self.offsets[i + 1] - self.offsets[i]
+        self.offsets.get(i + 1) - self.offsets.get(i)
+    }
+
+    /// Resident bytes of the in-memory extent directory (flat offsets,
+    /// or the Elias-Fano index under [`CodecChoice::Bv`]) plus the
+    /// degree column when present.
+    pub fn index_memory_bytes(&self) -> u64 {
+        self.offsets.memory_bytes() + self.degrees.as_ref().map_or(0, |d| d.len() as u64 * 4)
     }
 
     /// Total logical edge bytes in the store.
@@ -181,7 +241,7 @@ impl AdjacencyStore {
 
     /// Total physical bytes the store's file occupies.
     pub fn total_stored_bytes(&self) -> u64 {
-        *self.offsets.last().unwrap()
+        self.offsets.last()
     }
 
     /// The codec the store was built with.
@@ -195,7 +255,7 @@ impl AdjacencyStore {
     /// id order (the push scan), `RandRead` for out-of-order access.
     pub fn edges_of(&self, v: VertexId, class: AccessClass) -> io::Result<Vec<Edge>> {
         let i = self.local(v);
-        let (start, end) = (self.offsets[i], self.offsets[i + 1]);
+        let (start, end) = (self.offsets.get(i), self.offsets.get(i + 1));
         if start == end {
             return Ok(Vec::new());
         }
@@ -269,7 +329,12 @@ mod tests {
         let g = gen::uniform(80, 1200, 5);
         let vfs = MemVfs::new();
         let plain = AdjacencyStore::build(&vfs, "adj", &g, 0..80).unwrap();
-        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for codec in [
+            CodecChoice::Gaps,
+            CodecChoice::Block,
+            CodecChoice::Bv,
+            CodecChoice::Auto,
+        ] {
             let cvfs = MemVfs::new();
             let s = AdjacencyStore::build_with(&cvfs, "adj", &g, 0..80, codec).unwrap();
             assert_eq!(s.total_edge_bytes(), plain.total_edge_bytes());
@@ -293,6 +358,37 @@ mod tests {
         let d = cvfs.stats().snapshot().delta(&before);
         assert_eq!(d.rand_read_bytes, s.stored_bytes_of(v));
         assert_eq!(d.rand_read_logical_bytes, s.edge_bytes_of(v));
+    }
+
+    #[test]
+    fn bv_store_uses_elias_fano_directory() {
+        let g = gen::uniform(300, 6000, 9);
+        let vfs = MemVfs::new();
+        let flat = AdjacencyStore::build_with(&vfs, "a", &g, 0..300, CodecChoice::Gaps).unwrap();
+        let bvfs = MemVfs::new();
+        let bv = AdjacencyStore::build_with(&bvfs, "a", &g, 0..300, CodecChoice::Bv).unwrap();
+        // Same logical content, shared-view reads identical, EF index
+        // well under the flat directory.
+        assert_eq!(bv.total_edge_bytes(), flat.total_edge_bytes());
+        assert!(
+            bv.index_memory_bytes() * 2 < flat.index_memory_bytes(),
+            "ef {} vs flat {}",
+            bv.index_memory_bytes(),
+            flat.index_memory_bytes()
+        );
+        let view = bv.share_view(Arc::new(crate::stats::IoStats::default()));
+        for v in (0..300u32).step_by(17) {
+            let v = VertexId(v);
+            assert_eq!(
+                bv.edges_of(v, AccessClass::RandRead).unwrap(),
+                g.out_edges(v)
+            );
+            assert_eq!(
+                view.edges_of(v, AccessClass::RandRead).unwrap(),
+                g.out_edges(v)
+            );
+            assert_eq!(bv.stored_bytes_of(v) == 0, g.out_degree(v) == 0);
+        }
     }
 
     #[test]

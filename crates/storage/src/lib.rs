@@ -43,12 +43,15 @@ pub mod record;
 pub mod service_log;
 pub mod shared_cache;
 pub mod stats;
+pub mod stream;
 pub mod value_store;
 pub mod veblock;
 pub mod vfs;
 
 pub use checkpoint::{CheckpointReader, CheckpointWriter};
-pub use hybridgraph_codec::{Codec, CodecChoice, CodecError};
+pub use hybridgraph_codec::{
+    decode_extent, encode_extent, Codec, CodecChoice, CodecError, ExtentKind,
+};
 pub use msg_log::{MsgLogReader, MsgLogWriter};
 pub use profile::DeviceProfile;
 pub use record::Record;

@@ -61,6 +61,9 @@ pub fn codec_tag(codec: CodecChoice) -> u8 {
         CodecChoice::Gaps => 1,
         CodecChoice::Block => 2,
         CodecChoice::Auto => 3,
+        // Appended after Auto: WAL bytes written before the BV tier
+        // existed keep their meaning.
+        CodecChoice::Bv => 4,
     }
 }
 
@@ -71,6 +74,7 @@ pub fn codec_from_tag(tag: u8) -> io::Result<CodecChoice> {
         1 => CodecChoice::Gaps,
         2 => CodecChoice::Block,
         3 => CodecChoice::Auto,
+        4 => CodecChoice::Bv,
         _ => return Err(corrupt("unknown codec tag")),
     })
 }

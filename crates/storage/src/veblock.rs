@@ -617,7 +617,12 @@ mod tests {
         let (_, l) = layout(120, 2, 3);
         let base_vfs = MemVfs::new();
         let base = VeBlockStore::build(&base_vfs, &g, &l, WorkerId(0)).unwrap();
-        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for codec in [
+            CodecChoice::Gaps,
+            CodecChoice::Block,
+            CodecChoice::Bv,
+            CodecChoice::Auto,
+        ] {
             let vfs = MemVfs::new();
             let s = VeBlockStore::build_with(&vfs, &g, &l, WorkerId(0), codec).unwrap();
             assert_eq!(s.total_edge_bytes(), base.total_edge_bytes());
@@ -646,6 +651,16 @@ mod tests {
         assert!(
             s.total_stored_bytes() * 2 < logical,
             "gaps should at least halve eblock bytes: {} vs {logical}",
+            s.total_stored_bytes()
+        );
+        // And the BV tier must beat gaps on the same eblocks — its
+        // bit-granular codes are the whole point of format v3.
+        let bvfs = MemVfs::new();
+        let b = VeBlockStore::build_with(&bvfs, &g, &l, WorkerId(0), CodecChoice::Bv).unwrap();
+        assert!(
+            b.total_stored_bytes() < s.total_stored_bytes(),
+            "bv {} not under gaps {}",
+            b.total_stored_bytes(),
             s.total_stored_bytes()
         );
     }

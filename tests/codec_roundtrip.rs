@@ -35,7 +35,7 @@ fn extent_roundtrip_stress_printed_seeds() {
     for seed in SEEDS {
         println!("extent stress seed {seed}");
         let mut r = SplitMix64::new(seed);
-        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for codec in CodecChoice::ALL.into_iter().filter(|c| !c.is_none()) {
             for _ in 0..40 {
                 let raw = if r.next_bool() {
                     let n = r.range_usize(0, 500);
@@ -67,7 +67,7 @@ fn blob_frame_roundtrip_stress_printed_seeds() {
     for seed in SEEDS {
         println!("blob stress seed {seed}");
         let mut r = SplitMix64::new(seed);
-        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for codec in CodecChoice::ALL.into_iter().filter(|c| !c.is_none()) {
             let mut buf = Vec::new();
             let blobs: Vec<Vec<u8>> = (0..30)
                 .map(|_| {
@@ -118,7 +118,7 @@ fn pagerank_values_bit_identical_across_codecs() {
                 .iter()
                 .map(|v| v.to_bits())
                 .collect();
-        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for codec in CodecChoice::ALL.into_iter().filter(|c| !c.is_none()) {
             let got: Vec<u64> = run_job(Arc::new(PageRank::new(5)), &g, cfg(mode, codec))
                 .unwrap()
                 .values
@@ -142,7 +142,7 @@ fn sssp_values_bit_identical_across_codecs() {
                 .iter()
                 .map(|v| v.to_bits())
                 .collect();
-        for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+        for codec in CodecChoice::ALL.into_iter().filter(|c| !c.is_none()) {
             let got: Vec<u32> = run_job(Arc::new(Sssp::new(src)), &g, cfg(mode, codec))
                 .unwrap()
                 .values

@@ -50,7 +50,7 @@ fn empty_record_slice_roundtrips() {
 
 #[test]
 fn blob_frames_roundtrip_randomized() {
-    for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+    for codec in CodecChoice::ALL.into_iter().filter(|c| !c.is_none()) {
         for seed in SEEDS {
             let mut r = SplitMix64::new(seed);
             for _ in 0..25 {
@@ -77,7 +77,7 @@ fn blob_frames_roundtrip_randomized() {
 
 #[test]
 fn empty_blob_frame_roundtrips() {
-    for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+    for codec in CodecChoice::ALL.into_iter().filter(|c| !c.is_none()) {
         let frame = encode_blob_frame(codec, &[]);
         let mut pos = 0;
         assert!(decode_blob_frame(&frame, &mut pos)
@@ -90,7 +90,7 @@ fn empty_blob_frame_roundtrips() {
 #[test]
 fn truncated_blob_frame_is_an_error_not_a_panic() {
     let raw: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
-    for codec in [CodecChoice::Gaps, CodecChoice::Block, CodecChoice::Auto] {
+    for codec in CodecChoice::ALL.into_iter().filter(|c| !c.is_none()) {
         let frame = encode_blob_frame(codec, &raw);
         for cut in 0..frame.len() {
             let mut pos = 0;
